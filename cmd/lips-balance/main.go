@@ -1,0 +1,84 @@
+// Command lips-balance demonstrates the HDFS balancer on a synthetic
+// cluster: it skews a workload's block placement, runs hdfs.Balance, and
+// prints per-store utilization before and after plus the transfer bill the
+// moves would incur.
+//
+// Usage:
+//
+//	lips-balance [-cluster paper20|paper100] [-tasks 600] [-threshold 0.1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+	"lips/internal/hdfs"
+	"lips/internal/workload"
+)
+
+func main() {
+	clusterKind := flag.String("cluster", "paper20", "paper20 or paper100")
+	tasks := flag.Int("tasks", 3000, "map tasks of synthetic data to place")
+	threshold := flag.Float64("threshold", 0.02, "target utilization band around the mean")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	if err := run(os.Stdout, *clusterKind, *tasks, *threshold, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "lips-balance:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out *os.File, clusterKind string, tasks int, threshold float64, seed int64) error {
+	var c *cluster.Cluster
+	switch clusterKind {
+	case "paper20":
+		c = cluster.Paper20(0.5)
+	case "paper100":
+		c = cluster.Paper100()
+	default:
+		return fmt.Errorf("unknown cluster %q", clusterKind)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Skewed ingest: all data lands in one zone's stores.
+	var hot []cluster.StoreID
+	for _, n := range c.Nodes {
+		if n.Zone == c.Zones[0] {
+			hot = append(hot, n.Store)
+		}
+	}
+	w := workload.Random(rng, hot, workload.RandomSpec{TotalTasks: tasks})
+	p := w.Placement()
+	p.Shuffle(rng, hot)
+
+	show := func(label string) {
+		used := p.UsedMB()
+		fmt.Fprintf(out, "%s:\n", label)
+		for _, zone := range c.Zones {
+			mb, capMB := 0.0, 0.0
+			for _, s := range c.Stores {
+				if s.Zone != zone {
+					continue
+				}
+				mb += used[s.ID]
+				capMB += s.CapacityMB
+			}
+			fmt.Fprintf(out, "  %-12s %8.1f GB stored (%.1f%% of zone capacity)\n",
+				zone, mb/1024, 100*mb/capMB)
+		}
+	}
+	show("before balancing")
+
+	moves := hdfs.Balance(c, p, threshold)
+	bill := cost.Money(0)
+	for _, m := range moves {
+		mb := p.Object(m.Object).BlockSizeMB(m.Block)
+		bill += c.SSPerGB(m.From, m.To).MulFloat(mb / 1024)
+	}
+	fmt.Fprintf(out, "\nbalancer: %d block moves, transfer bill %v\n\n", len(moves), bill)
+	show("after balancing")
+	return nil
+}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunBalance(t *testing.T) {
+	for _, kind := range []string{"paper20", "paper100"} {
+		if err := run(os.Stdout, kind, 600, 0.005, 1); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	if err := run(os.Stdout, "nope", 10, 0.1, 1); err == nil {
+		t.Error("unknown cluster accepted")
+	}
+}

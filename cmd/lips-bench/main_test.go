@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"lips/internal/experiments"
+)
+
+var quick = experiments.Config{Quick: true, Seed: 1}
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, name := range []string{"table1", "table3", "table4", "fig1", "fig8", "overhead"} {
+		if err := run(name, quick); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	if err := run("ablations", quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExtensions(t *testing.T) {
+	if err := run("spot", quick); err != nil {
+		t.Error(err)
+	}
+	if err := run("baselines", quick); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", quick); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

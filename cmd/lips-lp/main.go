@@ -1,0 +1,80 @@
+// Command lips-lp solves a linear program written in the lp package's
+// text format and prints the solution.
+//
+// Usage:
+//
+//	lips-lp [-bland] [-max-iters N] [-duals] [file]
+//
+// With no file, the problem is read from standard input. The format:
+//
+//	problem <name>
+//	var <name> <lower> <upper> <cost>     # bounds may be inf / -inf
+//	con <name> <sense> <rhs>              # sense: <=  >=  =
+//	coef <con-index> <var-index> <value>  # 0-based declaration order
+//
+// Minimization is implied.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lips/internal/lp"
+)
+
+func main() {
+	bland := flag.Bool("bland", false, "force Bland's anti-cycling rule")
+	maxIters := flag.Int("max-iters", 0, "iteration budget (0 = automatic)")
+	duals := flag.Bool("duals", false, "also print the dual values")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lips-lp:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	code, err := run(in, os.Stdout, *bland, *maxIters, *duals)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lips-lp:", err)
+	}
+	os.Exit(code)
+}
+
+// run parses, solves and prints; it returns the process exit code.
+func run(in io.Reader, out io.Writer, bland bool, maxIters int, duals bool) (int, error) {
+	p, err := lp.Parse(in)
+	if err != nil {
+		return 1, err
+	}
+	sol, err := p.Solve(lp.Options{Bland: bland, MaxIters: maxIters})
+	if err != nil {
+		return 1, err
+	}
+	fmt.Fprintf(out, "problem %s: %d variables, %d constraints, %d nonzeros\n",
+		p.Name(), p.NumVars(), p.NumCons(), p.NumNonzeros())
+	fmt.Fprintf(out, "status: %v (%d iterations, %d in phase 1)\n", sol.Status, sol.Iters, sol.Phase1)
+	if sol.Status != lp.Optimal {
+		return 2, nil
+	}
+	fmt.Fprintf(out, "objective: %g\n", sol.Objective)
+	for i := 0; i < p.NumVars(); i++ {
+		v := lp.Var(i)
+		if x := sol.Value(v); x != 0 {
+			fmt.Fprintf(out, "  %s = %g\n", p.VarName(v), x)
+		}
+	}
+	if duals {
+		fmt.Fprintln(out, "duals:")
+		for i := 0; i < p.NumCons(); i++ {
+			fmt.Fprintf(out, "  %s = %g\n", p.ConName(lp.Con(i)), sol.Dual[i])
+		}
+	}
+	return 0, nil
+}

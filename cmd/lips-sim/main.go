@@ -1,0 +1,201 @@
+// Command lips-sim runs one MapReduce scheduling simulation and prints
+// the dollar cost, makespan, locality and utilization.
+//
+// Usage:
+//
+//	lips-sim [-cluster paper20|paper100|random] [-frac-c1 0.5] [-nodes 40]
+//	         [-workload paper|swim|random] [-jobs 60] [-tasks 400]
+//	         [-scheduler fifo|delay|fair|lips] [-epoch 600]
+//	         [-speculative] [-bill-occupancy] [-seed 1] [-v]
+//
+// Examples:
+//
+//	lips-sim -cluster paper20 -frac-c1 0.5 -workload paper -scheduler lips
+//	lips-sim -cluster paper100 -workload swim -jobs 400 -scheduler delay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"lips/internal/cluster"
+	"lips/internal/hdfs"
+	"lips/internal/metrics"
+	"lips/internal/sched"
+	"lips/internal/sim"
+	"lips/internal/workload"
+)
+
+func main() {
+	var (
+		clusterKind = flag.String("cluster", "paper20", "paper20, paper100 or random")
+		fracC1      = flag.Float64("frac-c1", 0.5, "fraction of c1.medium nodes for -cluster paper20")
+		nodes       = flag.Int("nodes", 40, "node count for -cluster random")
+		wlKind      = flag.String("workload", "paper", "paper, swim or random")
+		jobs        = flag.Int("jobs", 60, "job count for -workload swim")
+		tasks       = flag.Int("tasks", 400, "task count for -workload random")
+		scheduler   = flag.String("scheduler", "lips", "fifo, delay, fair or lips")
+		epoch       = flag.Float64("epoch", 600, "LiPS epoch in seconds")
+		speculative = flag.Bool("speculative", false, "enable speculative execution")
+		occupancy   = flag.Bool("bill-occupancy", false, "bill wall-clock slot occupancy instead of CPU seconds")
+		sharedLinks = flag.Bool("shared-links", false, "transfers contend for zone-pair bandwidth (processor sharing)")
+		balance     = flag.Bool("balance", false, "run the HDFS balancer on the initial placement first")
+		seed        = flag.Int64("seed", 1, "random seed")
+		verbose     = flag.Bool("v", false, "print per-job and per-node detail")
+	)
+	flag.Parse()
+	cfg := config{
+		Cluster: *clusterKind, FracC1: *fracC1, Nodes: *nodes,
+		Workload: *wlKind, Jobs: *jobs, Tasks: *tasks,
+		Scheduler: *scheduler, Epoch: *epoch,
+		Speculative: *speculative, BillOccupancy: *occupancy,
+		SharedLinks: *sharedLinks, Balance: *balance,
+		Seed: *seed, Verbose: *verbose,
+	}
+	if err := runCfg(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "lips-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// config carries one simulation's command-line settings.
+type config struct {
+	Cluster   string
+	FracC1    float64
+	Nodes     int
+	Workload  string
+	Jobs      int
+	Tasks     int
+	Scheduler string
+	Epoch     float64
+
+	Speculative   bool
+	BillOccupancy bool
+	SharedLinks   bool
+	Balance       bool
+
+	Seed    int64
+	Verbose bool
+}
+
+// run keeps the old positional signature for the tests.
+func run(clusterKind string, fracC1 float64, nodes int, wlKind string, jobs, tasks int,
+	scheduler string, epoch float64, speculative, occupancy bool, seed int64, verbose bool) error {
+	return runCfg(config{
+		Cluster: clusterKind, FracC1: fracC1, Nodes: nodes,
+		Workload: wlKind, Jobs: jobs, Tasks: tasks,
+		Scheduler: scheduler, Epoch: epoch,
+		Speculative: speculative, BillOccupancy: occupancy,
+		Seed: seed, Verbose: verbose,
+	})
+}
+
+func runCfg(cfg config) error {
+	clusterKind, fracC1, nodes := cfg.Cluster, cfg.FracC1, cfg.Nodes
+	wlKind, jobs, tasks := cfg.Workload, cfg.Jobs, cfg.Tasks
+	scheduler, epoch := cfg.Scheduler, cfg.Epoch
+	speculative, occupancy := cfg.Speculative, cfg.BillOccupancy
+	seed, verbose := cfg.Seed, cfg.Verbose
+	rng := rand.New(rand.NewSource(seed))
+
+	var c *cluster.Cluster
+	switch clusterKind {
+	case "paper20":
+		c = cluster.Paper20(fracC1)
+	case "paper100":
+		c = cluster.Paper100()
+	case "random":
+		c = cluster.Random(rng, cluster.RandomSpec{Nodes: nodes})
+	default:
+		return fmt.Errorf("unknown cluster %q", clusterKind)
+	}
+	stores := make([]cluster.StoreID, len(c.Stores))
+	for i := range stores {
+		stores[i] = cluster.StoreID(i)
+	}
+
+	var w *workload.Workload
+	switch wlKind {
+	case "paper":
+		w = workload.PaperJobSet(rng, stores)
+	case "swim":
+		w = workload.SWIM(rng, stores, workload.SWIMSpec{Jobs: jobs, DurationSec: 24 * 3600})
+	case "random":
+		w = workload.Random(rng, stores, workload.RandomSpec{TotalTasks: tasks})
+	default:
+		return fmt.Errorf("unknown workload %q", wlKind)
+	}
+	placement := w.Placement()
+	placement.Shuffle(rng, stores)
+	if cfg.Balance {
+		moves := hdfs.Balance(c, placement, 0.1)
+		fmt.Printf("balancer: %d blocks relocated before scheduling\n", len(moves))
+	}
+
+	opts := sim.Options{
+		Speculative: speculative, BillOccupancy: occupancy,
+		SharedLinks: cfg.SharedLinks,
+	}
+	var s sim.Scheduler
+	switch scheduler {
+	case "fifo":
+		s = sched.NewFIFO()
+	case "delay":
+		s = sched.NewDelay()
+	case "fair":
+		s = sched.NewFair()
+	case "lips":
+		s = sched.NewLiPS(epoch)
+		opts.TaskTimeoutSec = 1200
+	default:
+		return fmt.Errorf("unknown scheduler %q", scheduler)
+	}
+
+	fmt.Printf("cluster: %s (%d nodes, %.0f ECU, %d zones)\n",
+		clusterKind, len(c.Nodes), c.TotalECU(), len(c.Zones))
+	fmt.Printf("workload: %s (%d jobs, %d tasks, %.1f GB input, %.0f ECU-sec demand)\n",
+		wlKind, len(w.Jobs), w.TotalTasks(), w.TotalInputMB()/1024, w.TotalCPUSec())
+
+	result, err := sim.New(c, w, placement, s, opts).Run()
+	if err != nil {
+		return err
+	}
+	if l, ok := s.(*sched.LiPS); ok {
+		if l.Err != nil {
+			return fmt.Errorf("lips scheduler: %w", l.Err)
+		}
+		fmt.Printf("lips: %d epochs, %d LP iterations, %v total solve time, %d blocks relocated\n",
+			l.Epochs, l.LPIters, l.SolveTime, l.BlocksMoved)
+	}
+
+	fmt.Printf("\nscheduler: %s\n", result.Scheduler)
+	fmt.Printf("total cost: %v (%s)\n", result.TotalCost(), result.Cost)
+	fmt.Printf("makespan: %.0f s;  Σ job time: %.0f s\n", result.Makespan, result.SumJobSec)
+	fmt.Printf("locality: %.1f%% node-local (%d local / %d zone / %d remote / %d no-input)\n",
+		100*result.Locality.LocalFraction(),
+		result.Locality.Count(metrics.NodeLocal), result.Locality.Count(metrics.ZoneLocal),
+		result.Locality.Count(metrics.Remote), result.Locality.Count(metrics.NoInput))
+	fmt.Printf("utilization: %.1f%%;  fairness (Jain over users): %.3f\n",
+		100*result.Utilization, result.Fairness)
+
+	if verbose {
+		fmt.Println("\nper-job completion:")
+		for j, done := range result.JobDone {
+			fmt.Printf("  %-24s arrive=%8.0fs done=%8.0fs cost=%v\n",
+				w.Jobs[j].Name, w.Jobs[j].ArrivalSec, done, result.Cost.Job(w.Jobs[j].Name))
+		}
+		fmt.Println("\nper-node accumulated CPU time (ECU-seconds):")
+		ids := result.NodeCPU.Nodes()
+		sort.Slice(ids, func(a, b int) bool {
+			return result.NodeCPU.Of(ids[a]) > result.NodeCPU.Of(ids[b])
+		})
+		for _, n := range ids {
+			nd := c.Nodes[n]
+			fmt.Printf("  node-%-3d %-10s %-12s %8.0f\n", n, nd.Type, nd.Zone, result.NodeCPU.Of(n))
+		}
+	}
+	return nil
+}

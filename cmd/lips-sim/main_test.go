@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestRunAllSchedulers(t *testing.T) {
+	for _, sched := range []string{"fifo", "delay", "fair", "lips"} {
+		if err := run("paper20", 0.5, 0, "random", 0, 60, sched, 400, false, false, 1, false); err != nil {
+			t.Errorf("%s: %v", sched, err)
+		}
+	}
+}
+
+func TestRunClusterKinds(t *testing.T) {
+	if err := run("random", 0, 12, "random", 0, 40, "fifo", 0, false, false, 2, true); err != nil {
+		t.Errorf("random cluster: %v", err)
+	}
+	if err := run("paper100", 0, 0, "swim", 20, 0, "delay", 0, false, false, 3, false); err != nil {
+		t.Errorf("paper100/swim: %v", err)
+	}
+}
+
+func TestRunPaperWorkloadOptions(t *testing.T) {
+	if err := run("paper20", 0.25, 0, "paper", 0, 0, "lips", 800, false, true, 1, false); err != nil {
+		t.Errorf("paper workload: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("moon-base", 0, 0, "random", 0, 10, "fifo", 0, false, false, 1, false); err == nil {
+		t.Error("unknown cluster accepted")
+	}
+	if err := run("paper20", 0, 0, "nope", 0, 10, "fifo", 0, false, false, 1, false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("paper20", 0, 0, "random", 0, 10, "nope", 0, false, false, 1, false); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestRunCfgExtras(t *testing.T) {
+	cfg := config{
+		Cluster: "paper20", FracC1: 0.5, Workload: "random", Tasks: 60,
+		Scheduler: "fifo", SharedLinks: true, Balance: true, Seed: 4,
+	}
+	if err := runCfg(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Costsaving: reproduce the paper's node-diversity experiment (Fig. 6) in
+// miniature — as c1.medium nodes (4–5x cheaper per ECU-second) join a
+// m1.medium cluster, LiPS's dollar savings over the Hadoop default and
+// delay schedulers grow.
+//
+//	go run ./examples/costsaving
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lips/internal/cluster"
+	"lips/internal/sched"
+	"lips/internal/sim"
+	"lips/internal/workload"
+)
+
+func main() {
+	fmt.Println("frac-c1  default    delay      lips       saving-vs-default")
+	for _, fracC1 := range []float64{0, 0.25, 0.5} {
+		costs := map[string]float64{}
+		for _, name := range []string{"default", "delay", "lips"} {
+			c := cluster.Paper20(fracC1)
+			// Data lives on the original m1.medium nodes, as in the
+			// paper's gradually-expanded testbed; added c1.medium nodes
+			// start empty.
+			var stores []cluster.StoreID
+			for _, n := range c.Nodes {
+				if n.Type == "m1.medium" {
+					stores = append(stores, n.Store)
+				}
+			}
+			rng := rand.New(rand.NewSource(11))
+			wb := workload.NewBuilder()
+			pick := func() cluster.StoreID { return stores[rng.Intn(len(stores))] }
+			// A half-scale Table IV mix — enough demand that the
+			// cheap nodes alone cannot absorb it in one epoch.
+			wb.AddInputJob("wc-1", "u1", workload.WordCount, 5*1024, pick(), 0)
+			wb.AddInputJob("wc-2", "u1", workload.WordCount, 5*1024, pick(), 0)
+			wb.AddInputJob("grep-1", "u2", workload.Grep, 10*1024, pick(), 0)
+			wb.AddInputJob("grep-2", "u2", workload.Grep, 10*1024, pick(), 0)
+			wb.AddInputJob("stress-1", "u3", workload.Stress2, 5*1024, pick(), 0)
+			wb.AddInputJob("stress-2", "u3", workload.Stress2, 5*1024, pick(), 0)
+			w := wb.Build()
+			p := w.Placement()
+			p.Shuffle(rng, stores)
+
+			var s sim.Scheduler
+			opts := sim.Options{}
+			switch name {
+			case "default":
+				s = sched.NewFIFO()
+			case "delay":
+				s = sched.NewDelay()
+			case "lips":
+				s = sched.NewLiPS(600)
+				opts.TaskTimeoutSec = 1200
+			}
+			r, err := sim.New(c, w, p, s, opts).Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			costs[name] = r.TotalCost().ToDollars()
+		}
+		saving := 100 * (1 - costs["lips"]/costs["default"])
+		fmt.Printf("%5.0f%%   $%.4f    $%.4f    $%.4f    %.0f%%\n",
+			100*fracC1, costs["default"], costs["delay"], costs["lips"], saving)
+	}
+	fmt.Println("\nThe paper's Fig. 6 reports 62% savings growing to 79–81% as half the")
+	fmt.Println("cluster becomes c1.medium; the shape — savings growing with node")
+	fmt.Println("diversity — reproduces here (see EXPERIMENTS.md for the full runs).")
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a small heterogeneous cluster, submit a handful of
+// MapReduce jobs, and compare the dollar cost of the Hadoop default
+// scheduler against LiPS.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+	"lips/internal/sched"
+	"lips/internal/sim"
+	"lips/internal/workload"
+)
+
+func main() {
+	// A six-node cluster over the paper's three availability zones:
+	// three m1.medium (expensive ECU-seconds) and three c1.medium
+	// (4–5x cheaper per ECU-second).
+	build := func() (*cluster.Cluster, *workload.Workload) {
+		b := cluster.NewBuilder(cluster.PaperZones...)
+		for i := 0; i < 3; i++ {
+			b.AddInstance(cluster.PaperZones[i], cost.M1Medium)
+		}
+		for i := 0; i < 3; i++ {
+			b.AddInstance(cluster.PaperZones[i], cost.C1Medium)
+		}
+		c := b.Build()
+
+		// Four jobs from the paper's Table I benchmark suite, inputs
+		// pre-loaded on the m1.medium stores.
+		rng := rand.New(rand.NewSource(7))
+		wb := workload.NewBuilder()
+		pick := func() cluster.StoreID { return cluster.StoreID(rng.Intn(3)) }
+		wb.AddInputJob("grep-logs", "alice", workload.Grep, 32*64, pick(), 0)
+		wb.AddInputJob("wordcount-web", "bob", workload.WordCount, 16*64, pick(), 0)
+		wb.AddInputJob("stress-etl", "carol", workload.Stress2, 16*64, pick(), 0)
+		wb.AddNoInputJob("pi-montecarlo", "dave", 2, workload.PiTaskCPUSec, 0)
+		return c, wb.Build()
+	}
+
+	run := func(s sim.Scheduler, opts sim.Options) *sim.Result {
+		c, w := build()
+		r, err := sim.New(c, w, nil, s, opts).Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	fifo := run(sched.NewFIFO(), sim.Options{})
+	lips := sched.NewLiPS(400)
+	lipsRes := run(lips, sim.Options{TaskTimeoutSec: 1200})
+	if lips.Err != nil {
+		log.Fatal(lips.Err)
+	}
+
+	fmt.Println("scheduler        cost      makespan  node-local")
+	for _, r := range []*sim.Result{fifo, lipsRes} {
+		fmt.Printf("%-16s %-9v %6.0f s  %5.1f%%\n",
+			r.Scheduler, r.TotalCost(), r.Makespan, 100*r.Locality.LocalFraction())
+	}
+	saving := 1 - float64(lipsRes.TotalCost())/float64(fifo.TotalCost())
+	fmt.Printf("\nLiPS saved %.0f%% of the dollar cost (%d LP epochs, %v in the solver),\n",
+		100*saving, lips.Epochs, lips.SolveTime)
+	fmt.Printf("trading a %.1fx longer makespan — the paper's core cost/performance trade.\n",
+		lipsRes.Makespan/fifo.Makespan)
+}

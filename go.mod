@@ -1,0 +1,3 @@
+module lips
+
+go 1.22

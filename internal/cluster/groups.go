@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"sort"
+
+	"lips/internal/cost"
+)
+
+// Group is a set of interchangeable nodes: same zone, same instance type,
+// same price and capacity. The LiPS LP is built over groups rather than
+// individual nodes — a lossless aggregation for clusters whose nodes fall
+// into identical classes (like the paper's EC2 testbeds) that shrinks the
+// LP from O(|M|) to O(|groups|) machine columns.
+type Group struct {
+	Zone string
+	Type string
+
+	Nodes  []NodeID
+	Stores []StoreID // co-located stores of the member nodes
+
+	ECUPerNode float64 // TP of one member
+	TotalECU   float64
+	SlotsEach  int
+	PerECUSec  cost.Money
+
+	// CapacityMB is the summed capacity of the member stores.
+	CapacityMB float64
+}
+
+// groupKey identifies a class of interchangeable nodes.
+type groupKey struct {
+	zone  string
+	typ   string
+	ecu   float64
+	price int64
+}
+
+// Groups partitions the cluster's nodes into interchangeable classes,
+// sorted by (zone, type) for determinism. Nodes without a co-located store
+// still join a group; their group simply contributes no storage.
+func (c *Cluster) Groups() []Group {
+	byKey := make(map[groupKey]*Group)
+	var order []groupKey
+	for _, n := range c.Nodes {
+		k := groupKey{zone: n.Zone, typ: n.Type, ecu: n.ECU, price: int64(n.PerECUSec)}
+		g, ok := byKey[k]
+		if !ok {
+			g = &Group{Zone: n.Zone, Type: n.Type, ECUPerNode: n.ECU, SlotsEach: n.Slots, PerECUSec: n.PerECUSec}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		g.Nodes = append(g.Nodes, n.ID)
+		g.TotalECU += n.ECU
+		if n.Store != None {
+			g.Stores = append(g.Stores, n.Store)
+			g.CapacityMB += c.Stores[n.Store].CapacityMB
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].zone != order[j].zone {
+			return order[i].zone < order[j].zone
+		}
+		if order[i].typ != order[j].typ {
+			return order[i].typ < order[j].typ
+		}
+		return order[i].price < order[j].price
+	})
+	out := make([]Group, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+
+	"lips/internal/cluster"
+	"lips/internal/core"
+	"lips/internal/cost"
+	"lips/internal/lp"
+	"lips/internal/workload"
+)
+
+// The paper's Figure 1 scenario as code: one job whose data sits on an
+// expensive node, with a cheap node one zone away. The co-scheduling LP
+// decides whether moving the data pays for itself.
+func ExampleBuildCoScheduleModel() {
+	b := cluster.NewBuilder("zone-a", "zone-b")
+	b.AddNode("zone-a", "expensive", 1, 2, cost.Millicents(5), 1e6)
+	b.AddNode("zone-b", "cheap", 1, 2, cost.Millicents(1), 1e6)
+	b.SetZonePairPerGB("zone-a", "zone-b", cost.Millicents(2*1024)) // 2 mc/MB
+	c := b.Build()
+
+	wb := workload.NewBuilder()
+	grepLike := workload.Archetype{Name: "scan", Property: workload.Mixed, CPUSecPerBlock: 64}
+	wb.AddInputJob("scan-logs", "alice", grepLike, 64, 0, 0) // 64 MB on the expensive node
+	w := wb.Build()
+
+	in, err := core.NewInstance(c, w.Jobs, w.Objects, w.Placement(), core.InstanceOptions{Horizon: 3600})
+	if err != nil {
+		panic(err)
+	}
+	m, err := core.BuildCoScheduleModel(in)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := m.Solve(lp.Options{})
+	if err != nil {
+		panic(err)
+	}
+	// Staying costs 64·5 = 320 mc; moving costs 64·1 + 64·2 = 192 mc.
+	fmt.Printf("optimal cost: %.0f millicents (exec %.0f + transfer %.0f)\n",
+		plan.TotalMC(), plan.ExecMC, plan.TransferMC+plan.PlacementMC)
+	// Output: optimal cost: 192 millicents (exec 64 + transfer 128)
+}

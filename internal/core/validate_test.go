@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+	"lips/internal/lp"
+	"lips/internal/workload"
+)
+
+func TestValidateAcceptsSolverPlans(t *testing.T) {
+	in := twoNodeInstance(t, 1, 2)
+	for _, build := range []func() (*Model, error){
+		func() (*Model, error) { return BuildCoScheduleModel(in) },
+		func() (*Model, error) { return BuildOnlineModel(in) },
+	} {
+		m, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := solvePlan(t, m)
+		if err := p.Validate(1e-7); err != nil {
+			t.Errorf("%s: %v", m.Kind, err)
+		}
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	in := twoNodeInstance(t, 1, 2)
+	m, err := BuildCoScheduleModel(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := solvePlan(t, m)
+
+	// Under-covered job.
+	bad := *good
+	bad.XT = []map[[2]int]float64{{[2]int{0, 0}: 0.4}}
+	if err := bad.Validate(1e-7); err == nil {
+		t.Error("under-coverage accepted")
+	}
+
+	// Over-capacity machine.
+	tiny := twoNodeInstance(t, 1, 2)
+	tiny.Horizon = 1 // capacity 1 ECU-second vs 64 demanded
+	bad2 := *good
+	bad2.In = tiny
+	if err := bad2.Validate(1e-7); err == nil {
+		t.Error("capacity violation accepted")
+	}
+
+	// Reading data from a store that does not hold it.
+	bad3 := *good
+	bad3.XT = []map[[2]int]float64{{[2]int{0, 1}: 1}} // read store 1
+	bad3.XD = [][]float64{{1, 0}}                     // data fully on store 0
+	bad3.XDFlows = nil
+	if err := bad3.Validate(1e-7); err == nil {
+		t.Error("existence violation accepted")
+	}
+}
+
+// TestQuickSolverPlansAlwaysValid fuzzes random instances and checks every
+// optimal plan against the independent constraint checker.
+func TestQuickSolverPlansAlwaysValid(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 2 + rng.Intn(5)
+		b := cluster.NewBuilder("za", "zb", "zc")
+		zones := []string{"za", "zb", "zc"}
+		for i := 0; i < nodes; i++ {
+			b.AddNode(zones[rng.Intn(3)], "t"+string(rune('a'+rng.Intn(3))),
+				1+float64(rng.Intn(4)), 2, cost.Millicents(rng.Float64()*5), 1e5)
+		}
+		c := b.Build()
+		wb := workload.NewBuilder()
+		jobs := 1 + rng.Intn(4)
+		for j := 0; j < jobs; j++ {
+			arch := workload.Archetype{Name: "syn", Property: workload.Mixed,
+				CPUSecPerBlock: 1 + rng.Float64()*90}
+			blocks := 1 + rng.Intn(12)
+			wb.AddInputJob("j", "u", arch, float64(blocks)*64, cluster.StoreID(rng.Intn(nodes)), 0)
+		}
+		w := wb.Build()
+		in, err := NewInstance(c, w.Jobs, w.Objects, w.Placement(), InstanceOptions{
+			Aggregate: rng.Intn(2) == 0,
+			Horizon:   200 + rng.Float64()*2000,
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		m, err := BuildOnlineModel(in)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		plan, err := m.Solve(lp.Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := plan.Validate(1e-6); err != nil {
+			t.Logf("seed %d: plan invalid: %v", seed, err)
+			return false
+		}
+		// Rounding conserves tasks.
+		ip := plan.Round()
+		perJob := make([]int, len(in.Jobs))
+		for _, a := range ip.Assignments {
+			perJob[a.Job] += a.Tasks
+		}
+		for k, job := range in.Jobs {
+			if perJob[k]+ip.Deferred[k] != job.NumTasks {
+				t.Logf("seed %d: job %d rounds to %d+%d of %d", seed, k, perJob[k], ip.Deferred[k], job.NumTasks)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

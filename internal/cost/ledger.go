@@ -1,0 +1,78 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category classifies a ledger charge.
+type Category string
+
+// Standard charge categories used by the simulator.
+const (
+	CatCPU         Category = "cpu"         // task execution CPU time
+	CatTransfer    Category = "transfer"    // runtime store→machine data movement
+	CatPlacement   Category = "placement"   // store→store data relocation (x^d)
+	CatSpeculative Category = "speculative" // CPU burnt by killed speculative copies
+)
+
+// Ledger accumulates dollar charges by category and by job. A Ledger is
+// not safe for concurrent use; each simulation owns one.
+type Ledger struct {
+	byCategory map[Category]Money
+	byJob      map[string]Money
+	total      Money
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{byCategory: make(map[Category]Money), byJob: make(map[string]Money)}
+}
+
+// Charge records amount against the category and job. Job may be empty for
+// charges not attributable to one job (e.g. background replication).
+func (l *Ledger) Charge(cat Category, job string, amount Money) {
+	if amount < 0 {
+		panic(fmt.Sprintf("cost: negative charge %v for %s/%s", amount, cat, job))
+	}
+	l.byCategory[cat] += amount
+	if job != "" {
+		l.byJob[job] += amount
+	}
+	l.total += amount
+}
+
+// Total returns the grand total.
+func (l *Ledger) Total() Money { return l.total }
+
+// Category returns the total for one category.
+func (l *Ledger) Category(cat Category) Money { return l.byCategory[cat] }
+
+// Job returns the total charged to one job.
+func (l *Ledger) Job(job string) Money { return l.byJob[job] }
+
+// Jobs returns the job names seen, sorted.
+func (l *Ledger) Jobs() []string {
+	names := make([]string, 0, len(l.byJob))
+	for n := range l.byJob {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String summarises the ledger by category.
+func (l *Ledger) String() string {
+	cats := make([]string, 0, len(l.byCategory))
+	for c := range l.byCategory {
+		cats = append(cats, string(c))
+	}
+	sort.Strings(cats)
+	var b strings.Builder
+	fmt.Fprintf(&b, "total %v", l.total)
+	for _, c := range cats {
+		fmt.Fprintf(&b, " %s=%v", c, l.byCategory[Category(c)])
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+// Package cost models dollar costs for the LiPS scheduler: an exact integer
+// money type, the paper's Amazon EC2 instance catalog (Table III), data
+// transfer pricing, and a cost ledger with per-category accounting.
+//
+// Following the paper, the working unit of account is the millicent
+// (1/1000 of a cent): EC2 CPU prices are quoted in millicents per EC2
+// compute unit (ECU) second, and cross-zone transfer costs in millicents
+// per 64 MB block. Money is stored as integer microcents so that fractional
+// millicent prices (e.g. c1.medium's 0.92 mc/ECU·s) remain exact.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Money is an amount of money in integer microcents (1e-8 dollars).
+// The representation is exact for every price in the paper and overflows
+// only beyond ~922 billion dollars.
+type Money int64
+
+// Unit constructors.
+const (
+	Microcent Money = 1
+	Millicent Money = 1000 * Microcent
+	Cent      Money = 1000 * Millicent
+	Dollar    Money = 100 * Cent
+)
+
+// Millicents returns the Money value of x millicents, rounding to the
+// nearest microcent.
+func Millicents(x float64) Money {
+	return Money(math.Round(x * float64(Millicent)))
+}
+
+// Dollars returns the Money value of x dollars, rounding to the nearest
+// microcent.
+func Dollars(x float64) Money {
+	return Money(math.Round(x * float64(Dollar)))
+}
+
+// ToMillicents converts m to a float64 number of millicents.
+func (m Money) ToMillicents() float64 { return float64(m) / float64(Millicent) }
+
+// ToDollars converts m to a float64 number of dollars.
+func (m Money) ToDollars() float64 { return float64(m) / float64(Dollar) }
+
+// MulFloat scales m by f, rounding to the nearest microcent.
+func (m Money) MulFloat(f float64) Money {
+	return Money(math.Round(float64(m) * f))
+}
+
+// String formats the amount in dollars, e.g. "$1.2345".
+func (m Money) String() string {
+	d := m.ToDollars()
+	if d == math.Trunc(d) {
+		return fmt.Sprintf("$%.2f", d)
+	}
+	return fmt.Sprintf("$%.4f", d)
+}

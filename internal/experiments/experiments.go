@@ -1,0 +1,56 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI). Each experiment is a pure function of a Config and
+// returns typed rows plus a rendered text table, so the same code backs
+// the cmd/lips-bench CLI, the benchmark suite and the tests.
+//
+// EXPERIMENTS.md records paper-reported versus measured values for each
+// artifact.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Config sizes and seeds an experiment run.
+type Config struct {
+	// Seed feeds every random generator; runs are reproducible.
+	Seed int64
+	// Trials is the number of random repetitions averaged where the
+	// paper averages (Fig. 5). 0 means 5 (or 2 in Quick mode).
+	Trials int
+	// Quick shrinks workloads so the full suite runs in seconds — used
+	// by tests and the default `go test -bench`. The full-size runs are
+	// behind cmd/lips-bench -full.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Trials == 0 {
+		if c.Quick {
+			c.Trials = 2
+		} else {
+			c.Trials = 5
+		}
+	}
+	return c
+}
+
+// renderTable renders rows with a header through a tabwriter.
+func renderTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+	"lips/internal/sched"
+	"lips/internal/sim"
+)
+
+// AblationContentionRow compares dedicated-rate links against shared
+// (processor-sharing) links for one scheduler on the Fig. 6(iii) setting.
+// Contention costs time, not dollars — except through longer transfer
+// stalls under occupancy-sensitive behaviours (timeouts, speculation).
+type AblationContentionRow struct {
+	Scheduler         string
+	DedicatedMakespan float64
+	SharedMakespan    float64
+	DedicatedCost     cost.Money
+	SharedCost        cost.Money
+}
+
+// AblationContentionResult is the link-model comparison.
+type AblationContentionResult struct {
+	Rows []AblationContentionRow
+}
+
+// AblationContention reruns the Fig. 6(iii) experiment under both network
+// models.
+func AblationContention(cfg Config) (*AblationContentionResult, error) {
+	cfg = cfg.withDefaults()
+	res := &AblationContentionResult{}
+	type mk struct {
+		label string
+		make  func() sim.Scheduler
+		opts  sim.Options
+	}
+	for _, m := range []mk{
+		{"hadoop-default", func() sim.Scheduler { return sched.NewFIFO() }, sim.Options{}},
+		{"delay", func() sim.Scheduler { return sched.NewDelay() }, sim.Options{}},
+		{"lips", func() sim.Scheduler { return sched.NewLiPS(Fig6Epoch) }, sim.Options{TaskTimeoutSec: 1200}},
+	} {
+		row := AblationContentionRow{Scheduler: m.label}
+		for _, shared := range []bool{false, true} {
+			c := cluster.Paper20(0.5)
+			w := fig6Workload(cfg, c)
+			p := shuffledPlacement(cfg, c, w)
+			opts := m.opts
+			opts.SharedLinks = shared
+			scheduler := m.make()
+			r, err := sim.New(c, w, p, scheduler, opts).Run()
+			if err != nil {
+				return nil, fmt.Errorf("contention %s shared=%v: %w", m.label, shared, err)
+			}
+			if l, ok := scheduler.(*sched.LiPS); ok && l.Err != nil {
+				return nil, fmt.Errorf("contention lips: %w", l.Err)
+			}
+			if shared {
+				row.SharedMakespan, row.SharedCost = r.Makespan, r.TotalCost()
+			} else {
+				row.DedicatedMakespan, row.DedicatedCost = r.Makespan, r.TotalCost()
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the contention ablation.
+func (r *AblationContentionResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Scheduler,
+			fmt.Sprintf("%.0fs / %v", row.DedicatedMakespan, row.DedicatedCost),
+			fmt.Sprintf("%.0fs / %v", row.SharedMakespan, row.SharedCost),
+			fmt.Sprintf("%+.1f%%", 100*(row.SharedMakespan/row.DedicatedMakespan-1)),
+		})
+	}
+	return renderTable([]string{"scheduler", "dedicated links", "shared links", "makespan change"}, rows)
+}
+
+// SpotMarketRow is one scheduler's bill under a volatile spot market.
+type SpotMarketRow struct {
+	Scheduler  string
+	StaticCost cost.Money // flat prices (multiplier 1)
+	SpotCost   cost.Money // volatile prices
+}
+
+// SpotMarketResult compares schedulers under spot-price volatility.
+type SpotMarketResult struct {
+	Rows   []SpotMarketRow
+	Period float64
+}
+
+// SpotSchedule returns the experiment's price schedule: c1.medium's spot
+// price jumps 6× during alternating windows of the given period (think
+// spot-market contention for the popular cheap type), while m1.medium
+// stays flat. During a spike c1.medium (≈1.1 mc ×6 = 6.6 mc/ECU·s)
+// becomes MORE expensive than m1.medium (≈5.4 mc), so the optimal
+// placement inverts — exactly what a price-oblivious plan misses.
+func SpotSchedule(period float64) func(string, float64) float64 {
+	return func(instanceType string, t float64) float64 {
+		if instanceType == "c1.medium" && int(t/period)%2 == 1 {
+			return 6
+		}
+		return 1
+	}
+}
+
+// SpotMarket runs the Fig. 6(iii) batch under flat and volatile pricing
+// for the oblivious default scheduler and the epoch-repricing LiPS.
+func SpotMarket(cfg Config) (*SpotMarketResult, error) {
+	cfg = cfg.withDefaults()
+	const period = 800.0
+	schedule := SpotSchedule(period)
+	res := &SpotMarketResult{Period: period}
+	type mk struct {
+		label string
+		make  func(spot bool) (sim.Scheduler, sim.Options)
+	}
+	for _, m := range []mk{
+		{"hadoop-default", func(spot bool) (sim.Scheduler, sim.Options) {
+			opts := sim.Options{}
+			if spot {
+				opts.PriceMultiplier = schedule
+			}
+			return sched.NewFIFO(), opts
+		}},
+		{"lips-oblivious", func(spot bool) (sim.Scheduler, sim.Options) {
+			// Plans with static prices even when billed at spot rates —
+			// isolates the value of per-epoch repricing below.
+			l := sched.NewLiPS(400)
+			opts := sim.Options{TaskTimeoutSec: 1200}
+			if spot {
+				opts.PriceMultiplier = schedule
+			}
+			return l, opts
+		}},
+		{"lips-repricing", func(spot bool) (sim.Scheduler, sim.Options) {
+			l := sched.NewLiPS(400) // epoch shorter than the price period
+			opts := sim.Options{TaskTimeoutSec: 1200}
+			if spot {
+				l.PriceMultiplier = schedule
+				opts.PriceMultiplier = schedule
+			}
+			return l, opts
+		}},
+	} {
+		row := SpotMarketRow{Scheduler: m.label}
+		for _, spot := range []bool{false, true} {
+			c := cluster.Paper20(0.5)
+			w := fig6Workload(cfg, c)
+			// Stagger arrivals across several price windows so planning
+			// decisions land both inside and outside spikes.
+			for i := range w.Jobs {
+				w.Jobs[i].ArrivalSec = float64(i) * period / 2
+			}
+			p := shuffledPlacement(cfg, c, w)
+			scheduler, opts := m.make(spot)
+			r, err := sim.New(c, w, p, scheduler, opts).Run()
+			if err != nil {
+				return nil, fmt.Errorf("spot %s: %w", m.label, err)
+			}
+			if l, ok := scheduler.(*sched.LiPS); ok && l.Err != nil {
+				return nil, fmt.Errorf("spot lips: %w", l.Err)
+			}
+			if spot {
+				row.SpotCost = r.TotalCost()
+			} else {
+				row.StaticCost = r.TotalCost()
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the spot-market study.
+func (r *SpotMarketResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Scheduler, row.StaticCost.String(), row.SpotCost.String(),
+			fmt.Sprintf("%+.1f%%", 100*(float64(row.SpotCost)/float64(row.StaticCost)-1)),
+		})
+	}
+	return renderTable([]string{"scheduler", "flat prices", "spot prices", "bill change"}, rows)
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import "testing"
+
+func TestAblationContention(t *testing.T) {
+	r, err := AblationContention(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Contention can only slow things down (or leave them equal).
+		if row.SharedMakespan < row.DedicatedMakespan-1e-6 {
+			t.Errorf("%s: shared links sped things up: %.0f < %.0f",
+				row.Scheduler, row.SharedMakespan, row.DedicatedMakespan)
+		}
+	}
+	// The delay scheduler's near-total locality should insulate it: its
+	// slowdown must not exceed the remote-heavy default scheduler's.
+	var def, delay float64
+	for _, row := range r.Rows {
+		slow := row.SharedMakespan / row.DedicatedMakespan
+		switch row.Scheduler {
+		case "hadoop-default":
+			def = slow
+		case "delay":
+			delay = slow
+		}
+	}
+	if delay > def+0.01 {
+		t.Errorf("delay scheduler (%.3f) suffered more contention than default (%.3f)", delay, def)
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSpotMarket(t *testing.T) {
+	r, err := SpotMarket(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	byName := map[string]SpotMarketRow{}
+	for _, row := range r.Rows {
+		byName[row.Scheduler] = row
+		if row.SpotCost < row.StaticCost {
+			t.Errorf("%s: spike lowered the bill (%v < %v)", row.Scheduler, row.SpotCost, row.StaticCost)
+		}
+	}
+	obl, rep := byName["lips-oblivious"], byName["lips-repricing"]
+	// With identical flat-price plans, repricing must not lose under
+	// volatility — and should win outright.
+	if obl.StaticCost != rep.StaticCost {
+		t.Errorf("flat-price runs differ: %v vs %v", obl.StaticCost, rep.StaticCost)
+	}
+	if rep.SpotCost > obl.SpotCost {
+		t.Errorf("repricing (%v) beat by oblivious (%v)", rep.SpotCost, obl.SpotCost)
+	}
+	if rep.SpotCost == obl.SpotCost {
+		t.Error("repricing made no difference; the schedule should invert the price order")
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestBaselinesShootout(t *testing.T) {
+	r, err := Baselines(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	byName := map[string]BaselineRow{}
+	for _, row := range r.Rows {
+		byName[row.Scheduler] = row
+		if row.Cost <= 0 || row.Makespan <= 0 {
+			t.Errorf("%s: degenerate row %+v", row.Scheduler, row)
+		}
+	}
+	lips := byName["lips"]
+	// LiPS must be the cheapest of the five.
+	for name, row := range byName {
+		if name == "lips" {
+			continue
+		}
+		if lips.Cost > row.Cost {
+			t.Errorf("lips (%v) more expensive than %s (%v)", lips.Cost, name, row.Cost)
+		}
+	}
+	// And pays for it in makespan against the locality-driven schedulers.
+	if lips.Makespan < byName["delay"].Makespan {
+		t.Errorf("lips makespan %.0f beat delay %.0f", lips.Makespan, byName["delay"].Makespan)
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"lips/internal/cluster"
+	"lips/internal/core"
+	"lips/internal/cost"
+	"lips/internal/lp"
+	"lips/internal/workload"
+)
+
+// Fig1Row is one point of the Fig. 1 break-even analysis: a job of CPU
+// intensity c (ECU-seconds/MB) with data on a node charging a per
+// ECU-second may either run in place or move its data at d per MB to a
+// node charging b. Moving wins iff c·a > c·b + d; the figure plots the
+// saving against the cost ratio d / (c·(a−b)).
+type Fig1Row struct {
+	Archetype string
+	TCP       float64 // c: ECU-seconds per MB (+Inf for Pi)
+	Ratio     float64 // d / (c·(a−b)); 0 for Pi (no data to move)
+	SavingPct float64 // analytic saving from moving, % of staying cost
+	Move      bool    // analytic decision
+	LPAgrees  bool    // the co-scheduling LP reached the same decision
+}
+
+// Fig1Result is the full break-even sweep.
+type Fig1Result struct {
+	Rows []Fig1Row
+	// PriceA and PriceB are the source/destination ECU-second prices
+	// (m1.medium and c1.medium midpoints).
+	PriceA, PriceB float64
+}
+
+// Fig1 sweeps the transfer-price-to-CPU-saving ratio for every Table I
+// archetype and cross-checks each analytic decision against the
+// co-scheduling LP on a two-node instance.
+func Fig1(cfg Config) (*Fig1Result, error) {
+	cfg = cfg.withDefaults()
+	a := cost.M1Medium.PerECUMid().ToMillicents()
+	b := cost.C1Medium.PerECUMid().ToMillicents()
+	res := &Fig1Result{PriceA: a, PriceB: b}
+
+	ratios := []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 4}
+	for _, arch := range workload.Archetypes {
+		if !arch.HasInput() {
+			// Pi moves no data: always run on the cheaper node.
+			res.Rows = append(res.Rows, Fig1Row{
+				Archetype: arch.Name, TCP: math.Inf(1), Ratio: 0,
+				SavingPct: 100 * (a - b) / a, Move: true, LPAgrees: true,
+			})
+			continue
+		}
+		c := arch.CPUSecPerMB()
+		for _, ratio := range ratios {
+			d := ratio * c * (a - b) // millicents per MB
+			stay := c * a
+			move := c*b + d
+			saving := (stay - move) / stay
+			wantMove := move < stay-1e-12
+			agrees, err := fig1LPDecision(c, d, a, b, wantMove)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig1Row{
+				Archetype: arch.Name, TCP: c, Ratio: ratio,
+				SavingPct: 100 * saving, Move: wantMove, LPAgrees: agrees,
+			})
+		}
+	}
+	return res, nil
+}
+
+// fig1LPDecision solves the two-node co-scheduling LP and reports whether
+// it reaches the same move/stay decision as the analytic rule.
+func fig1LPDecision(tcp, dPerMB, priceA, priceB float64, wantMove bool) (bool, error) {
+	cb := cluster.NewBuilder("za", "zb")
+	cb.AddNode("za", "src", 1, 2, cost.Millicents(priceA), 1e6)
+	cb.AddNode("zb", "dst", 1, 2, cost.Millicents(priceB), 1e6)
+	cb.SetZonePairPerGB("za", "zb", cost.Millicents(dPerMB*1024))
+	c := cb.Build()
+	wb := workload.NewBuilder()
+	arch := workload.Archetype{Name: "syn", Property: workload.Mixed, CPUSecPerBlock: tcp * 64}
+	wb.AddInputJob("j", "u", arch, 64, 0, 0)
+	w := wb.Build()
+	in, err := core.NewInstance(c, w.Jobs, w.Objects, w.Placement(), core.InstanceOptions{Horizon: 1e7})
+	if err != nil {
+		return false, err
+	}
+	m, err := core.BuildCoScheduleModel(in)
+	if err != nil {
+		return false, err
+	}
+	plan, err := m.Solve(lp.Options{})
+	if err != nil {
+		return false, err
+	}
+	// The job "moved" if any of its mass runs on machine 1 (dst).
+	movedFrac := 0.0
+	for lm, f := range plan.XT[0] {
+		if lm[0] == 1 {
+			movedFrac += f
+		}
+	}
+	lpMoved := movedFrac > 0.5
+	if wantMove == lpMoved {
+		return true, nil
+	}
+	// At the exact break-even either answer is optimal; accept if the
+	// costs tie.
+	stay := tcp * 64 * priceA
+	move := tcp*64*priceB + dPerMB*64
+	return math.Abs(stay-move) < 1e-6*stay, nil
+}
+
+// Render formats the sweep as a table.
+func (r *Fig1Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		tcp := "inf"
+		if !math.IsInf(row.TCP, 1) {
+			tcp = fmt.Sprintf("%.3f", row.TCP)
+		}
+		decision := "stay"
+		if row.Move {
+			decision = "move"
+		}
+		agree := "yes"
+		if !row.LPAgrees {
+			agree = "NO"
+		}
+		rows = append(rows, []string{
+			row.Archetype, tcp, fmt.Sprintf("%.2f", row.Ratio),
+			fmt.Sprintf("%.1f%%", row.SavingPct), decision, agree,
+		})
+	}
+	return renderTable(
+		[]string{"job", "TCP(ECUs/MB)", "d/(c·Δa)", "saving", "decision", "LP-agrees"},
+		rows,
+	)
+}

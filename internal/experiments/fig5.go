@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lips/internal/cluster"
+	"lips/internal/core"
+	"lips/internal/lp"
+	"lips/internal/workload"
+)
+
+// Fig5Point is one x-axis point of Fig. 5: a problem size (total tasks J,
+// data stores S, computation nodes M) with the average cost reduction of
+// the LiPS co-scheduling optimum over the 100%-data-local baseline on
+// randomly shuffled block placements.
+type Fig5Point struct {
+	Tasks, Stores, Nodes int
+	Trials               int
+	MeanReductionPct     float64
+	MinPct, MaxPct       float64
+}
+
+// Fig5Result is the sweep over problem sizes.
+type Fig5Result struct {
+	Points []Fig5Point
+}
+
+// Fig5 reproduces the paper's scalability simulation: random clusters
+// (CPU price 0–5 mc/ECU·s, pairwise transfer 0–60 mc per 64 MB block) and
+// random jobs (input 0–6 GB, CPU 0–1000 s). For each size it compares the
+// LP optimum — which may relocate data — against scheduling every block
+// local to its randomly shuffled location ("the best possible task
+// scheduling with 100% data locality ... the same as the ideal delay
+// scheduler").
+func Fig5(cfg Config) (*Fig5Result, error) {
+	cfg = cfg.withDefaults()
+	sizes := []struct{ tasks, nodes int }{
+		{200, 10}, {400, 25}, {600, 50}, {800, 75}, {1000, 100},
+	}
+	if cfg.Quick {
+		sizes = []struct{ tasks, nodes int }{{100, 10}, {300, 40}, {500, 80}}
+	}
+	res := &Fig5Result{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, size := range sizes {
+		pt := Fig5Point{Tasks: size.tasks, Stores: size.nodes, Nodes: size.nodes, Trials: cfg.Trials}
+		pt.MinPct = 200
+		sum := 0.0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			red, err := fig5Trial(rng, size.tasks, size.nodes)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %dx%d trial %d: %w", size.tasks, size.nodes, trial, err)
+			}
+			sum += red
+			if red < pt.MinPct {
+				pt.MinPct = red
+			}
+			if red > pt.MaxPct {
+				pt.MaxPct = red
+			}
+		}
+		pt.MeanReductionPct = sum / float64(cfg.Trials)
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// fig5Trial runs one random instance and returns the percentage reduction.
+func fig5Trial(rng *rand.Rand, tasks, nodes int) (float64, error) {
+	// Larger clusters carry more node diversity — the paper's stated
+	// reason LiPS saves more as the cluster grows ("more freedom placing
+	// data and tasks").
+	types := nodes / 8
+	if types < 3 {
+		types = 3
+	}
+	if types > 12 {
+		types = 12
+	}
+	c := cluster.Random(rng, cluster.RandomSpec{Nodes: nodes, Types: types})
+	stores := make([]cluster.StoreID, len(c.Stores))
+	for i := range stores {
+		stores[i] = cluster.StoreID(i)
+	}
+	w := workload.Random(rng, stores, workload.RandomSpec{TotalTasks: tasks})
+
+	// Both sides start from the same randomly shuffled placement.
+	placement := w.Placement()
+	placement.Shuffle(rng, stores)
+
+	in, err := core.NewInstance(c, w.Jobs, w.Objects, placement, core.InstanceOptions{
+		Aggregate: true, Horizon: 24 * 3600,
+	})
+	if err != nil {
+		return 0, err
+	}
+	xd := core.PlacementFractions(in)
+
+	baseline, err := core.LocalOnlyPlan(in, xd)
+	if err != nil {
+		return 0, err
+	}
+	model, err := core.BuildCoScheduleModel(in)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := model.Solve(lp.Options{})
+	if err != nil {
+		return 0, err
+	}
+	base := baseline.TotalMC()
+	if base <= 0 {
+		return 0, fmt.Errorf("degenerate baseline cost %g", base)
+	}
+	return 100 * (base - plan.TotalMC()) / base, nil
+}
+
+// Render formats the sweep.
+func (r *Fig5Result) Render() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("J=%d S=%d M=%d", p.Tasks, p.Stores, p.Nodes),
+			fmt.Sprintf("%d", p.Trials),
+			fmt.Sprintf("%.1f%%", p.MeanReductionPct),
+			fmt.Sprintf("%.1f%%", p.MinPct),
+			fmt.Sprintf("%.1f%%", p.MaxPct),
+		})
+	}
+	return renderTable([]string{"size", "trials", "mean reduction", "min", "max"}, rows)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+	"lips/internal/sched"
+	"lips/internal/sim"
+	"lips/internal/workload"
+)
+
+// Fig9Row is one scheduler's outcome on the 100-node SWIM workload:
+// Fig. 9 reports the total dollar cost, Fig. 10 the total job execution
+// time.
+type Fig9Row struct {
+	Scheduler string
+	Cost      cost.Money
+	Makespan  float64
+	SumJobSec float64
+	LocalPct  float64
+
+	ReductionVsDefault float64 // filled on the LiPS row
+	ReductionVsDelay   float64
+}
+
+// Fig9Result covers Fig. 9 and Fig. 10.
+type Fig9Result struct {
+	Rows []Fig9Row
+	Jobs int
+}
+
+// Fig9Epoch is the LiPS epoch for the 100-node runs.
+const Fig9Epoch = 600
+
+// Fig9 replays a SWIM-like Facebook day (400 jobs over 24 hours; Quick:
+// 120 jobs over 4 hours) on the 100-node, three-instance-type,
+// three-zone testbed under the default, delay and LiPS schedulers.
+func Fig9(cfg Config) (*Fig9Result, error) {
+	cfg = cfg.withDefaults()
+	spec := workload.DefaultSWIMSpec()
+	if cfg.Quick {
+		spec = workload.SWIMSpec{Jobs: 120, DurationSec: 4 * 3600}
+	}
+	build := func() (*cluster.Cluster, *workload.Workload) {
+		c := cluster.Paper100()
+		stores := make([]cluster.StoreID, len(c.Stores))
+		for i := range stores {
+			stores[i] = cluster.StoreID(i)
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		return c, workload.SWIM(rng, stores, spec)
+	}
+	type runner struct {
+		label string
+		make  func() sim.Scheduler
+		opts  sim.Options
+	}
+	runners := []runner{
+		{"hadoop-default", func() sim.Scheduler { return sched.NewFIFO() }, sim.Options{}},
+		{"delay", func() sim.Scheduler { return sched.NewDelay() }, sim.Options{}},
+		{"lips", func() sim.Scheduler { return sched.NewLiPS(Fig9Epoch) }, sim.Options{TaskTimeoutSec: 1200}},
+	}
+	res := &Fig9Result{Jobs: spec.Jobs}
+	for _, r := range runners {
+		c, w := build()
+		p := uniformPlacement(cfg, c, w)
+		scheduler := r.make()
+		result, err := sim.New(c, w, p, scheduler, r.opts).Run()
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", r.label, err)
+		}
+		if l, ok := scheduler.(*sched.LiPS); ok && l.Err != nil {
+			return nil, fmt.Errorf("fig9 lips: %w", l.Err)
+		}
+		res.Rows = append(res.Rows, Fig9Row{
+			Scheduler: r.label, Cost: result.TotalCost(),
+			Makespan: result.Makespan, SumJobSec: result.SumJobSec,
+			LocalPct: 100 * result.Locality.LocalFraction(),
+		})
+	}
+	lips := &res.Rows[2]
+	lips.ReductionVsDefault = 1 - float64(lips.Cost)/float64(res.Rows[0].Cost)
+	lips.ReductionVsDelay = 1 - float64(lips.Cost)/float64(res.Rows[1].Cost)
+	return res, nil
+}
+
+// Render formats Fig. 9/10 as one table.
+func (r *Fig9Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		red := ""
+		if row.Scheduler == "lips" {
+			red = fmt.Sprintf("%s vs default, %s vs delay",
+				pct(row.ReductionVsDefault), pct(row.ReductionVsDelay))
+		}
+		rows = append(rows, []string{
+			row.Scheduler, row.Cost.String(),
+			fmt.Sprintf("%.0fs", row.Makespan),
+			fmt.Sprintf("%.0fs", row.SumJobSec),
+			fmt.Sprintf("%.1f%%", row.LocalPct),
+			red,
+		})
+	}
+	return renderTable([]string{"scheduler", "cost", "makespan", "Σ job time", "node-local", "lips cost reduction"}, rows)
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+	"lips/internal/workload"
+)
+
+// Table1 renders the paper's Table I: CPU intensiveness per benchmark.
+func Table1() string {
+	rows := make([][]string, 0, len(workload.Archetypes))
+	for _, a := range workload.Archetypes {
+		per := "inf"
+		if !math.IsInf(a.CPUSecPerBlock, 1) {
+			per = fmt.Sprintf("%.0f", a.CPUSecPerBlock)
+		}
+		rows = append(rows, []string{a.Name, string(a.Property), per})
+	}
+	return renderTable([]string{"job", "property", "ECU-sec per 64MB"}, rows)
+}
+
+// Table3 renders the paper's Table III: the EC2 instance catalog with the
+// derived millicent-per-ECU-second range.
+func Table3() string {
+	rows := make([][]string, 0, len(cost.Catalog))
+	for _, t := range cost.Catalog {
+		rows = append(rows, []string{
+			t.Name,
+			fmt.Sprintf("%d / %.0f", t.VCPUs, t.ECU),
+			fmt.Sprintf("%.2f", t.MemGB),
+			fmt.Sprintf("%.0f", t.StorageGB),
+			fmt.Sprintf("$%.2f-%.2f", t.PriceLow.ToDollars(), t.PriceHigh.ToDollars()),
+			fmt.Sprintf("%.2f-%.2f mc", t.PerECULow.ToMillicents(), t.PerECUHigh.ToMillicents()),
+		})
+	}
+	return renderTable([]string{"instance", "CPU/ECU", "mem GB", "storage GB", "$/hr", "per ECU-second"}, rows)
+}
+
+// Table4 renders the paper's Table IV: the J1–J9 job set.
+func Table4() string {
+	w := workload.PaperJobSet(rand.New(rand.NewSource(1)), []cluster.StoreID{0})
+	rows := make([][]string, 0, len(w.Jobs))
+	for _, j := range w.Jobs {
+		input := "-"
+		if j.HasInput() {
+			input = fmt.Sprintf("%.0f GB", j.InputMB/1024)
+		}
+		rows = append(rows, []string{
+			j.Name, j.Archetype, fmt.Sprintf("%d", j.NumTasks), input,
+			fmt.Sprintf("%.0f ECU-sec", j.TotalCPUSec()),
+		})
+	}
+	rows = append(rows, []string{"total", "", fmt.Sprintf("%d", w.TotalTasks()),
+		fmt.Sprintf("%.0f GB", w.TotalInputMB()/1024),
+		fmt.Sprintf("%.0f ECU-sec", w.TotalCPUSec())})
+	return renderTable([]string{"job", "benchmark", "tasks", "input", "CPU demand"}, rows)
+}

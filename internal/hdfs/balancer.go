@@ -1,0 +1,112 @@
+package hdfs
+
+import (
+	"sort"
+
+	"lips/internal/cluster"
+)
+
+// BalanceMove is one block relocation planned by Balance.
+type BalanceMove struct {
+	Object ObjectID
+	Block  int
+	From   cluster.StoreID
+	To     cluster.StoreID
+}
+
+// Balance plans block moves that bring every store's utilization
+// (used/capacity of primary copies) within threshold of the cluster mean,
+// like Hadoop's balancer utility. Moves prefer intra-zone destinations
+// (free and fast on EC2). The placement is updated in place; the returned
+// moves let a simulator charge and time the transfers.
+//
+// threshold is a utilization fraction, e.g. 0.1 keeps every store within
+// ±10 percentage points of the mean.
+func Balance(c *cluster.Cluster, p *Placement, threshold float64) []BalanceMove {
+	if threshold <= 0 {
+		threshold = 0.1
+	}
+	used := p.UsedMB()
+	util := func(s cluster.StoreID) float64 {
+		return used[s] / c.Stores[s].CapacityMB
+	}
+	mean := 0.0
+	for i := range c.Stores {
+		mean += util(cluster.StoreID(i))
+	}
+	mean /= float64(len(c.Stores))
+	lo, hi := mean-threshold, mean+threshold
+
+	// Stores sorted: most-over-utilized first.
+	overs := make([]cluster.StoreID, 0)
+	for i := range c.Stores {
+		if util(cluster.StoreID(i)) > hi {
+			overs = append(overs, cluster.StoreID(i))
+		}
+	}
+	sort.Slice(overs, func(a, b int) bool { return util(overs[a]) > util(overs[b]) })
+
+	var moves []BalanceMove
+	for _, src := range overs {
+		// Candidate blocks on src, largest objects first is irrelevant
+		// at fixed block size; walk objects in order.
+		for oi := range p.objects {
+			obj := ObjectID(oi)
+			if util(src) <= hi {
+				break
+			}
+			for _, b := range p.BlocksOn(obj, src) {
+				if util(src) <= hi {
+					break
+				}
+				dst, ok := pickDestination(c, src, util, lo, hi)
+				if !ok {
+					return moves // nowhere under-utilized left
+				}
+				mb := p.Object(obj).BlockSizeMB(b)
+				p.SetPrimary(obj, b, dst)
+				used[src] -= mb
+				used[dst] += mb
+				moves = append(moves, BalanceMove{Object: obj, Block: b, From: src, To: dst})
+			}
+		}
+	}
+	return moves
+}
+
+// pickDestination selects the least-utilized store below the band's lower
+// edge, preferring the source's own zone (free intra-zone transfer); if no
+// store is below lo, any store below hi qualifies.
+func pickDestination(c *cluster.Cluster, src cluster.StoreID, util func(cluster.StoreID) float64, lo, hi float64) (cluster.StoreID, bool) {
+	best, bestUtil, bestSameZone := cluster.StoreID(0), 2.0, false
+	found := false
+	srcZone := c.Stores[src].Zone
+	for i := range c.Stores {
+		s := cluster.StoreID(i)
+		if s == src {
+			continue
+		}
+		u := util(s)
+		if u >= hi {
+			continue
+		}
+		sameZone := c.Stores[s].Zone == srcZone
+		// Prefer: below lo over merely below hi, then same zone, then
+		// lowest utilization.
+		better := false
+		switch {
+		case !found:
+			better = true
+		case (u < lo) != (bestUtil < lo):
+			better = u < lo
+		case sameZone != bestSameZone:
+			better = sameZone
+		default:
+			better = u < bestUtil
+		}
+		if better {
+			best, bestUtil, bestSameZone, found = s, u, sameZone, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,140 @@
+package hdfs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lips/internal/cluster"
+)
+
+func balancerCluster() *cluster.Cluster {
+	b := cluster.NewBuilder("za", "zb")
+	for i := 0; i < 3; i++ {
+		b.AddNode("za", "t", 1, 1, 0, 100*64) // 100-block stores
+	}
+	for i := 0; i < 3; i++ {
+		b.AddNode("zb", "t", 1, 1, 0, 100*64)
+	}
+	return b.Build()
+}
+
+func skewedPlacement(blocks int) *Placement {
+	objs := []DataObject{{ID: 0, Name: "hot", SizeMB: float64(blocks) * 64, Origin: 0}}
+	return NewPlacement(objs) // everything on store 0
+}
+
+func maxUtilSpread(c *cluster.Cluster, p *Placement) float64 {
+	used := p.UsedMB()
+	min, max := 2.0, -1.0
+	for i := range c.Stores {
+		u := used[cluster.StoreID(i)] / c.Stores[i].CapacityMB
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	return max - min
+}
+
+func TestBalanceSpreadsHotStore(t *testing.T) {
+	c := balancerCluster()
+	p := skewedPlacement(90) // store 0 at 90%, others 0%
+	moves := Balance(c, p, 0.1)
+	if len(moves) == 0 {
+		t.Fatal("no moves planned")
+	}
+	if spread := maxUtilSpread(c, p); spread > 0.25 {
+		t.Errorf("post-balance utilization spread %.2f", spread)
+	}
+	// Every move starts at the hot store and lands somewhere else.
+	for _, m := range moves {
+		if m.From != 0 || m.To == 0 {
+			t.Errorf("unexpected move %+v", m)
+		}
+	}
+	// The placement agrees with the move list.
+	for _, m := range moves {
+		if p.Primary(m.Object, m.Block) != m.To {
+			t.Errorf("move %+v not applied", m)
+		}
+	}
+}
+
+func TestBalancePrefersIntraZone(t *testing.T) {
+	// With enough capacity in the hot store's own zone, all moves should
+	// stay intra-zone (free on EC2).
+	c := balancerCluster()
+	p := skewedPlacement(30) // 30% on store 0; za peers are empty
+	moves := Balance(c, p, 0.05)
+	if len(moves) == 0 {
+		t.Fatal("no moves")
+	}
+	for _, m := range moves {
+		if c.Stores[m.To].Zone != "za" {
+			t.Errorf("move %+v left the zone unnecessarily", m)
+		}
+	}
+}
+
+func TestBalanceNoOpWhenBalanced(t *testing.T) {
+	c := balancerCluster()
+	objs := []DataObject{
+		{ID: 0, Name: "a", SizeMB: 10 * 64, Origin: 0},
+		{ID: 1, Name: "b", SizeMB: 10 * 64, Origin: 1},
+		{ID: 2, Name: "c", SizeMB: 10 * 64, Origin: 2},
+		{ID: 3, Name: "d", SizeMB: 10 * 64, Origin: 3},
+		{ID: 4, Name: "e", SizeMB: 10 * 64, Origin: 4},
+		{ID: 5, Name: "f", SizeMB: 10 * 64, Origin: 5},
+	}
+	p := NewPlacement(objs)
+	if moves := Balance(c, p, 0.1); len(moves) != 0 {
+		t.Errorf("balanced cluster produced %d moves", len(moves))
+	}
+}
+
+func TestQuickBalanceConverges(t *testing.T) {
+	check := func(seed int64, blocks uint8) bool {
+		n := 10 + int(blocks)%200
+		c := balancerCluster()
+		objs := []DataObject{{ID: 0, Name: "o", SizeMB: float64(n) * 64, Origin: 0}}
+		p := NewPlacement(objs)
+		rng := rand.New(rand.NewSource(seed))
+		// Random skew: shuffle over a random subset of stores.
+		subset := []cluster.StoreID{0}
+		for i := 1; i < 6; i++ {
+			if rng.Intn(2) == 0 {
+				subset = append(subset, cluster.StoreID(i))
+			}
+		}
+		p.Shuffle(rng, subset)
+		before := maxUtilSpread(c, p)
+		Balance(c, p, 0.1)
+		after := maxUtilSpread(c, p)
+		if after > before+1e-9 {
+			t.Logf("seed %d: spread worsened %.3f → %.3f", seed, before, after)
+			return false
+		}
+		// The balancer's contract: every store ends within the band
+		// above the mean (± one 64 MB block of granularity).
+		used := p.UsedMB()
+		mean := 0.0
+		for i := range c.Stores {
+			mean += used[cluster.StoreID(i)] / c.Stores[i].CapacityMB
+		}
+		mean /= float64(len(c.Stores))
+		for i := range c.Stores {
+			u := used[cluster.StoreID(i)] / c.Stores[i].CapacityMB
+			if u > mean+0.1+64/c.Stores[i].CapacityMB+1e-9 {
+				t.Logf("seed %d: store %d at %.3f, mean %.3f", seed, i, u, mean)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

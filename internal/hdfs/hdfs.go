@@ -1,0 +1,257 @@
+// Package hdfs models the Hadoop data layer LiPS co-schedules: data
+// objects split into 64 MB blocks, block→store placements with optional
+// replication, a Hadoop-style replication target chooser, and the random
+// shuffling placement used as the Fig. 5 baseline.
+package hdfs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+)
+
+// ObjectID identifies a data object within a Placement.
+type ObjectID int
+
+// DataObject is one logical input (the paper's D_i): a named file-like
+// object of SizeMB megabytes split into 64 MB blocks.
+type DataObject struct {
+	ID     ObjectID
+	Name   string
+	SizeMB float64
+	// Origin is O_i, the store the object initially lives on.
+	Origin cluster.StoreID
+}
+
+// NumBlocks returns the number of 64 MB blocks (the last may be partial).
+func (d DataObject) NumBlocks() int {
+	if d.SizeMB <= 0 {
+		return 0
+	}
+	return int(math.Ceil(d.SizeMB / cost.BlockMB))
+}
+
+// BlockSizeMB returns the size of block b (the final block may be short).
+func (d DataObject) BlockSizeMB(b int) float64 {
+	n := d.NumBlocks()
+	if b < 0 || b >= n {
+		panic(fmt.Sprintf("hdfs: block %d out of range for %q (%d blocks)", b, d.Name, n))
+	}
+	if b == n-1 {
+		rem := d.SizeMB - float64(n-1)*cost.BlockMB
+		return rem
+	}
+	return cost.BlockMB
+}
+
+// Placement tracks, for every object, the store(s) holding each block.
+// Index 0 of a block's replica list is the primary copy.
+type Placement struct {
+	objects []DataObject
+	blocks  [][][]cluster.StoreID // [object][block][replica]
+}
+
+// NewPlacement creates a placement with every block of every object on its
+// object's origin store (replication factor 1).
+func NewPlacement(objects []DataObject) *Placement {
+	p := &Placement{objects: append([]DataObject(nil), objects...)}
+	p.blocks = make([][][]cluster.StoreID, len(objects))
+	for i, d := range objects {
+		if d.ID != ObjectID(i) {
+			panic(fmt.Sprintf("hdfs: object %d has ID %d", i, d.ID))
+		}
+		p.blocks[i] = make([][]cluster.StoreID, d.NumBlocks())
+		for b := range p.blocks[i] {
+			p.blocks[i][b] = []cluster.StoreID{d.Origin}
+		}
+	}
+	return p
+}
+
+// Objects returns the data objects (shared slice; do not mutate).
+func (p *Placement) Objects() []DataObject { return p.objects }
+
+// Object returns one object by ID.
+func (p *Placement) Object(id ObjectID) DataObject { return p.objects[id] }
+
+// Replicas returns the replica stores of a block (primary first). The
+// returned slice is owned by the placement; do not mutate.
+func (p *Placement) Replicas(obj ObjectID, block int) []cluster.StoreID {
+	return p.blocks[obj][block]
+}
+
+// Primary returns the primary store of a block.
+func (p *Placement) Primary(obj ObjectID, block int) cluster.StoreID {
+	return p.blocks[obj][block][0]
+}
+
+// SetPrimary moves the primary copy of a block to the given store,
+// dropping other replicas.
+func (p *Placement) SetPrimary(obj ObjectID, block int, s cluster.StoreID) {
+	p.blocks[obj][block] = []cluster.StoreID{s}
+}
+
+// AddReplica appends a replica for a block if not already present.
+func (p *Placement) AddReplica(obj ObjectID, block int, s cluster.StoreID) {
+	for _, r := range p.blocks[obj][block] {
+		if r == s {
+			return
+		}
+	}
+	p.blocks[obj][block] = append(p.blocks[obj][block], s)
+}
+
+// HasReplicaOn reports whether any replica of the block lives on s.
+func (p *Placement) HasReplicaOn(obj ObjectID, block int, s cluster.StoreID) bool {
+	for _, r := range p.blocks[obj][block] {
+		if r == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Fractions returns, for one object, the fraction of its primary blocks on
+// each store — the x^d_ij view the LiPS LP consumes.
+func (p *Placement) Fractions(obj ObjectID) map[cluster.StoreID]float64 {
+	out := make(map[cluster.StoreID]float64)
+	n := len(p.blocks[obj])
+	if n == 0 {
+		return out
+	}
+	for b := range p.blocks[obj] {
+		out[p.Primary(obj, b)] += 1 / float64(n)
+	}
+	return out
+}
+
+// BlocksOn returns the indices of the object's blocks whose primary copy
+// is on s, in ascending order.
+func (p *Placement) BlocksOn(obj ObjectID, s cluster.StoreID) []int {
+	var out []int
+	for b := range p.blocks[obj] {
+		if p.Primary(obj, b) == s {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// UsedMB returns the number of megabytes of primary copies on each store.
+func (p *Placement) UsedMB() map[cluster.StoreID]float64 {
+	out := make(map[cluster.StoreID]float64)
+	for i := range p.objects {
+		d := p.objects[i]
+		for b := range p.blocks[i] {
+			out[p.Primary(ObjectID(i), b)] += d.BlockSizeMB(b)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the placement so schedulers can mutate independently.
+func (p *Placement) Clone() *Placement {
+	q := &Placement{objects: p.objects}
+	q.blocks = make([][][]cluster.StoreID, len(p.blocks))
+	for i := range p.blocks {
+		q.blocks[i] = make([][]cluster.StoreID, len(p.blocks[i]))
+		for b := range p.blocks[i] {
+			q.blocks[i][b] = append([]cluster.StoreID(nil), p.blocks[i][b]...)
+		}
+	}
+	return q
+}
+
+// Shuffle redistributes every block's primary copy uniformly at random
+// over the given stores — the Fig. 5 baseline placement ("shuffles the
+// data blocks randomly within the cluster").
+func (p *Placement) Shuffle(rng *rand.Rand, stores []cluster.StoreID) {
+	if len(stores) == 0 {
+		panic("hdfs: Shuffle with no stores")
+	}
+	for i := range p.blocks {
+		for b := range p.blocks[i] {
+			p.blocks[i][b] = []cluster.StoreID{stores[rng.Intn(len(stores))]}
+		}
+	}
+}
+
+// ChooseReplicaTargets mimics Hadoop's default ReplicationTargetChooser:
+// the first replica stays on the primary store, the second goes to a store
+// in a different zone ("off-rack"), the third to a different store in the
+// second replica's zone. It returns up to rf distinct stores.
+func ChooseReplicaTargets(c *cluster.Cluster, primary cluster.StoreID, rf int, rng *rand.Rand) []cluster.StoreID {
+	targets := []cluster.StoreID{primary}
+	if rf <= 1 {
+		return targets
+	}
+	primaryZone := c.Stores[primary].Zone
+	var offZone, sameZone []cluster.StoreID
+	for _, s := range c.Stores {
+		if s.ID == primary {
+			continue
+		}
+		if s.Zone == primaryZone {
+			sameZone = append(sameZone, s.ID)
+		} else {
+			offZone = append(offZone, s.ID)
+		}
+	}
+	pick := func(pool []cluster.StoreID) (cluster.StoreID, bool) {
+		for len(pool) > 0 {
+			i := rng.Intn(len(pool))
+			cand := pool[i]
+			dup := false
+			for _, t := range targets {
+				if t == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				return cand, true
+			}
+			pool[i] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+		}
+		return 0, false
+	}
+	if second, ok := pick(append([]cluster.StoreID(nil), offZone...)); ok {
+		targets = append(targets, second)
+		if rf >= 3 {
+			zone2 := c.Stores[second].Zone
+			var pool []cluster.StoreID
+			for _, s := range c.Stores {
+				if s.Zone == zone2 && s.ID != second {
+					pool = append(pool, s.ID)
+				}
+			}
+			if third, ok := pick(pool); ok {
+				targets = append(targets, third)
+			}
+		}
+	} else if second, ok := pick(append([]cluster.StoreID(nil), sameZone...)); ok {
+		// Single-zone cluster: fall back to any other store.
+		targets = append(targets, second)
+	}
+	for len(targets) < rf {
+		t, ok := pick(append(append([]cluster.StoreID(nil), sameZone...), offZone...))
+		if !ok {
+			break
+		}
+		targets = append(targets, t)
+	}
+	return targets
+}
+
+// Replicate applies ChooseReplicaTargets to every block of every object.
+func (p *Placement) Replicate(c *cluster.Cluster, rf int, rng *rand.Rand) {
+	for i := range p.blocks {
+		for b := range p.blocks[i] {
+			p.blocks[i][b] = ChooseReplicaTargets(c, p.Primary(ObjectID(i), b), rf, rng)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package hdfs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lips/internal/cluster"
+)
+
+func twoObjects() []DataObject {
+	return []DataObject{
+		{ID: 0, Name: "logs", SizeMB: 200, Origin: 0}, // 4 blocks (3×64 + 8)
+		{ID: 1, Name: "web", SizeMB: 64, Origin: 1},   // 1 block
+	}
+}
+
+func TestNumBlocksAndSizes(t *testing.T) {
+	d := DataObject{Name: "x", SizeMB: 200}
+	if d.NumBlocks() != 4 {
+		t.Fatalf("NumBlocks = %d", d.NumBlocks())
+	}
+	total := 0.0
+	for b := 0; b < d.NumBlocks(); b++ {
+		total += d.BlockSizeMB(b)
+	}
+	if math.Abs(total-200) > 1e-9 {
+		t.Errorf("blocks sum to %g", total)
+	}
+	if d.BlockSizeMB(3) != 200-3*64 {
+		t.Errorf("last block = %g", d.BlockSizeMB(3))
+	}
+	if (DataObject{SizeMB: 0}).NumBlocks() != 0 {
+		t.Error("empty object should have 0 blocks")
+	}
+	if (DataObject{SizeMB: 64}).NumBlocks() != 1 {
+		t.Error("64MB object should have 1 block")
+	}
+}
+
+func TestBlockSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DataObject{Name: "x", SizeMB: 64}.BlockSizeMB(1)
+}
+
+func TestNewPlacementOnOrigin(t *testing.T) {
+	p := NewPlacement(twoObjects())
+	for b := 0; b < 4; b++ {
+		if p.Primary(0, b) != 0 {
+			t.Errorf("block %d not on origin", b)
+		}
+	}
+	if p.Primary(1, 0) != 1 {
+		t.Error("object 1 not on origin")
+	}
+	fr := p.Fractions(0)
+	if math.Abs(fr[0]-1) > 1e-9 || len(fr) != 1 {
+		t.Errorf("Fractions = %v", fr)
+	}
+}
+
+func TestSetPrimaryAndFractions(t *testing.T) {
+	p := NewPlacement(twoObjects())
+	p.SetPrimary(0, 0, 2)
+	p.SetPrimary(0, 1, 2)
+	fr := p.Fractions(0)
+	if math.Abs(fr[2]-0.5) > 1e-9 || math.Abs(fr[0]-0.5) > 1e-9 {
+		t.Errorf("Fractions = %v", fr)
+	}
+	if got := p.BlocksOn(0, 2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("BlocksOn = %v", got)
+	}
+	used := p.UsedMB()
+	if math.Abs(used[2]-128) > 1e-9 {
+		t.Errorf("UsedMB[2] = %g", used[2])
+	}
+	// 200-128 on store 0 plus object 1's 64 on store 1.
+	if math.Abs(used[0]-72) > 1e-9 || math.Abs(used[1]-64) > 1e-9 {
+		t.Errorf("UsedMB = %v", used)
+	}
+}
+
+func TestReplicas(t *testing.T) {
+	p := NewPlacement(twoObjects())
+	p.AddReplica(0, 0, 5)
+	p.AddReplica(0, 0, 5) // duplicate ignored
+	if got := p.Replicas(0, 0); len(got) != 2 || got[1] != 5 {
+		t.Errorf("Replicas = %v", got)
+	}
+	if !p.HasReplicaOn(0, 0, 5) || p.HasReplicaOn(0, 1, 5) {
+		t.Error("HasReplicaOn wrong")
+	}
+	if p.Primary(0, 0) != 0 {
+		t.Error("primary must stay first")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := NewPlacement(twoObjects())
+	q := p.Clone()
+	q.SetPrimary(0, 0, 9)
+	if p.Primary(0, 0) == 9 {
+		t.Error("Clone shares block storage")
+	}
+}
+
+func TestShuffleCoversStores(t *testing.T) {
+	objs := []DataObject{{ID: 0, Name: "big", SizeMB: 64 * 500, Origin: 0}}
+	p := NewPlacement(objs)
+	stores := []cluster.StoreID{0, 1, 2, 3}
+	p.Shuffle(rand.New(rand.NewSource(1)), stores)
+	fr := p.Fractions(0)
+	if len(fr) != 4 {
+		t.Fatalf("shuffle used %d stores", len(fr))
+	}
+	for s, f := range fr {
+		if f < 0.15 || f > 0.35 {
+			t.Errorf("store %d got fraction %g, expected near 0.25", s, f)
+		}
+	}
+}
+
+func TestQuickFractionsSumToOne(t *testing.T) {
+	check := func(seed int64, sz uint16) bool {
+		size := 1 + float64(sz%5000)
+		objs := []DataObject{{ID: 0, Name: "o", SizeMB: size, Origin: 0}}
+		p := NewPlacement(objs)
+		rng := rand.New(rand.NewSource(seed))
+		p.Shuffle(rng, []cluster.StoreID{0, 1, 2, 3, 4})
+		sum := 0.0
+		for _, f := range p.Fractions(0) {
+			sum += f
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChooseReplicaTargets(t *testing.T) {
+	c := cluster.Paper20(0)
+	rng := rand.New(rand.NewSource(3))
+	got := ChooseReplicaTargets(c, 0, 3, rng)
+	if len(got) != 3 {
+		t.Fatalf("targets = %v", got)
+	}
+	if got[0] != 0 {
+		t.Error("first replica must be the primary")
+	}
+	z0 := c.Stores[got[0]].Zone
+	z1 := c.Stores[got[1]].Zone
+	z2 := c.Stores[got[2]].Zone
+	if z1 == z0 {
+		t.Error("second replica must be off-zone")
+	}
+	if z2 != z1 {
+		t.Error("third replica must share the second's zone")
+	}
+	seen := map[cluster.StoreID]bool{}
+	for _, s := range got {
+		if seen[s] {
+			t.Error("duplicate replica target")
+		}
+		seen[s] = true
+	}
+}
+
+func TestChooseReplicaTargetsSingleZone(t *testing.T) {
+	b := cluster.NewBuilder("za")
+	for i := 0; i < 4; i++ {
+		b.AddNode("za", "t", 1, 1, 0, 1000)
+	}
+	c := b.Build()
+	rng := rand.New(rand.NewSource(1))
+	got := ChooseReplicaTargets(c, 0, 3, rng)
+	if len(got) < 2 {
+		t.Fatalf("single-zone fallback failed: %v", got)
+	}
+}
+
+func TestReplicateAll(t *testing.T) {
+	c := cluster.Paper20(0)
+	p := NewPlacement(twoObjects())
+	p.Replicate(c, 2, rand.New(rand.NewSource(5)))
+	for i := 0; i < 4; i++ {
+		if len(p.Replicas(0, i)) != 2 {
+			t.Errorf("block %d has %d replicas", i, len(p.Replicas(0, i)))
+		}
+	}
+}

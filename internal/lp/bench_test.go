@@ -1,0 +1,79 @@
+package lp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// schedulingShapedLP builds an LP with the LiPS online-model silhouette:
+// jobs × machines × stores assignment variables with coverage, capacity
+// and linking rows — the workload this solver exists for.
+func schedulingShapedLP(jobs, machines, stores int, rng *rand.Rand) *Problem {
+	p := New("sched-shaped")
+	cpuRows := make([]Con, machines)
+	for l := 0; l < machines; l++ {
+		cpuRows[l] = p.AddCon("cpu", LE, 500+rng.Float64()*2000)
+	}
+	for k := 0; k < jobs; k++ {
+		demand := 50 + rng.Float64()*400
+		cover := p.AddCon("job", GE, 1)
+		for l := 0; l < machines; l++ {
+			price := 1 + rng.Float64()*5
+			for m := 0; m < stores; m++ {
+				transfer := rng.Float64() * 60
+				v := p.AddVar("xt", 0, 1, demand*price+transfer)
+				p.SetCoef(cover, v, 1)
+				p.SetCoef(cpuRows[l], v, demand)
+			}
+		}
+	}
+	return p
+}
+
+func benchmarkSolve(b *testing.B, jobs, machines, stores int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	p := schedulingShapedLP(jobs, machines, stores, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := p.Solve(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+func BenchmarkSolveSmall(b *testing.B)  { benchmarkSolve(b, 5, 6, 6) }
+func BenchmarkSolveMedium(b *testing.B) { benchmarkSolve(b, 15, 9, 9) }
+func BenchmarkSolveLarge(b *testing.B)  { benchmarkSolve(b, 40, 12, 12) }
+
+func BenchmarkSolveDenseReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	p := schedulingShapedLP(4, 4, 4, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveDense(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	p := schedulingShapedLP(10, 6, 6, rng)
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		b.Fatal(err)
+	}
+	text := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(bytes.NewReader(text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

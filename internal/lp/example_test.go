@@ -1,0 +1,26 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"lips/internal/lp"
+)
+
+// Build and solve a two-variable LP: maximize x + 2y (as minimize the
+// negation) subject to a shared capacity.
+func ExampleProblem_Solve() {
+	p := lp.New("demo")
+	x := p.AddVar("x", 0, 3, -1)
+	y := p.AddVar("y", 0, 2, -2)
+	c := p.AddCon("capacity", lp.LE, 4)
+	p.SetCoef(c, x, 1)
+	p.SetCoef(c, y, 1)
+
+	sol, err := p.Solve(lp.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v: objective %g at x=%g y=%g\n",
+		sol.Status, sol.Objective, sol.Value(x), sol.Value(y))
+	// Output: optimal: objective -6 at x=2 y=2
+}

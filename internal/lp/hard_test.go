@@ -1,0 +1,129 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestKleeMinty solves the classic Klee–Minty cube, the worst case for
+// textbook Dantzig pricing: max Σ 2^(n-j) x_j with nested constraints.
+// The optimum is x_n = 5^n, all others 0. We only require optimality in a
+// sane iteration budget, not a short path.
+func TestKleeMinty(t *testing.T) {
+	for _, n := range []int{4, 8, 12} {
+		p := New("klee-minty")
+		xs := make([]Var, n)
+		for j := 0; j < n; j++ {
+			// Minimize the negation of the classic objective.
+			cost := -math.Pow(2, float64(n-j-1))
+			xs[j] = p.AddVar("x", 0, Inf, cost)
+		}
+		for i := 0; i < n; i++ {
+			row := p.AddCon("km", LE, math.Pow(5, float64(i+1)))
+			for j := 0; j < i; j++ {
+				p.SetCoef(row, xs[j], math.Pow(2, float64(i-j+1)))
+			}
+			p.SetCoef(row, xs[i], 1)
+		}
+		sol, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("n=%d: status %v after %d iters", n, sol.Status, sol.Iters)
+		}
+		want := -math.Pow(5, float64(n))
+		if math.Abs(sol.Objective-want) > 1e-6*math.Abs(want) {
+			t.Errorf("n=%d: objective %g, want %g", n, sol.Objective, want)
+		}
+		if err := p.CheckFeasible(sol.X, 1e-6); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestWideCoefficientRange mixes tiny and huge costs/coefficients — the
+// regime that motivated the relative dual-feasibility tolerance.
+func TestWideCoefficientRange(t *testing.T) {
+	p := New("wide")
+	cheap := p.AddVar("cheap", 0, Inf, 1e-3)
+	mid := p.AddVar("mid", 0, Inf, 1.0)
+	huge := p.AddVar("huge", 0, Inf, 1e7) // the fake-node regime
+	c := p.AddCon("demand", GE, 100)
+	p.SetCoef(c, cheap, 1)
+	p.SetCoef(c, mid, 1)
+	p.SetCoef(c, huge, 1)
+	cap := p.AddCon("cap-cheap", LE, 30)
+	p.SetCoef(cap, cheap, 1)
+	cap2 := p.AddCon("cap-mid", LE, 50)
+	p.SetCoef(cap2, mid, 1)
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	want := 30*1e-3 + 50*1.0 + 20*1e7
+	if math.Abs(sol.Objective-want) > 1e-6*want {
+		t.Errorf("objective %g, want %g", sol.Objective, want)
+	}
+}
+
+// TestDegenerateTransportation builds a perfectly symmetric assignment —
+// every basic solution is massively degenerate — and checks termination
+// at the known optimum.
+func TestDegenerateTransportation(t *testing.T) {
+	const n = 8
+	p := New("degen-transport")
+	vars := make([][]Var, n)
+	rows := make([]Con, n)
+	cols := make([]Con, n)
+	for i := 0; i < n; i++ {
+		rows[i] = p.AddCon("supply", EQ, 1)
+		cols[i] = p.AddCon("demand", EQ, 1)
+	}
+	for i := 0; i < n; i++ {
+		vars[i] = make([]Var, n)
+		for j := 0; j < n; j++ {
+			cost := 1.0 // all ties
+			if i == j {
+				cost = 0.5 // diagonal slightly cheaper
+			}
+			vars[i][j] = p.AddVar("x", 0, 1, cost)
+			p.SetCoef(rows[i], vars[i][j], 1)
+			p.SetCoef(cols[j], vars[i][j], 1)
+		}
+	}
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v after %d iters", sol.Status, sol.Iters)
+	}
+	if math.Abs(sol.Objective-float64(n)*0.5) > 1e-6 {
+		t.Errorf("objective %g, want %g (identity assignment)", sol.Objective, float64(n)*0.5)
+	}
+	if sol.Iters > 2000 {
+		t.Errorf("%d iterations on an 8×8 assignment suggests stalling", sol.Iters)
+	}
+}
+
+// TestManyRedundantEqualities stresses phase 1 with linearly dependent
+// equality rows.
+func TestManyRedundantEqualities(t *testing.T) {
+	p := New("redundant-eq")
+	x := p.AddVar("x", 0, Inf, 1)
+	y := p.AddVar("y", 0, Inf, 2)
+	for i := 0; i < 12; i++ {
+		c := p.AddCon("dup", EQ, 6)
+		p.SetCoef(c, x, 1)
+		p.SetCoef(c, y, 1)
+	}
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOptimal(t, p, sol, 6) // all mass on x
+}

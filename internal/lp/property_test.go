@@ -1,0 +1,157 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomProblem builds a small random LP. About half the variables get a
+// finite upper bound; rows mix all three senses. Coefficients are kept in a
+// moderate range so the dense reference stays well-conditioned.
+func randomProblem(rng *rand.Rand) *Problem {
+	p := New("random")
+	n := 1 + rng.Intn(8)
+	m := 1 + rng.Intn(6)
+	cons := make([]Con, m)
+	for i := 0; i < m; i++ {
+		sense := Sense(rng.Intn(3))
+		rhs := math.Round(rng.Float64()*40-10) / 2
+		cons[i] = p.AddCon("c", sense, rhs)
+	}
+	for j := 0; j < n; j++ {
+		upper := Inf
+		if rng.Intn(2) == 0 {
+			upper = float64(1 + rng.Intn(10))
+		}
+		cost := math.Round(rng.Float64()*20-10) / 2
+		v := p.AddVar("x", 0, upper, cost)
+		for i := 0; i < m; i++ {
+			if rng.Intn(3) == 0 {
+				continue // sparsity
+			}
+			coef := math.Round(rng.Float64()*12-6) / 2
+			p.SetCoef(cons[i], v, coef)
+		}
+	}
+	return p
+}
+
+// TestQuickAgainstDense cross-checks the revised bounded simplex against
+// the dense tableau reference on random problems: statuses must agree and
+// optimal objectives must match.
+func TestQuickAgainstDense(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng)
+		rev, err := p.Solve(Options{})
+		if err != nil {
+			t.Logf("seed %d: revised error: %v", seed, err)
+			return false
+		}
+		den, err := p.SolveDense(0)
+		if err != nil {
+			t.Logf("seed %d: dense error: %v", seed, err)
+			return false
+		}
+		if rev.Status == IterLimit || den.Status == IterLimit {
+			return true // inconclusive; should not happen at this size
+		}
+		if rev.Status != den.Status {
+			t.Logf("seed %d: status revised=%v dense=%v", seed, rev.Status, den.Status)
+			return false
+		}
+		if rev.Status != Optimal {
+			return true
+		}
+		if err := p.CheckFeasible(rev.X, 1e-6); err != nil {
+			t.Logf("seed %d: revised solution infeasible: %v", seed, err)
+			return false
+		}
+		if err := p.CheckFeasible(den.X, 1e-6); err != nil {
+			t.Logf("seed %d: dense solution infeasible: %v", seed, err)
+			return false
+		}
+		if math.Abs(rev.Objective-den.Objective) > 1e-5*(1+math.Abs(den.Objective)) {
+			t.Logf("seed %d: objective revised=%g dense=%g", seed, rev.Objective, den.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBlandMatchesDantzig verifies that forcing Bland's rule reaches
+// the same optimum as the default pricing.
+func TestQuickBlandMatchesDantzig(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+		p := randomProblem(rng)
+		a, err := p.Solve(Options{})
+		if err != nil {
+			return false
+		}
+		b, err := p.Solve(Options{Bland: true})
+		if err != nil {
+			return false
+		}
+		if a.Status != b.Status {
+			t.Logf("seed %d: status dantzig=%v bland=%v", seed, a.Status, b.Status)
+			return false
+		}
+		if a.Status == Optimal && math.Abs(a.Objective-b.Objective) > 1e-5*(1+math.Abs(a.Objective)) {
+			t.Logf("seed %d: obj dantzig=%g bland=%g", seed, a.Objective, b.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDualWeakDuality checks weak duality on random problems whose
+// rows are all GE with nonnegative variables: y·b ≤ c·x for feasible y
+// implied by simplex optimality.
+func TestQuickDualWeakDuality(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x0ddba11))
+		p := New("dual")
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(4)
+		cons := make([]Con, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			rhs[i] = float64(rng.Intn(10))
+			cons[i] = p.AddCon("c", GE, rhs[i])
+		}
+		for j := 0; j < n; j++ {
+			v := p.AddVar("x", 0, Inf, float64(1+rng.Intn(9)))
+			for i := 0; i < m; i++ {
+				p.SetCoef(cons[i], v, float64(rng.Intn(4)))
+			}
+		}
+		sol, err := p.Solve(Options{})
+		if err != nil || sol.Status != Optimal {
+			return true // infeasible/unbounded rows are fine here
+		}
+		dual := 0.0
+		for i := 0; i < m; i++ {
+			dual += sol.Dual[i] * rhs[i]
+		}
+		if dual > sol.Objective+1e-6*(1+math.Abs(sol.Objective)) {
+			t.Logf("seed %d: weak duality violated: %g > %g", seed, dual, sol.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,698 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"os"
+)
+
+// debugSimplex enables iteration tracing via LIPS_LP_DEBUG=1.
+var debugSimplex = os.Getenv("LIPS_LP_DEBUG") == "1"
+
+// Solve runs the two-phase bounded-variable revised simplex method and
+// returns the solution. The receiver is not modified and may be reused.
+//
+// The method maintains an explicit dense basis inverse updated by pivoting
+// (O(m²) per iteration) with periodic refactorisation from scratch to bound
+// numerical drift. Upper bounds are honoured by the bounded-variable
+// pivoting rule — including bound flips — so no extra rows are created for
+// them. Infeasibility of the initial slack basis is repaired by per-row
+// artificial variables minimised in phase 1.
+func (p *Problem) Solve(opts Options) (*Solution, error) {
+	m := len(p.cons)
+	n := len(p.vars)
+	opts = opts.withDefaults(m, n)
+	if m == 0 {
+		return p.solveUnconstrained(opts)
+	}
+	s := newSimplexState(p, opts)
+	return s.run()
+}
+
+// solveUnconstrained handles the degenerate case of no constraint rows:
+// every variable independently moves to its cheaper bound.
+func (p *Problem) solveUnconstrained(opts Options) (*Solution, error) {
+	sol := &Solution{Status: Optimal, X: make([]float64, len(p.vars))}
+	for i := range p.vars {
+		v := &p.vars[i]
+		switch {
+		case v.cost > 0:
+			if math.IsInf(v.lower, -1) {
+				return &Solution{Status: Unbounded}, nil
+			}
+			sol.X[i] = v.lower
+		case v.cost < 0:
+			if math.IsInf(v.upper, 1) {
+				return &Solution{Status: Unbounded}, nil
+			}
+			sol.X[i] = v.upper
+		default:
+			if !math.IsInf(v.lower, -1) {
+				sol.X[i] = v.lower
+			} else if !math.IsInf(v.upper, 1) {
+				sol.X[i] = v.upper
+			}
+		}
+		sol.Objective += v.cost * sol.X[i]
+	}
+	return sol, nil
+}
+
+// Column status in the simplex state.
+const (
+	atLower = iota
+	atUpper
+	atFree // nonbasic free variable pinned at zero
+	basic
+)
+
+// simplexState is the working state of one solve. Columns are laid out as
+// [structural | slack | artificial].
+type simplexState struct {
+	p    *Problem
+	opts Options
+
+	m, nStruct, nSlack, nArt int
+
+	cols  [][]nz    // sparse column entries
+	lower []float64 // per column
+	upper []float64
+	cost  []float64 // phase-2 (original) costs; artificials are 0
+	b     []float64 // row right-hand sides
+
+	status []int     // per column: atLower/atUpper/atFree/basic
+	value  []float64 // current value of each NONBASIC column (bound or 0)
+	basis  []int     // column index of the basic variable in each row
+	xB     []float64 // value of the basic variable in each row
+	binv   []float64 // dense m×m basis inverse, row-major
+
+	// scratch
+	y     []float64 // duals c_B^T B^{-1}
+	w     []float64 // B^{-1} A_q
+	devex []float64 // Devex reference weights, one per column
+	iter  int
+	p1it  int
+
+	degenRun int // consecutive degenerate pivots (triggers Bland)
+	nflips   int // bound flips (debug accounting)
+}
+
+func newSimplexState(p *Problem, opts Options) *simplexState {
+	m := len(p.cons)
+	n := len(p.vars)
+	s := &simplexState{p: p, opts: opts, m: m, nStruct: n, nSlack: m}
+	total := n + m // artificials appended later
+	s.cols = make([][]nz, total, total+m)
+	s.lower = make([]float64, total, total+m)
+	s.upper = make([]float64, total, total+m)
+	s.cost = make([]float64, total, total+m)
+	s.b = make([]float64, m)
+	for j := 0; j < n; j++ {
+		v := &p.vars[j]
+		s.cols[j] = v.col
+		s.lower[j] = v.lower
+		s.upper[j] = v.upper
+		s.cost[j] = v.cost
+	}
+	for i := 0; i < m; i++ {
+		c := &p.cons[i]
+		s.b[i] = c.rhs
+		sj := n + i
+		s.cols[sj] = []nz{{row: i, coef: 1}}
+		switch c.sense {
+		case LE:
+			s.lower[sj], s.upper[sj] = 0, Inf
+		case GE:
+			s.lower[sj], s.upper[sj] = math.Inf(-1), 0
+		case EQ:
+			s.lower[sj], s.upper[sj] = 0, 0
+		}
+	}
+	return s
+}
+
+// nonbasicStart picks the starting bound for a nonbasic column and returns
+// its value there.
+func (s *simplexState) nonbasicStart(j int) (int, float64) {
+	lo, hi := s.lower[j], s.upper[j]
+	switch {
+	case !math.IsInf(lo, -1):
+		return atLower, lo
+	case !math.IsInf(hi, 1):
+		return atUpper, hi
+	default:
+		return atFree, 0
+	}
+}
+
+func (s *simplexState) run() (*Solution, error) {
+	m := s.m
+	// Start from the slack basis with structurals at their start bounds.
+	s.status = make([]int, len(s.cols), cap(s.cols))
+	s.value = make([]float64, len(s.cols), cap(s.cols))
+	for j := 0; j < s.nStruct; j++ {
+		s.status[j], s.value[j] = s.nonbasicStart(j)
+	}
+	s.basis = make([]int, m)
+	s.xB = make([]float64, m)
+	s.binv = make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		s.basis[i] = s.nStruct + i
+		s.status[s.nStruct+i] = basic
+		s.binv[i*m+i] = 1
+	}
+
+	// Anti-degeneracy perturbation: scheduling LPs are massively
+	// degenerate (symmetric machine groups, tied costs), which can stall
+	// the simplex in long runs of zero-length pivots. A deterministic,
+	// row-dependent relaxation of each right-hand side makes basic
+	// solutions distinct; the original b is restored before extracting
+	// the final answer, so the reported solution is exact up to the
+	// usual tolerances.
+	bOrig := append([]float64(nil), s.b...)
+	for i := 0; i < m; i++ {
+		delta := 1e-8 * (1 + math.Abs(s.b[i])) * (0.5 + float64((i*2654435761)%1024)/1024)
+		switch s.p.cons[i].sense {
+		case GE:
+			s.b[i] -= delta
+		default: // LE and EQ relax upward
+			s.b[i] += delta
+		}
+	}
+	s.computeXB()
+	s.y = make([]float64, m)
+	s.w = make([]float64, m)
+
+	// Repair slack-basis infeasibility with artificials where needed.
+	tol := s.opts.Tol
+	needPhase1 := false
+	for i := 0; i < m; i++ {
+		bj := s.basis[i]
+		resid := 0.0
+		switch {
+		case s.xB[i] < s.lower[bj]-tol:
+			resid = s.xB[i] - s.lower[bj] // negative
+		case s.xB[i] > s.upper[bj]+tol:
+			resid = s.xB[i] - s.upper[bj] // positive
+		default:
+			continue
+		}
+		needPhase1 = true
+		// Pin the slack at the violated bound and let the artificial
+		// absorb the residual: a·sign(resid) has value |resid| ≥ 0.
+		if resid > 0 {
+			s.value[bj] = s.upper[bj]
+			s.status[bj] = atUpper
+		} else {
+			s.value[bj] = s.lower[bj]
+			s.status[bj] = atLower
+		}
+		sign := 1.0
+		if resid < 0 {
+			sign = -1
+		}
+		aj := len(s.cols)
+		s.cols = append(s.cols, []nz{{row: i, coef: sign}})
+		s.lower = append(s.lower, 0)
+		s.upper = append(s.upper, Inf)
+		s.cost = append(s.cost, 0)
+		s.status = append(s.status, basic)
+		s.value = append(s.value, 0)
+		s.nArt++
+		s.basis[i] = aj
+		s.xB[i] = math.Abs(resid)
+		// binv row stays e_i scaled: column is ±e_i, so B^{-1} row i
+		// becomes sign·e_i.
+		for k := 0; k < m; k++ {
+			s.binv[i*m+k] = 0
+		}
+		s.binv[i*m+i] = sign
+	}
+
+	if needPhase1 {
+		// Phase 1: minimise the sum of artificials.
+		p1cost := make([]float64, len(s.cols))
+		for j := s.nStruct + s.nSlack; j < len(s.cols); j++ {
+			p1cost[j] = 1
+		}
+		st, err := s.iterate(p1cost)
+		if err != nil {
+			return nil, err
+		}
+		s.p1it = s.iter
+		if st == IterLimit {
+			return &Solution{Status: IterLimit, Iters: s.iter, Phase1: s.p1it}, nil
+		}
+		infeas := 0.0
+		for i := 0; i < m; i++ {
+			if s.basis[i] >= s.nStruct+s.nSlack {
+				infeas += s.xB[i]
+			}
+		}
+		for j := s.nStruct + s.nSlack; j < len(s.cols); j++ {
+			if s.status[j] != basic {
+				infeas += s.value[j]
+			}
+		}
+		if infeas > 1e-6 {
+			return &Solution{Status: Infeasible, Iters: s.iter, Phase1: s.p1it}, nil
+		}
+		// Freeze artificials at zero for phase 2.
+		for j := s.nStruct + s.nSlack; j < len(s.cols); j++ {
+			s.upper[j] = 0
+			if s.status[j] != basic {
+				s.value[j] = 0
+				s.status[j] = atLower
+			}
+		}
+	}
+
+	// Phase 2 with the original costs.
+	cost := s.cost
+	if len(cost) < len(s.cols) {
+		cost = append(append([]float64(nil), s.cost...), make([]float64, len(s.cols)-len(s.cost))...)
+	}
+	st, err := s.iterate(cost)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Status: st, Iters: s.iter, Phase1: s.p1it}
+	if st != Optimal {
+		return sol, nil
+	}
+	// Undo the anti-degeneracy perturbation: re-derive the basic values
+	// from the original right-hand sides under the final (optimal) basis.
+	s.b = bOrig
+	if err := s.refactorize(); err != nil {
+		return nil, err
+	}
+	sol.X = make([]float64, s.nStruct)
+	for j := 0; j < s.nStruct; j++ {
+		if s.status[j] == basic {
+			continue
+		}
+		sol.X[j] = s.value[j]
+	}
+	for i := 0; i < m; i++ {
+		if bj := s.basis[i]; bj < s.nStruct {
+			sol.X[bj] = s.xB[i]
+		}
+	}
+	// Clamp roundoff back into the box so downstream consumers see
+	// in-bounds values.
+	for j := 0; j < s.nStruct; j++ {
+		sol.X[j] = math.Min(math.Max(sol.X[j], s.lower[j]), s.upper[j])
+	}
+	sol.Objective = s.p.Objective(sol.X)
+	s.computeDuals(cost)
+	sol.Dual = append([]float64(nil), s.y...)
+	return sol, nil
+}
+
+// computeXB recomputes the basic values from scratch:
+// x_B = B^{-1}(b − N x_N).
+func (s *simplexState) computeXB() {
+	m := s.m
+	rhs := make([]float64, m)
+	copy(rhs, s.b)
+	for j := range s.cols {
+		if s.status[j] == basic || s.value[j] == 0 {
+			continue
+		}
+		for _, e := range s.cols[j] {
+			rhs[e.row] -= e.coef * s.value[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		row := s.binv[i*m : i*m+m]
+		for k := 0; k < m; k++ {
+			sum += row[k] * rhs[k]
+		}
+		s.xB[i] = sum
+	}
+}
+
+// computeDuals sets s.y = c_B^T B^{-1} for the given cost vector.
+func (s *simplexState) computeDuals(cost []float64) {
+	m := s.m
+	for k := 0; k < m; k++ {
+		s.y[k] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := cost[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i*m : i*m+m]
+		for k := 0; k < m; k++ {
+			s.y[k] += cb * row[k]
+		}
+	}
+}
+
+// refactorize rebuilds the dense basis inverse from the basis columns by
+// Gauss–Jordan elimination with partial pivoting, then recomputes x_B.
+func (s *simplexState) refactorize() error {
+	m := s.m
+	// Assemble B column-wise into a dense row-major matrix.
+	a := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		for _, e := range s.cols[s.basis[i]] {
+			a[e.row*m+i] = e.coef
+		}
+	}
+	inv := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		inv[i*m+i] = 1
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		piv, pmax := -1, 0.0
+		for r := col; r < m; r++ {
+			if v := math.Abs(a[r*m+col]); v > pmax {
+				piv, pmax = r, v
+			}
+		}
+		if piv < 0 || pmax < 1e-12 {
+			return fmt.Errorf("lp: singular basis during refactorisation (row %d)", col)
+		}
+		if piv != col {
+			for k := 0; k < m; k++ {
+				a[col*m+k], a[piv*m+k] = a[piv*m+k], a[col*m+k]
+				inv[col*m+k], inv[piv*m+k] = inv[piv*m+k], inv[col*m+k]
+			}
+		}
+		d := a[col*m+col]
+		for k := 0; k < m; k++ {
+			a[col*m+k] /= d
+			inv[col*m+k] /= d
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r*m+col]
+			if f == 0 {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				a[r*m+k] -= f * a[col*m+k]
+				inv[r*m+k] -= f * inv[col*m+k]
+			}
+		}
+	}
+	s.binv = inv
+	s.computeXB()
+	return nil
+}
+
+// iterate runs simplex iterations with the given cost vector until
+// optimality, unboundedness, or the iteration limit. It leaves the state at
+// the final basis.
+//
+// Pricing is Devex (Forrest–Goldfarb reference weights), which resists the
+// zigzagging Dantzig suffers on scheduling LPs whose reduced costs are
+// dominated by one huge price (the online model's fake node); a long
+// degenerate stall still falls back to Bland's rule for guaranteed
+// termination.
+func (s *simplexState) iterate(cost []float64) (Status, error) {
+	m := s.m
+	tol := s.opts.Tol
+	sinceRefactor := 0
+	// Reset the Devex reference framework for this phase.
+	s.devex = make([]float64, len(s.cols))
+	for j := range s.devex {
+		s.devex[j] = 1
+	}
+	for {
+		if s.iter >= s.opts.MaxIters {
+			return IterLimit, nil
+		}
+		if sinceRefactor >= 256 {
+			if err := s.refactorize(); err != nil {
+				return 0, err
+			}
+			sinceRefactor = 0
+		}
+		s.computeDuals(cost)
+		if debugSimplex && s.iter%2000 == 0 {
+			obj := 0.0
+			for i := 0; i < m; i++ {
+				obj += cost[s.basis[i]] * s.xB[i]
+			}
+			for j := range s.cols {
+				if s.status[j] != basic && s.value[j] != 0 {
+					obj += cost[j] * s.value[j]
+				}
+			}
+			fmt.Fprintf(os.Stderr, "lp: iter=%d obj=%.15g degenRun=%d flips=%d\n", s.iter, obj, s.degenRun, s.nflips)
+		}
+		useBland := s.opts.Bland || s.degenRun > 2*m+200
+
+		// Pricing: pick the entering column — Devex score d²/weight, or
+		// the first eligible column under Bland's rule.
+		entering := -1
+		enterDir := 1.0 // +1 increase from lower/free, −1 decrease from upper
+		bestScore := 0.0
+		for j := range s.cols {
+			st := s.status[j]
+			if st == basic {
+				continue
+			}
+			if s.lower[j] == s.upper[j] && st != atFree {
+				continue // fixed column can never improve
+			}
+			d := cost[j]
+			for _, e := range s.cols[j] {
+				d -= s.y[e.row] * e.coef
+			}
+			// Dual feasibility is judged RELATIVE to the column's cost
+			// magnitude: with mixed cost scales (the online model's fake
+			// node is ~10⁴× the real prices), an absolute tolerance lets
+			// cancellation noise on truly-zero reduced costs masquerade
+			// as improving columns and the solver churns at the optimum.
+			dtol := tol * (1 + math.Abs(cost[j]))
+			dir := 0.0
+			switch st {
+			case atLower:
+				if d < -dtol {
+					dir = 1
+				}
+			case atUpper:
+				if d > dtol {
+					dir = -1
+				}
+			case atFree:
+				if d < -dtol {
+					dir = 1
+				} else if d > dtol {
+					dir = -1
+				}
+			}
+			if dir == 0 {
+				continue
+			}
+			if useBland {
+				entering, enterDir = j, dir
+				break
+			}
+			if score := d * d / s.devex[j]; score > bestScore {
+				entering, enterDir, bestScore = j, dir, score
+			}
+		}
+		if entering == -1 {
+			// No improving column: optimal for this cost vector.
+			// Refactorise once for a clean final answer if drift is
+			// plausible.
+			if sinceRefactor > 0 {
+				if err := s.refactorize(); err != nil {
+					return 0, err
+				}
+			}
+			return Optimal, nil
+		}
+
+		// FTRAN: w = B^{-1} A_q.
+		for i := 0; i < m; i++ {
+			s.w[i] = 0
+		}
+		for _, e := range s.cols[entering] {
+			c := e.coef
+			for i := 0; i < m; i++ {
+				s.w[i] += s.binv[i*m+e.row] * c
+			}
+		}
+
+		// Ratio test. The entering variable moves by t ≥ 0 in direction
+		// enterDir; basic i changes by −enterDir·w[i]·t.
+		limit := math.Inf(1)
+		if !math.IsInf(s.lower[entering], -1) && !math.IsInf(s.upper[entering], 1) {
+			limit = s.upper[entering] - s.lower[entering] // bound flip span
+		}
+		leaving := -1
+		leavePivot := 0.0
+		leaveToUpper := false
+		for i := 0; i < m; i++ {
+			delta := -enterDir * s.w[i]
+			bj := s.basis[i]
+			var room float64
+			var hitsUpper bool
+			switch {
+			case delta > tol:
+				if math.IsInf(s.upper[bj], 1) {
+					continue
+				}
+				room = (s.upper[bj] - s.xB[i]) / delta
+				hitsUpper = true
+			case delta < -tol:
+				if math.IsInf(s.lower[bj], -1) {
+					continue
+				}
+				room = (s.xB[i] - s.lower[bj]) / -delta
+				hitsUpper = false
+			default:
+				continue
+			}
+			if room < -tol {
+				room = 0 // basic slightly out of bounds from roundoff
+			}
+			switch {
+			case room < limit-1e-12:
+				limit, leaving, leavePivot, leaveToUpper = room, i, s.w[i], hitsUpper
+			case room <= limit+1e-12 && leaving >= 0:
+				// Tie: Bland wants the smallest variable index;
+				// otherwise prefer the larger pivot for stability.
+				if useBland {
+					if s.basis[i] < s.basis[leaving] {
+						leaving, leavePivot, leaveToUpper = i, s.w[i], hitsUpper
+					}
+				} else if math.Abs(s.w[i]) > math.Abs(leavePivot) {
+					leaving, leavePivot, leaveToUpper = i, s.w[i], hitsUpper
+				}
+			case room <= limit+1e-12 && leaving < 0:
+				// Ties the bound-flip span: take the basis change.
+				if room < limit {
+					limit = room
+				}
+				leaving, leavePivot, leaveToUpper = i, s.w[i], hitsUpper
+			}
+		}
+
+		if math.IsInf(limit, 1) {
+			return Unbounded, nil
+		}
+		t := limit
+		if t < 0 {
+			t = 0
+		}
+		if t <= tol {
+			s.degenRun++
+		} else {
+			s.degenRun = 0
+		}
+		s.iter++
+
+		if leaving == -1 {
+			// Bound flip: the entering variable crosses its whole span.
+			s.nflips++
+			for i := 0; i < m; i++ {
+				s.xB[i] -= enterDir * s.w[i] * t
+			}
+			if enterDir > 0 {
+				s.status[entering] = atUpper
+				s.value[entering] = s.upper[entering]
+			} else {
+				s.status[entering] = atLower
+				s.value[entering] = s.lower[entering]
+			}
+			continue
+		}
+
+		// Basis change.
+		if math.Abs(leavePivot) < 1e-11 {
+			// Numerically unsafe pivot: refactorise and retry.
+			if err := s.refactorize(); err != nil {
+				return 0, err
+			}
+			sinceRefactor = 0
+			continue
+		}
+		enterVal := s.value[entering] + enterDir*t
+		if s.status[entering] == atFree {
+			enterVal = enterDir * t
+		}
+		for i := 0; i < m; i++ {
+			if i == leaving {
+				continue
+			}
+			s.xB[i] -= enterDir * s.w[i] * t
+		}
+		outVar := s.basis[leaving]
+		if leaveToUpper {
+			s.status[outVar] = atUpper
+			s.value[outVar] = s.upper[outVar]
+		} else {
+			s.status[outVar] = atLower
+			s.value[outVar] = s.lower[outVar]
+		}
+		s.basis[leaving] = entering
+		s.status[entering] = basic
+		s.xB[leaving] = enterVal
+
+		// Devex reference-weight update (Forrest–Goldfarb), using the
+		// pivot row of the *pre-pivot* basis inverse.
+		if !useBland {
+			wq := s.devex[entering]
+			prowOld := s.binv[leaving*m : leaving*m+m]
+			pivotSq := leavePivot * leavePivot
+			for j := range s.cols {
+				if s.status[j] == basic || j == entering {
+					continue
+				}
+				alpha := 0.0
+				for _, e := range s.cols[j] {
+					alpha += prowOld[e.row] * e.coef
+				}
+				if alpha == 0 {
+					continue
+				}
+				if cand := (alpha * alpha / pivotSq) * wq; cand > s.devex[j] {
+					s.devex[j] = cand
+				}
+			}
+			lw := wq / pivotSq
+			if lw < 1 {
+				lw = 1
+			}
+			s.devex[outVar] = lw
+			if lw > 1e12 {
+				// Reference framework degraded: reset.
+				for j := range s.devex {
+					s.devex[j] = 1
+				}
+			}
+		}
+
+		// Update B^{-1}: pivot row `leaving` on w[leaving].
+		prow := s.binv[leaving*m : leaving*m+m]
+		inv := 1 / leavePivot
+		for k := 0; k < m; k++ {
+			prow[k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == leaving {
+				continue
+			}
+			f := s.w[i]
+			if f == 0 {
+				continue
+			}
+			row := s.binv[i*m : i*m+m]
+			for k := 0; k < m; k++ {
+				row[k] -= f * prow[k]
+			}
+		}
+		sinceRefactor++
+	}
+}

@@ -1,0 +1,70 @@
+package lp
+
+import "fmt"
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective can be decreased without limit.
+	Unbounded
+	// IterLimit means the iteration budget was exhausted first.
+	IterLimit
+)
+
+// String returns a human-readable status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	Objective float64   // objective value at X (valid when Status == Optimal)
+	X         []float64 // one value per structural variable
+	Dual      []float64 // one dual multiplier per constraint row
+	Iters     int       // total simplex iterations (both phases)
+	Phase1    int       // iterations spent in phase 1
+}
+
+// Value returns the solution value of v.
+func (s *Solution) Value(v Var) float64 { return s.X[v] }
+
+// Options tunes the simplex solver. The zero value selects sensible
+// defaults via (*Options).withDefaults.
+type Options struct {
+	// MaxIters bounds the total number of simplex iterations across both
+	// phases. 0 means 200·(rows+cols)+10000.
+	MaxIters int
+	// Tol is the feasibility and optimality tolerance. 0 means 1e-9.
+	Tol float64
+	// Bland forces Bland's anti-cycling rule from the first iteration.
+	// The default is Dantzig pricing with an automatic Bland fallback
+	// after a long degenerate stall.
+	Bland bool
+}
+
+func (o Options) withDefaults(rows, cols int) Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 200*(rows+cols) + 10000
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}

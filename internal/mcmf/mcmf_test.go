@@ -1,0 +1,181 @@
+package mcmf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lips/internal/lp"
+)
+
+func TestSimplePath(t *testing.T) {
+	// s→a→t with capacity 5, cost 1+2.
+	g := New(3)
+	g.AddEdge(0, 1, 5, 1)
+	g.AddEdge(1, 2, 5, 2)
+	flow, cost := g.Flow(0, 2, 100)
+	if flow != 5 || cost != 15 {
+		t.Errorf("flow=%d cost=%d, want 5/15", flow, cost)
+	}
+}
+
+func TestChoosesCheaperPath(t *testing.T) {
+	// Two parallel paths; the cheap one saturates first.
+	g := New(4)
+	cheapA := g.AddEdge(0, 1, 3, 1)
+	g.AddEdge(1, 3, 3, 1)
+	expensiveA := g.AddEdge(0, 2, 3, 5)
+	g.AddEdge(2, 3, 3, 5)
+	flow, cost := g.Flow(0, 3, 4)
+	if flow != 4 {
+		t.Fatalf("flow = %d", flow)
+	}
+	// 3 units at cost 2 each + 1 unit at cost 10.
+	if cost != 3*2+1*10 {
+		t.Errorf("cost = %d, want 16", cost)
+	}
+	if g.EdgeFlow(cheapA) != 3 || g.EdgeFlow(expensiveA) != 1 {
+		t.Errorf("edge flows: cheap=%d expensive=%d", g.EdgeFlow(cheapA), g.EdgeFlow(expensiveA))
+	}
+}
+
+func TestMaxFlowLimit(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 10, 3)
+	flow, cost := g.Flow(0, 1, 4)
+	if flow != 4 || cost != 12 {
+		t.Errorf("flow=%d cost=%d", flow, cost)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5, 1)
+	flow, cost := g.Flow(0, 2, 10)
+	if flow != 0 || cost != 0 {
+		t.Errorf("flow=%d cost=%d, want 0/0", flow, cost)
+	}
+}
+
+func TestNegativeCostEdge(t *testing.T) {
+	// A negative-cost detour is preferred.
+	g := New(4)
+	g.AddEdge(0, 1, 2, 4)  // direct-ish: 0→1
+	g.AddEdge(0, 2, 2, 1)  // detour 0→2
+	g.AddEdge(2, 1, 2, -3) // 2→1 at negative cost
+	g.AddEdge(1, 3, 4, 0)
+	flow, cost := g.Flow(0, 3, 2)
+	if flow != 2 {
+		t.Fatalf("flow = %d", flow)
+	}
+	// Both units go 0→2→1→3 at cost -2 each.
+	if cost != -4 {
+		t.Errorf("cost = %d, want -4", cost)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := New(2)
+	for _, f := range []func(){
+		func() { g.AddEdge(-1, 0, 1, 1) },
+		func() { g.AddEdge(0, 5, 1, 1) },
+		func() { g.AddEdge(0, 1, -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestQuickAgainstLP cross-validates min-cost flow against the LP solver:
+// a transportation problem min Σ c·x, Σ_j x_ij = supply_i, Σ_i x_ij ≤
+// cap_j is both a flow network and a linear program.
+func TestQuickAgainstLP(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nSup := 1 + rng.Intn(4)
+		nDem := 1 + rng.Intn(4)
+		supply := make([]int64, nSup)
+		capacity := make([]int64, nDem)
+		totalSupply, totalCap := int64(0), int64(0)
+		for i := range supply {
+			supply[i] = int64(1 + rng.Intn(8))
+			totalSupply += supply[i]
+		}
+		for j := range capacity {
+			capacity[j] = int64(1 + rng.Intn(8))
+			totalCap += capacity[j]
+		}
+		if totalCap < totalSupply {
+			// Ensure feasibility by topping up the last sink.
+			capacity[nDem-1] += totalSupply - totalCap
+		}
+		costs := make([][]int64, nSup)
+		for i := range costs {
+			costs[i] = make([]int64, nDem)
+			for j := range costs[i] {
+				costs[i][j] = int64(rng.Intn(20))
+			}
+		}
+
+		// Flow formulation: source → suppliers → sinks → target.
+		g := New(nSup + nDem + 2)
+		src, dst := nSup+nDem, nSup+nDem+1
+		for i, s := range supply {
+			g.AddEdge(src, i, s, 0)
+		}
+		for j, c := range capacity {
+			g.AddEdge(nSup+j, dst, c, 0)
+		}
+		for i := range supply {
+			for j := range capacity {
+				g.AddEdge(i, nSup+j, supply[i], costs[i][j])
+			}
+		}
+		flow, flowCost := g.Flow(src, dst, totalSupply)
+		if flow != totalSupply {
+			t.Logf("seed %d: flow %d of %d", seed, flow, totalSupply)
+			return false
+		}
+
+		// LP formulation.
+		p := lp.New("transport")
+		vars := make([][]lp.Var, nSup)
+		supRows := make([]lp.Con, nSup)
+		capRows := make([]lp.Con, nDem)
+		for i := range supply {
+			supRows[i] = p.AddCon("supply", lp.EQ, float64(supply[i]))
+		}
+		for j := range capacity {
+			capRows[j] = p.AddCon("cap", lp.LE, float64(capacity[j]))
+		}
+		for i := range supply {
+			vars[i] = make([]lp.Var, nDem)
+			for j := range capacity {
+				v := p.AddVar("x", 0, lp.Inf, float64(costs[i][j]))
+				p.SetCoef(supRows[i], v, 1)
+				p.SetCoef(capRows[j], v, 1)
+				vars[i][j] = v
+			}
+		}
+		sol, err := p.Solve(lp.Options{})
+		if err != nil || sol.Status != lp.Optimal {
+			t.Logf("seed %d: LP status %v err %v", seed, sol.Status, err)
+			return false
+		}
+		if math.Abs(sol.Objective-float64(flowCost)) > 1e-6*(1+math.Abs(sol.Objective)) {
+			t.Logf("seed %d: flow cost %d, LP %g", seed, flowCost, sol.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

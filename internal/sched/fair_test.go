@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"testing"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+	"lips/internal/sim"
+	"lips/internal/workload"
+)
+
+// starvationSetup: a tiny cluster userA floods at t=0 with long tasks;
+// userB arrives later with a short job.
+func starvationSetup() (*cluster.Cluster, *workload.Workload) {
+	b := cluster.NewBuilder("za")
+	b.AddNode("za", "t", 2, 2, cost.Millicents(1), 1e6)
+	b.AddNode("za", "t", 2, 2, cost.Millicents(1), 1e6)
+	c := b.Build()
+	wb := workload.NewBuilder()
+	arch := workload.Archetype{Name: "syn", Property: workload.Mixed, CPUSecPerBlock: 300}
+	wb.AddInputJob("flood", "userA", arch, 16*64, 0, 0) // 16 long tasks
+	short := workload.Archetype{Name: "syn2", Property: workload.Mixed, CPUSecPerBlock: 10}
+	wb.AddInputJob("quick", "userB", short, 2*64, 1, 5)
+	return c, wb.Build()
+}
+
+func TestFairMinSharePriority(t *testing.T) {
+	// With a min share for userB, its job gets slots at the first
+	// opportunity rather than waiting behind the flood.
+	c, w := starvationSetup()
+	plain := NewFair()
+	r1 := runSched(t, c, w, nil, plain, sim.Options{})
+
+	c, w = starvationSetup()
+	min := NewFair()
+	min.MinShare = map[string]int{"userB": 2}
+	r2 := runSched(t, c, w, nil, min, sim.Options{})
+
+	if r2.JobDone[1] > r1.JobDone[1]+1e-6 {
+		t.Errorf("min-share finished userB at %g, plain fair at %g", r2.JobDone[1], r1.JobDone[1])
+	}
+}
+
+func TestFairPreemptionRescuesStarvedPool(t *testing.T) {
+	// All four slots run userA's 300-ECU-sec tasks (150 s each at slot
+	// ECU 1). Without preemption userB waits ~150 s for a slot; with a
+	// 20 s preemption timeout it gets one within ~tens of seconds.
+	c, w := starvationSetup()
+	noPre := NewFair()
+	noPre.MinShare = map[string]int{"userB": 1}
+	r1 := runSched(t, c, w, nil, noPre, sim.Options{})
+
+	c, w = starvationSetup()
+	pre := NewFair()
+	pre.MinShare = map[string]int{"userB": 1}
+	pre.PreemptTimeoutSec = 20
+	r2 := runSched(t, c, w, nil, pre, sim.Options{})
+
+	if pre.Preemptions == 0 {
+		t.Fatal("no preemptions happened")
+	}
+	if r2.JobDone[1] >= r1.JobDone[1] {
+		t.Errorf("preemption did not speed up the starved pool: %g vs %g", r2.JobDone[1], r1.JobDone[1])
+	}
+	// Preempted work is re-run: the flood job still completes.
+	if r2.JobDone[0] <= 0 {
+		t.Error("flood job never finished")
+	}
+	// The kill burned CPU: speculative-waste category charged.
+	if r2.Cost.Category(cost.CatSpeculative) == 0 {
+		t.Error("preempted burn not billed")
+	}
+}
+
+func TestKillTaskStates(t *testing.T) {
+	c, w := starvationSetup()
+	ss := &stubKiller{}
+	s := sim.New(c, w, nil, ss, sim.Options{})
+	ss.s = s
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ss.checked {
+		t.Fatal("kill checks never ran")
+	}
+	if ss.err != "" {
+		t.Error(ss.err)
+	}
+}
+
+// stubKiller exercises KillTask transitions from inside the simulation.
+type stubKiller struct {
+	s        *sim.Sim
+	checked  bool
+	checking bool
+	err      string
+}
+
+func (k *stubKiller) Name() string                  { return "killer" }
+func (k *stubKiller) Init(s *sim.Sim)               {}
+func (k *stubKiller) OnTaskDone(*sim.Sim, int, int) {}
+
+func (k *stubKiller) OnJobArrival(s *sim.Sim, j int) {
+	if j != 0 || k.checked {
+		s.KickIdleNodes()
+		return
+	}
+	k.checked = true
+	k.checking = true
+	defer func() { k.checking = false }()
+	// Killing a pending task must fail.
+	if err := s.KillTask(0, 0); err == nil {
+		k.err = "killed a pending task"
+	}
+	// Launch then kill: returns to pending, slot freed.
+	if err := s.Launch(0, 0, 0, 0); err != nil {
+		k.err = err.Error()
+		return
+	}
+	free := s.FreeSlots(0)
+	if err := s.KillTask(0, 0); err != nil {
+		k.err = err.Error()
+		return
+	}
+	if s.TaskState(0, 0) != sim.Pending {
+		k.err = "killed task not pending"
+	}
+	if s.FreeSlots(0) != free+1 {
+		k.err = "slot not freed by kill"
+	}
+	// Enqueue then kill: dequeued.
+	if err := s.Enqueue(0, 0, 0, 0, s.Now()+1e6); err != nil {
+		k.err = err.Error()
+		return
+	}
+	if err := s.KillTask(0, 0); err != nil {
+		k.err = err.Error()
+		return
+	}
+	s.KickIdleNodes()
+}
+
+func (k *stubKiller) OnSlotFree(s *sim.Sim, n cluster.NodeID) {
+	if k.checking {
+		return // stay inert while the kill checks run
+	}
+	for s.FreeSlots(n) > 0 {
+		launched := false
+		for _, j := range s.ArrivedJobs() {
+			pending := s.PendingTasks(j)
+			if len(pending) == 0 {
+				continue
+			}
+			store := sim.NoStore
+			if s.W.Jobs[j].HasInput() {
+				store = s.BestReplica(j, pending[0], n)
+			}
+			if s.Launch(j, pending[0], n, store) == nil {
+				launched = true
+				break
+			}
+		}
+		if !launched {
+			return
+		}
+	}
+}

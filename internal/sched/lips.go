@@ -1,0 +1,444 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lips/internal/cluster"
+	"lips/internal/core"
+	"lips/internal/cost"
+	"lips/internal/hdfs"
+	"lips/internal/lp"
+	"lips/internal/sim"
+	"lips/internal/workload"
+)
+
+// LiPS is the paper's scheduler: every EpochSec seconds it gathers the
+// queued jobs' remaining work, builds the online co-scheduling LP (Fig. 4)
+// over the cluster's node groups, solves it, rounds the fractional optimum
+// to whole tasks and blocks, issues the data moves, and pins the tasks to
+// concrete nodes. Work the LP parks on the fake node stays queued for the
+// next epoch.
+type LiPS struct {
+	// EpochSec is the scheduling epoch e. The zero value selects 400 s
+	// (one of the two epoch lengths of Fig. 11).
+	EpochSec float64
+	// Aggregate builds the LP over node groups instead of individual
+	// nodes (lossless for class-structured clusters; see DESIGN.md).
+	// Enabled by default via NewLiPS.
+	Aggregate bool
+	// LPOpts tunes the simplex.
+	LPOpts lp.Options
+	// PriceMultiplier, when non-nil, re-prices each epoch's LP with the
+	// spot multiplier sampled at the epoch start — pass the same function
+	// given to sim.Options so planning and billing agree.
+	PriceMultiplier func(instanceType string, t float64) float64
+
+	// Stats, readable after a run.
+	Epochs      int
+	SolveTime   time.Duration // wall-clock spent in the LP solver
+	LPIters     int
+	TasksMoved  int // tasks enqueued via LP plans
+	BlocksMoved int
+	Err         error // first scheduling error, if any
+
+	stale   int // consecutive epochs with pending work but no launches
+	rrNode  map[int]int
+	rrStore map[int]int
+}
+
+// NewLiPS returns a LiPS scheduler with the given epoch length (0 selects
+// the 400 s default) and group aggregation enabled.
+func NewLiPS(epochSec float64) *LiPS {
+	return &LiPS{EpochSec: epochSec, Aggregate: true}
+}
+
+// Name implements sim.Scheduler.
+func (l *LiPS) Name() string { return fmt.Sprintf("lips(e=%.0fs)", l.EpochSec) }
+
+// Init implements sim.Scheduler.
+func (l *LiPS) Init(s *sim.Sim) {
+	if l.EpochSec == 0 {
+		l.EpochSec = 400
+	}
+	l.rrNode = make(map[int]int)
+	l.rrStore = make(map[int]int)
+	s.At(0, func() { l.tick(s) })
+}
+
+// OnJobArrival implements sim.Scheduler: LiPS waits for the next epoch
+// ("non-greedy patience", paper §V-B).
+func (l *LiPS) OnJobArrival(*sim.Sim, int) {}
+
+// OnSlotFree implements sim.Scheduler: LiPS pre-assigns tasks to nodes, so
+// free slots drain the node's pinned queue (handled by the simulator) and
+// otherwise wait for the next epoch.
+func (l *LiPS) OnSlotFree(*sim.Sim, cluster.NodeID) {}
+
+// OnTaskDone implements sim.Scheduler.
+func (l *LiPS) OnTaskDone(*sim.Sim, int, int) {}
+
+// tick runs one scheduling epoch.
+func (l *LiPS) tick(s *sim.Sim) {
+	if l.done(s) {
+		return
+	}
+	defer s.At(s.Now()+l.EpochSec, func() { l.tick(s) })
+
+	queued := l.queuedJobs(s)
+	if len(queued) == 0 {
+		return
+	}
+	l.Epochs++
+
+	launched := l.planEpoch(s, queued)
+	if launched == 0 {
+		l.stale++
+		if l.stale >= 3 {
+			// Safety valve: rounding starvation (tiny fractions rounding
+			// to zero tasks across consecutive epochs). Greedily place
+			// the stragglers data-locally so the run always terminates.
+			l.fallback(s, queued)
+			l.stale = 0
+		}
+	} else {
+		l.stale = 0
+	}
+}
+
+func (l *LiPS) done(s *sim.Sim) bool {
+	for j := range s.W.Jobs {
+		if s.JobRemaining(j) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// queuedJobs lists arrived jobs that still have Pending (unassigned)
+// tasks.
+func (l *LiPS) queuedJobs(s *sim.Sim) []int {
+	var out []int
+	for _, j := range s.ArrivedJobs() {
+		if len(s.PendingTasks(j)) > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// planEpoch builds, solves and applies one epoch's LP. It returns the
+// number of tasks enqueued.
+func (l *LiPS) planEpoch(s *sim.Sim, queued []int) int {
+	// Build a synthetic sub-workload of the remaining work: one job item
+	// per queued job covering only its pending tasks, one data item per
+	// input job covering only the pending blocks (with their current
+	// placement as the origin mix).
+	subJobs := make([]workload.Job, 0, len(queued))
+	var subObjects []hdfs.DataObject
+	subPlacement := make([]map[cluster.StoreID]float64, 0, len(queued))
+	pendingOf := make([][]int, len(queued))
+
+	for qi, j := range queued {
+		job := s.W.Jobs[j]
+		pending := s.PendingTasks(j)
+		pendingOf[qi] = pending
+		sub := job
+		sub.ID = qi
+		sub.NumTasks = len(pending)
+		if job.HasInput() {
+			obj := s.W.Objects[job.Object]
+			mb := 0.0
+			frac := make(map[cluster.StoreID]float64)
+			for _, t := range pending {
+				bmb := obj.BlockSizeMB(t)
+				mb += bmb
+				frac[s.P.Primary(obj.ID, t)] += bmb
+			}
+			for st := range frac {
+				frac[st] /= mb
+			}
+			sub.Object = hdfs.ObjectID(len(subObjects))
+			sub.InputMB = mb
+			subObjects = append(subObjects, hdfs.DataObject{
+				ID: sub.Object, Name: obj.Name, SizeMB: mb, Origin: s.P.Primary(obj.ID, pending[0]),
+			})
+			subPlacement = append(subPlacement, frac)
+		}
+		subJobs = append(subJobs, sub)
+	}
+
+	in, err := l.buildInstance(s, subJobs, subObjects, subPlacement)
+	if err != nil {
+		l.fail(err)
+		return 0
+	}
+	model, err := core.BuildOnlineModel(in)
+	if err != nil {
+		l.fail(err)
+		return 0
+	}
+	start := time.Now()
+	plan, err := model.Solve(l.LPOpts)
+	l.SolveTime += time.Since(start)
+	if err != nil {
+		l.fail(fmt.Errorf("epoch %d: %w", l.Epochs, err))
+		return 0
+	}
+	l.LPIters += plan.Iters
+	return l.apply(s, in, plan.Round(), queued, pendingOf)
+}
+
+// buildInstance constructs the core.Instance for the sub-workload, mapping
+// each sub-object's placement fractions onto store units.
+func (l *LiPS) buildInstance(s *sim.Sim, jobs []workload.Job, objects []hdfs.DataObject, placements []map[cluster.StoreID]float64) (*core.Instance, error) {
+	// Build with a placement that has every sub-object on its nominal
+	// origin, then overwrite the origin mixes with the real fractions.
+	p := hdfs.NewPlacement(objects)
+	in, err := core.NewInstance(s.C, jobs, objects, p, core.InstanceOptions{
+		Aggregate: l.Aggregate, Horizon: l.EpochSec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	unitOf := in.StoreUnitOf()
+	for i := range objects {
+		origin := make(map[int]float64)
+		for st, f := range placements[i] {
+			unit, ok := unitOf[st]
+			if !ok {
+				return nil, fmt.Errorf("sched: store %d not in any unit", st)
+			}
+			origin[unit] += f
+		}
+		in.Data[i].Origin = origin
+	}
+	if l.PriceMultiplier != nil {
+		now := s.Now()
+		for i := range in.Machines {
+			if in.Machines[i].Fake {
+				continue
+			}
+			in.Machines[i].PerECUSecMC *= l.PriceMultiplier(in.Machines[i].Type, now)
+		}
+	}
+	return in, nil
+}
+
+// apply turns the rounded plan into concrete data moves and pinned tasks.
+func (l *LiPS) apply(s *sim.Sim, in *core.Instance, ip *core.IntegralPlan, queued []int, pendingOf [][]int) int {
+	unitOf := in.StoreUnitOf()
+
+	// Per data item: desired block counts per store unit.
+	wantBlocks := make(map[int]map[int]int) // data item → unit → blocks
+	for _, mv := range ip.Moves {
+		if wantBlocks[mv.Data] == nil {
+			wantBlocks[mv.Data] = make(map[int]int)
+		}
+		wantBlocks[mv.Data][mv.Store] += mv.Blocks
+	}
+
+	// Reconcile each input job's pending blocks with the desired layout:
+	// blocks already on a wanted unit stay; surplus blocks move to
+	// deficit units. Track per-task (store, readyAt).
+	type taskLoc struct {
+		store   cluster.StoreID
+		unit    int
+		readyAt float64
+	}
+	locs := make([]map[int]taskLoc, len(queued)) // qi → task → location
+	for qi := range queued {
+		locs[qi] = make(map[int]taskLoc)
+		job := s.W.Jobs[queued[qi]]
+		if !job.HasInput() {
+			continue
+		}
+		item := in.Jobs[qi].Data
+		obj := s.W.Objects[job.Object]
+		want := wantBlocks[item]
+		// Pass 1: keep blocks already where the plan wants them.
+		var homeless []int
+		for _, t := range pendingOf[qi] {
+			st := s.P.Primary(obj.ID, t)
+			unit := unitOf[st]
+			if want[unit] > 0 {
+				want[unit]--
+				locs[qi][t] = taskLoc{store: st, unit: unit, readyAt: s.Now()}
+			} else {
+				homeless = append(homeless, t)
+			}
+		}
+		// Pass 2: move the rest to units still owed blocks, each block
+		// to the cheapest deficit unit from where it currently sits
+		// (mirroring the LP's transportation flows — typically a free
+		// intra-zone hop).
+		units := make([]int, 0, len(want))
+		for u := range want {
+			units = append(units, u)
+		}
+		sort.Ints(units)
+		for _, t := range homeless {
+			st := s.P.Primary(obj.ID, t)
+			best, bestCost := -1, cost.Money(0)
+			for _, u := range units {
+				if want[u] == 0 {
+					continue
+				}
+				c := s.C.SSPerGB(st, in.Stores[u].Stores[0])
+				if best == -1 || c < bestCost {
+					best, bestCost = u, c
+				}
+			}
+			if best == -1 {
+				// Rounding mismatch: leave the block in place.
+				locs[qi][t] = taskLoc{store: st, unit: unitOf[st], readyAt: s.Now()}
+				continue
+			}
+			want[best]--
+			dst := l.pickStore(in, best)
+			doneAt := s.MoveBlock(int(obj.ID), t, dst)
+			l.BlocksMoved++
+			locs[qi][t] = taskLoc{store: dst, unit: best, readyAt: doneAt}
+		}
+	}
+
+	// Assign tasks per (job, machine unit, store unit) count.
+	launched := 0
+	byJob := make(map[int][]core.TaskAssignment)
+	for _, a := range ip.Assignments {
+		byJob[a.Job] = append(byJob[a.Job], a)
+	}
+	for qi := range queued {
+		j := queued[qi]
+		job := s.W.Jobs[j]
+		assignments := byJob[qi]
+		sort.Slice(assignments, func(a, b int) bool {
+			if assignments[a].Machine != assignments[b].Machine {
+				return assignments[a].Machine < assignments[b].Machine
+			}
+			return assignments[a].Store < assignments[b].Store
+		})
+		remaining := append([]int(nil), pendingOf[qi]...)
+		taken := make(map[int]bool)
+		for _, a := range assignments {
+			for n := 0; n < a.Tasks; n++ {
+				t, ok := pickTask(remaining, taken, func(t int) bool {
+					if !job.HasInput() {
+						return true
+					}
+					return locs[qi][t].unit == a.Store
+				})
+				if !ok {
+					// Rounding mismatch between moves and assignments:
+					// take the unassigned task whose data is cheapest to
+					// read from this machine unit.
+					t, ok = cheapestTask(in, remaining, taken, a.Machine, func(t int) int {
+						if !job.HasInput() {
+							return 0
+						}
+						return locs[qi][t].unit
+					})
+					if !ok {
+						break
+					}
+				}
+				node := l.pickNode(s, in, a.Machine)
+				store, readyAt := sim.NoStore, s.Now()
+				if job.HasInput() {
+					store, readyAt = locs[qi][t].store, locs[qi][t].readyAt
+				}
+				if err := s.Enqueue(j, t, node, store, readyAt); err != nil {
+					l.fail(err)
+					continue
+				}
+				launched++
+				l.TasksMoved++
+			}
+		}
+	}
+	return launched
+}
+
+// pickTask selects the first untaken task satisfying pred.
+func pickTask(tasks []int, taken map[int]bool, pred func(int) bool) (int, bool) {
+	for _, t := range tasks {
+		if !taken[t] && pred(t) {
+			taken[t] = true
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// cheapestTask selects the untaken task whose data unit is cheapest to
+// read from the given machine unit.
+func cheapestTask(in *core.Instance, tasks []int, taken map[int]bool, machine int, unitOf func(int) int) (int, bool) {
+	best, bestMC := -1, 0.0
+	for _, t := range tasks {
+		if taken[t] {
+			continue
+		}
+		mc := in.MSPerMBMC[machine][unitOf(t)]
+		if best == -1 || mc < bestMC {
+			best, bestMC = t, mc
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	taken[best] = true
+	return best, true
+}
+
+// pickNode round-robins over the concrete nodes of a machine unit.
+func (l *LiPS) pickNode(s *sim.Sim, in *core.Instance, unit int) cluster.NodeID {
+	nodes := in.Machines[unit].Nodes
+	idx := l.rrNode[unit] % len(nodes)
+	l.rrNode[unit]++
+	return nodes[idx]
+}
+
+// pickStore round-robins over the concrete stores of a store unit.
+func (l *LiPS) pickStore(in *core.Instance, unit int) cluster.StoreID {
+	stores := in.Stores[unit].Stores
+	idx := l.rrStore[unit] % len(stores)
+	l.rrStore[unit]++
+	return stores[idx]
+}
+
+// fallback greedily enqueues all pending tasks data-locally (or on the
+// cheapest node) — only used to break rounding starvation.
+func (l *LiPS) fallback(s *sim.Sim, queued []int) {
+	cheapest := cluster.NodeID(0)
+	for _, n := range s.C.Nodes {
+		if n.PerECUSec < s.C.Nodes[cheapest].PerECUSec {
+			cheapest = n.ID
+		}
+	}
+	for _, j := range queued {
+		job := s.W.Jobs[j]
+		for _, t := range s.PendingTasks(j) {
+			if !job.HasInput() {
+				if err := s.Enqueue(j, t, cheapest, sim.NoStore, s.Now()); err != nil {
+					l.fail(err)
+				}
+				continue
+			}
+			st := s.P.Primary(job.Object, t)
+			node := s.C.Stores[st].Node
+			if node == cluster.None {
+				node = cheapest
+			}
+			if err := s.Enqueue(j, t, node, st, s.Now()); err != nil {
+				l.fail(err)
+			}
+		}
+	}
+}
+
+func (l *LiPS) fail(err error) {
+	if l.Err == nil {
+		l.Err = err
+	}
+}

@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lips/internal/cluster"
+	"lips/internal/sim"
+	"lips/internal/workload"
+)
+
+// TestFullMapReducePipeline runs map + shuffle + reduce end to end: a
+// SWIM-style trace is expanded with reduce companions gated on map
+// completion, then scheduled by LiPS and by the Hadoop default scheduler.
+func TestFullMapReducePipeline(t *testing.T) {
+	const trace = "sortjob\t0\t0\t536870912\t268435456\t134217728\n" + // 8 maps, 256 MB shuffle
+		"grepjob\t5\t5\t268435456\t0\t1048576\n" // 4 maps, map-only
+
+	build := func() (*cluster.Cluster, *workload.Workload, [][]int) {
+		c := mixedCluster()
+		stores := make([]cluster.StoreID, len(c.Stores))
+		for i := range stores {
+			stores[i] = cluster.StoreID(i)
+		}
+		rng := rand.New(rand.NewSource(6))
+		w, metas, err := workload.ReadSWIMNative(strings.NewReader(trace), rng, stores[:3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, deps, err := workload.ExpandReduces(w, workload.SWIMReduceSpecs(metas))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, full, deps
+	}
+
+	for _, mk := range []struct {
+		name string
+		make func() sim.Scheduler
+		opts sim.Options
+	}{
+		{"fifo", func() sim.Scheduler { return NewFIFO() }, sim.Options{}},
+		{"lips", func() sim.Scheduler { return NewLiPS(120) }, sim.Options{TaskTimeoutSec: 1200}},
+	} {
+		c, w, deps := build()
+		opts := mk.opts
+		opts.Deps = deps
+		scheduler := mk.make()
+		r, err := sim.New(c, w, nil, scheduler, opts).Run()
+		if err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		if l, ok := scheduler.(*LiPS); ok && l.Err != nil {
+			t.Fatalf("lips: %v", l.Err)
+		}
+		// The reduce stage must start only after its map stage: sortjob
+		// is job 0, its companion is job 2 ("sortjob-reduce").
+		if w.Jobs[2].Name != "sortjob-reduce" {
+			t.Fatalf("unexpected job layout: %v", w.Jobs[2].Name)
+		}
+		if r.JobDone[2] <= r.JobDone[0] {
+			t.Errorf("%s: reduce finished at %g before maps at %g", mk.name, r.JobDone[2], r.JobDone[0])
+		}
+		// Everything completes and the shuffle's CPU demand is billed.
+		for j, done := range r.JobDone {
+			if done <= 0 {
+				t.Errorf("%s: job %d (%s) unfinished", mk.name, j, w.Jobs[j].Name)
+			}
+		}
+	}
+}

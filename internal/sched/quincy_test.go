@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"lips/internal/cluster"
+	"lips/internal/sim"
+	"lips/internal/workload"
+)
+
+func TestQuincyCompletesWorkload(t *testing.T) {
+	c := mixedCluster()
+	w := smallJobSet(rand.New(rand.NewSource(2)), 3)
+	q := NewQuincy()
+	r := runSched(t, c, w, nil, q, sim.Options{})
+	if q.Rounds == 0 {
+		t.Error("no flow rounds ran")
+	}
+	if r.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+	for j, done := range r.JobDone {
+		if done <= 0 {
+			t.Errorf("job %d never finished", j)
+		}
+	}
+}
+
+func TestQuincyBeatsFIFOLocality(t *testing.T) {
+	// Quincy's whole point: the flow optimum finds a globally better
+	// locality assignment than greedy slot-by-slot matching.
+	build := func() (*cluster.Cluster, *workload.Workload) {
+		c := mixedCluster()
+		rng := rand.New(rand.NewSource(8))
+		wb := workload.NewBuilder()
+		for i := 0; i < 10; i++ {
+			wb.AddInputJob("j", "u", workload.Grep, 6*64, cluster.StoreID(rng.Intn(6)), float64(i*3))
+		}
+		return c, wb.Build()
+	}
+	c, w := build()
+	fifo := runSched(t, c, w, nil, NewFIFO(), sim.Options{})
+	c, w = build()
+	quincy := runSched(t, c, w, nil, NewQuincy(), sim.Options{})
+	if quincy.Locality.LocalFraction() < fifo.Locality.LocalFraction() {
+		t.Errorf("quincy locality %.2f < fifo %.2f",
+			quincy.Locality.LocalFraction(), fifo.Locality.LocalFraction())
+	}
+}
+
+func TestQuincyIsNotCostAware(t *testing.T) {
+	// On the heterogeneous cluster with data on the expensive nodes,
+	// Quincy optimizes locality and therefore pays m1.medium prices —
+	// LiPS must beat it on dollars. This is the paper's core argument
+	// against purely locality/fairness-driven schedulers.
+	build := func() (*cluster.Cluster, *workload.Workload) {
+		c := mixedCluster()
+		rng := rand.New(rand.NewSource(4))
+		wb := workload.NewBuilder()
+		for i := 0; i < 6; i++ {
+			// Data only on the m1.medium stores (0–2).
+			wb.AddInputJob("j", "u", workload.Stress2, 8*64, cluster.StoreID(rng.Intn(3)), 0)
+		}
+		return c, wb.Build()
+	}
+	c, w := build()
+	quincy := runSched(t, c, w, nil, NewQuincy(), sim.Options{})
+	c, w = build()
+	lips := NewLiPS(400)
+	lipsRes := runSched(t, c, w, nil, lips, sim.Options{TaskTimeoutSec: 1200})
+	if lipsRes.TotalCost() >= quincy.TotalCost() {
+		t.Errorf("lips %v did not beat quincy %v on cost", lipsRes.TotalCost(), quincy.TotalCost())
+	}
+	t.Logf("quincy=%v lips=%v (%.0f%% cheaper)", quincy.TotalCost(), lipsRes.TotalCost(),
+		100*(1-float64(lipsRes.TotalCost())/float64(quincy.TotalCost())))
+}

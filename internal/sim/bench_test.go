@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"lips/internal/cluster"
+	"lips/internal/workload"
+)
+
+// benchWorkload: a mid-size mixed batch on the 20-node testbed.
+func benchWorkload(b *testing.B) (*cluster.Cluster, *workload.Workload) {
+	b.Helper()
+	c := cluster.Paper20(0.5)
+	rng := rand.New(rand.NewSource(1))
+	stores := make([]cluster.StoreID, len(c.Stores))
+	for i := range stores {
+		stores[i] = cluster.StoreID(i)
+	}
+	w := workload.Random(rng, stores, workload.RandomSpec{TotalTasks: 800})
+	return c, w
+}
+
+// BenchmarkSimulatorThroughput measures end-to-end event processing for a
+// full run (≈3 events per task) under the greedy stub.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	c, w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := w.Placement()
+		p.Shuffle(rand.New(rand.NewSource(2)), allStores(c))
+		s := New(c, w, p, greedyStub(), Options{})
+		b.StartTimer()
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(w.TotalTasks()), "tasks/run")
+}
+
+// BenchmarkSimulatorSharedLinks measures the processor-sharing network
+// model's overhead relative to the dedicated-rate path.
+func BenchmarkSimulatorSharedLinks(b *testing.B) {
+	c, w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := w.Placement()
+		p.Shuffle(rand.New(rand.NewSource(2)), allStores(c))
+		s := New(c, w, p, greedyStub(), Options{SharedLinks: true})
+		b.StartTimer()
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func allStores(c *cluster.Cluster) []cluster.StoreID {
+	out := make([]cluster.StoreID, len(c.Stores))
+	for i := range out {
+		out[i] = cluster.StoreID(i)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"lips/internal/workload"
+)
+
+func TestDependencyGatedArrivals(t *testing.T) {
+	c := oneNodeCluster()
+	wb := workload.NewBuilder()
+	arch := workload.Archetype{Name: "syn", Property: workload.Mixed, CPUSecPerBlock: 6.4}
+	wb.AddInputJob("extract", "u", arch, 64, 0, 0)
+	wb.AddInputJob("transform", "u", arch, 64, 0, 0)
+	wb.AddInputJob("load", "u", arch, 64, 0, 0)
+	w := wb.Build()
+	s := New(c, w, nil, greedyStub(), Options{Deps: [][]int{nil, {0}, {1}}})
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each stage runs only after its predecessor: completions strictly
+	// ordered even though one node could have overlapped them.
+	if !(r.JobDone[0] < r.JobDone[1] && r.JobDone[1] < r.JobDone[2]) {
+		t.Errorf("stage completions not ordered: %v", r.JobDone)
+	}
+	// Serial chain: the makespan is at least 3 stage durations.
+	stage := 0.64 + 6.4 // transfer + compute at slotECU 1
+	if r.Makespan < 3*stage-1e-6 {
+		t.Errorf("makespan %g too short for a serial chain", r.Makespan)
+	}
+}
+
+func TestDependencyDiamondOverlapsMiddle(t *testing.T) {
+	c := oneNodeCluster() // 2 slots: the two middle stages can overlap
+	wb := workload.NewBuilder()
+	arch := workload.Archetype{Name: "syn", Property: workload.Mixed, CPUSecPerBlock: 6.4}
+	for _, name := range []string{"src", "mid1", "mid2", "sink"} {
+		wb.AddInputJob(name, "u", arch, 64, 0, 0)
+	}
+	w := wb.Build()
+	deps := [][]int{nil, {0}, {0}, {1, 2}}
+	s := New(c, w, nil, greedyStub(), Options{Deps: deps})
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JobDone[3] <= r.JobDone[1] || r.JobDone[3] <= r.JobDone[2] {
+		t.Errorf("sink finished before its inputs: %v", r.JobDone)
+	}
+	// mid1 and mid2 overlap on the two slots: the diamond takes ~3
+	// stages, not 4.
+	stage := 0.64 + 6.4
+	if r.Makespan > 3.5*stage {
+		t.Errorf("makespan %g suggests no overlap (stage %g)", r.Makespan, stage)
+	}
+}
+
+func TestDependencyValidation(t *testing.T) {
+	c := oneNodeCluster()
+	w := twoTaskJob()
+	if _, err := New(c, w, nil, greedyStub(), Options{Deps: [][]int{{5}}}).Run(); err == nil {
+		t.Error("out-of-range dep accepted")
+	}
+	if _, err := New(c, w, nil, greedyStub(), Options{Deps: [][]int{nil, nil, nil}}).Run(); err == nil {
+		t.Error("oversized dep list accepted")
+	}
+}
+
+func TestDependencyCycleDeadlocksCleanly(t *testing.T) {
+	c := oneNodeCluster()
+	wb := workload.NewBuilder()
+	arch := workload.Archetype{Name: "syn", Property: workload.Mixed, CPUSecPerBlock: 6.4}
+	wb.AddInputJob("a", "u", arch, 64, 0, 0)
+	wb.AddInputJob("b", "u", arch, 64, 0, 0)
+	w := wb.Build()
+	_, err := New(c, w, nil, greedyStub(), Options{Deps: [][]int{{1}, {0}}}).Run()
+	if err == nil {
+		t.Fatal("cyclic deps should surface as a deadlock error")
+	}
+}

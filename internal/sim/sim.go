@@ -1,0 +1,386 @@
+// Package sim is a deterministic discrete-event simulator of a Hadoop-like
+// MapReduce cluster: task slots per node, block-granular input reads over a
+// pairwise bandwidth model, store-to-store data relocation, per-task dollar
+// accounting, progress timeouts and optional speculative execution.
+//
+// Schedulers plug in through the Scheduler interface. The simulator owns
+// the clock, the event heap, per-node slot state and per-node pinned task
+// queues; schedulers react to job arrivals, free slots and task
+// completions, and act through Launch, Enqueue and MoveBlock.
+//
+// Simplifications relative to a real cluster (documented in DESIGN.md):
+// transfers do not contend for link capacity (each gets the full pairwise
+// bandwidth), and a task's CPU rate is its slot's fixed share of the
+// node's ECU throughput.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+	"lips/internal/hdfs"
+	"lips/internal/metrics"
+	"lips/internal/workload"
+)
+
+// Scheduler is the plug-in interface, mirroring what Hadoop's JobTracker
+// offers a TaskScheduler.
+type Scheduler interface {
+	// Name labels results.
+	Name() string
+	// Init runs before the first event; epoch-based schedulers register
+	// their first tick here.
+	Init(s *Sim)
+	// OnJobArrival fires when a job is submitted.
+	OnJobArrival(s *Sim, job int)
+	// OnSlotFree fires when node n has at least one free slot and no
+	// ready queued task. The scheduler may Launch tasks.
+	OnSlotFree(s *Sim, n cluster.NodeID)
+	// OnTaskDone fires after a task completes.
+	OnTaskDone(s *Sim, job, task int)
+}
+
+// Options tunes the simulated Hadoop configuration.
+type Options struct {
+	// Speculative enables Hadoop-style speculative execution (the paper
+	// disables it for LiPS runs; see §VI-A).
+	Speculative bool
+	// TaskTimeoutSec kills tasks whose input transfer has not completed
+	// within the window — Hadoop's 10-minute progress timeout. LiPS
+	// raises it to 20 minutes. 0 means 600.
+	TaskTimeoutSec float64
+	// MaxAttempts is the per-task retry budget before the timeout is
+	// waived (prevents livelock on absurd topologies). 0 means 4.
+	MaxAttempts int
+	// MaxEvents aborts runaway simulations. 0 means 50 million.
+	MaxEvents int
+	// BillOccupancy charges CPU for a task's wall-clock slot occupancy
+	// (transfer stalls included) instead of pure CPU seconds — an
+	// ablation of the billing model (instance time is what EC2 actually
+	// charges for).
+	BillOccupancy bool
+	// Deps declares inter-job dependencies: Deps[j] lists the jobs that
+	// must complete before job j is submitted (the paper's §III DAG
+	// workloads, reduced to levels by dependency-gated arrivals). Jobs
+	// absent or with empty lists arrive at their ArrivalSec. Validate
+	// the graph with dag.Validate first — a cyclic graph deadlocks and
+	// is reported as an error at the end of Run.
+	Deps [][]int
+	// SharedLinks makes concurrent task input transfers between a zone
+	// pair share that pair's bandwidth (processor sharing) instead of
+	// each getting the full pairwise rate — the network-saturation
+	// effect the paper warns about. Same-node disk reads never contend;
+	// background block relocation stays on the dedicated-rate model so
+	// epoch planners can predict its completion.
+	SharedLinks bool
+	// PriceMultiplier, when non-nil, scales a node's ECU-second price by
+	// a time-dependent factor keyed on its instance type — a spot-market
+	// model. Charges use the multiplier at task completion time.
+	// Schedulers that want to react must consult it themselves (the LiPS
+	// adapter re-prices its LP every epoch).
+	PriceMultiplier func(instanceType string, t float64) float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TaskTimeoutSec == 0 {
+		o.TaskTimeoutSec = 600
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 4
+	}
+	if o.MaxEvents == 0 {
+		o.MaxEvents = 50_000_000
+	}
+	return o
+}
+
+// TaskState is a task's lifecycle state.
+type TaskState int
+
+// Task lifecycle.
+const (
+	Pending TaskState = iota // not yet assigned
+	Queued                   // pinned to a node's queue, waiting for a slot
+	Running
+	Done
+)
+
+// event is one scheduled callback; seq breaks ties deterministically.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type taskInfo struct {
+	state    TaskState
+	attempts int
+	gen      int // incremented to cancel in-flight attempts
+	node     cluster.NodeID
+	doneAt   float64
+	flow     *flow // in-flight shared-link transfer, if any
+
+	specRunning bool
+	specNode    cluster.NodeID
+	specStart   float64
+	specCPUSec  float64
+	specFlow    *flow
+}
+
+type jobState struct {
+	arrived    bool
+	remaining  int
+	doneAt     float64
+	waitingOn  int   // unfinished prerequisite jobs
+	dependents []int // jobs gated on this one
+}
+
+type queueEntry struct {
+	job, task int
+	store     cluster.StoreID
+	readyAt   float64
+}
+
+type nodeState struct {
+	free  int
+	queue []queueEntry
+}
+
+// Sim is one simulation run. Create with New, execute with Run.
+type Sim struct {
+	C *cluster.Cluster
+	W *workload.Workload
+	P *hdfs.Placement
+
+	Ledger   *cost.Ledger
+	Locality metrics.LocalityCounter
+	NodeCPU  *metrics.NodeCPU
+	UserCPU  map[string]float64
+
+	opts  Options
+	sched Scheduler
+
+	clock  float64
+	seq    int64
+	events eventHeap
+	nevent int
+
+	nodes []nodeState
+	jobs  []jobState
+	tasks [][]taskInfo
+
+	fifo        []int // arrival-ordered incomplete jobs
+	busySlotSec float64
+	remaining   int // incomplete jobs
+	net         *netEngine
+}
+
+// New builds a simulation of workload w on cluster c under the given
+// scheduler. The initial data placement defaults to every object on its
+// origin store; pass a non-nil placement to override (it is used
+// directly, not copied).
+func New(c *cluster.Cluster, w *workload.Workload, p *hdfs.Placement, sched Scheduler, opts Options) *Sim {
+	if p == nil {
+		p = w.Placement()
+	}
+	s := &Sim{
+		C: c, W: w, P: p,
+		Ledger:  cost.NewLedger(),
+		NodeCPU: metrics.NewNodeCPU(),
+		UserCPU: make(map[string]float64),
+		opts:    opts.withDefaults(),
+		sched:   sched,
+	}
+	s.nodes = make([]nodeState, len(c.Nodes))
+	for i, n := range c.Nodes {
+		s.nodes[i].free = n.Slots
+	}
+	s.jobs = make([]jobState, len(w.Jobs))
+	s.tasks = make([][]taskInfo, len(w.Jobs))
+	for j, job := range w.Jobs {
+		s.tasks[j] = make([]taskInfo, job.NumTasks)
+		s.jobs[j].remaining = job.NumTasks
+	}
+	s.remaining = len(w.Jobs)
+	s.net = newNetEngine(s)
+	return s
+}
+
+// Now returns the simulation clock in seconds.
+func (s *Sim) Now() float64 { return s.clock }
+
+// At schedules fn to run at time t (clamped to now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.clock {
+		t = s.clock
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// Run executes the simulation to completion and returns the result.
+func (s *Sim) Run() (*Result, error) {
+	s.sched.Init(s)
+	for j, deps := range s.opts.Deps {
+		if j >= len(s.jobs) {
+			return nil, fmt.Errorf("sim: Deps refers to job %d of %d", j, len(s.jobs))
+		}
+		for _, d := range deps {
+			if d < 0 || d >= len(s.jobs) {
+				return nil, fmt.Errorf("sim: job %d depends on out-of-range job %d", j, d)
+			}
+			s.jobs[j].waitingOn++
+			s.jobs[d].dependents = append(s.jobs[d].dependents, j)
+		}
+	}
+	for j := range s.W.Jobs {
+		if s.jobs[j].waitingOn > 0 {
+			continue // gated on dependencies
+		}
+		job := j
+		s.At(s.W.Jobs[j].ArrivalSec, func() { s.arrive(job) })
+	}
+	for len(s.events) > 0 {
+		s.nevent++
+		if s.nevent > s.opts.MaxEvents {
+			return nil, fmt.Errorf("sim: aborted after %d events at t=%.1f (%d jobs incomplete)", s.nevent, s.clock, s.remaining)
+		}
+		ev := heap.Pop(&s.events).(event)
+		s.clock = ev.at
+		ev.fn()
+	}
+	if s.remaining > 0 {
+		return nil, fmt.Errorf("sim: deadlock: %d jobs incomplete at t=%.1f under %s", s.remaining, s.clock, s.sched.Name())
+	}
+	return s.result(), nil
+}
+
+func (s *Sim) arrive(job int) {
+	s.jobs[job].arrived = true
+	s.fifo = append(s.fifo, job)
+	s.sched.OnJobArrival(s, job)
+}
+
+// ArrivedJobs returns the arrived-and-incomplete jobs in arrival order.
+func (s *Sim) ArrivedJobs() []int {
+	out := make([]int, 0, len(s.fifo))
+	for _, j := range s.fifo {
+		if s.jobs[j].remaining > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// PendingTasks returns the Pending task indices of a job, ascending.
+func (s *Sim) PendingTasks(job int) []int {
+	var out []int
+	for t := range s.tasks[job] {
+		if s.tasks[job][t].state == Pending {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TaskState returns the state of one task.
+func (s *Sim) TaskState(job, task int) TaskState { return s.tasks[job][task].state }
+
+// FreeSlots returns the free slot count of a node.
+func (s *Sim) FreeSlots(n cluster.NodeID) int { return s.nodes[n].free }
+
+// JobRemaining returns how many tasks of the job are not Done.
+func (s *Sim) JobRemaining(job int) int { return s.jobs[job].remaining }
+
+// KickIdleNodes invokes OnSlotFree for every node that has free slots and
+// no dispatchable queue entry — how built-in schedulers react to arrivals.
+func (s *Sim) KickIdleNodes() {
+	for n := range s.nodes {
+		if s.nodes[n].free > 0 {
+			s.dispatch(cluster.NodeID(n))
+		}
+	}
+}
+
+// result assembles the final Result.
+func (s *Sim) result() *Result {
+	r := &Result{
+		Scheduler: s.sched.Name(),
+		Cost:      s.Ledger,
+		Locality:  s.Locality,
+		NodeCPU:   s.NodeCPU,
+		JobDone:   make([]float64, len(s.jobs)),
+		UserCPU:   s.UserCPU,
+	}
+	totalSlots := 0
+	for _, n := range s.C.Nodes {
+		totalSlots += n.Slots
+	}
+	for j := range s.jobs {
+		r.JobDone[j] = s.jobs[j].doneAt
+		if s.jobs[j].doneAt > r.Makespan {
+			r.Makespan = s.jobs[j].doneAt
+		}
+		r.SumJobSec += s.jobs[j].doneAt - s.W.Jobs[j].ArrivalSec
+	}
+	r.Utilization = metrics.Utilization(s.busySlotSec, float64(totalSlots), r.Makespan)
+	shares := make([]float64, 0, len(s.UserCPU))
+	users := make([]string, 0, len(s.UserCPU))
+	for u := range s.UserCPU {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		shares = append(shares, s.UserCPU[u])
+	}
+	r.Fairness = metrics.JainIndex(shares)
+	return r
+}
+
+// Result summarises one run.
+type Result struct {
+	Scheduler string
+
+	Makespan  float64 // completion time of the last job
+	SumJobSec float64 // Σ per-job (done − arrival), the paper's "total job execution time"
+
+	Cost     *cost.Ledger
+	Locality metrics.LocalityCounter
+	NodeCPU  *metrics.NodeCPU
+	JobDone  []float64
+	UserCPU  map[string]float64
+
+	Utilization float64
+	Fairness    float64 // Jain index over per-user CPU shares
+}
+
+// TotalCost is shorthand for the ledger total.
+func (r *Result) TotalCost() cost.Money { return r.Cost.Total() }
+
+// String gives a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: cost=%v makespan=%.0fs util=%.0f%% local=%.0f%%",
+		r.Scheduler, r.TotalCost(), r.Makespan, 100*r.Utilization, 100*r.Locality.LocalFraction())
+}

@@ -1,0 +1,505 @@
+package sim
+
+import (
+	"fmt"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+	"lips/internal/metrics"
+)
+
+// NoStore marks a launch without input data (Pi-style tasks).
+const NoStore cluster.StoreID = -1
+
+// priceOf returns a node's current ECU-second price, applying the spot
+// multiplier if configured.
+func (s *Sim) priceOf(node *cluster.Node) cost.Money {
+	if s.opts.PriceMultiplier == nil {
+		return node.PerECUSec
+	}
+	return node.PerECUSec.MulFloat(s.opts.PriceMultiplier(node.Type, s.clock))
+}
+
+// taskDemand returns the ECU-seconds and transferred megabytes of one
+// task. Partial-access jobs (fractional JD) touch only their access
+// fraction of each block.
+func (s *Sim) taskDemand(job, task int) (cpuSec, mb float64) {
+	j := s.W.Jobs[job]
+	if !j.HasInput() {
+		return j.CPUSecPerTask, 0
+	}
+	obj := s.W.Objects[j.Object]
+	mb = obj.BlockSizeMB(task) * j.EffectiveAccessFrac()
+	return mb * j.CPUSecPerMB, mb
+}
+
+// observeLocality classifies and records where a launched task reads from.
+func (s *Sim) observeLocality(n cluster.NodeID, store cluster.StoreID, hasInput bool) {
+	switch {
+	case !hasInput:
+		s.Locality.Observe(metrics.NoInput)
+	case s.C.Nodes[n].Store == store:
+		s.Locality.Observe(metrics.NodeLocal)
+	case s.C.Nodes[n].Zone == s.C.Stores[store].Zone:
+		s.Locality.Observe(metrics.ZoneLocal)
+	default:
+		s.Locality.Observe(metrics.Remote)
+	}
+}
+
+// Launch starts task (job, task) immediately on node n, reading its input
+// block from store. The node must have a free slot; input jobs must pass
+// the store actually holding the block (any replica), no-input jobs pass
+// NoStore. Launch returns an error on misuse — scheduler bugs, surfaced
+// loudly rather than silently absorbed.
+func (s *Sim) Launch(job, task int, n cluster.NodeID, store cluster.StoreID) error {
+	ti := &s.tasks[job][task]
+	if ti.state == Running || ti.state == Done {
+		return fmt.Errorf("sim: task %d/%d launched twice", job, task)
+	}
+	if s.nodes[n].free <= 0 {
+		return fmt.Errorf("sim: no free slot on node %d", n)
+	}
+	j := s.W.Jobs[job]
+	if j.HasInput() {
+		if store == NoStore {
+			return fmt.Errorf("sim: task %d/%d needs an input store", job, task)
+		}
+		if !s.P.HasReplicaOn(j.Object, task, store) {
+			return fmt.Errorf("sim: task %d/%d: store %d does not hold block %d of object %d", job, task, store, task, j.Object)
+		}
+	} else {
+		store = NoStore
+	}
+	s.startAttempt(job, task, n, store, false)
+	return nil
+}
+
+// startAttempt begins one execution attempt (primary or speculative).
+func (s *Sim) startAttempt(job, task int, n cluster.NodeID, store cluster.StoreID, speculative bool) {
+	ti := &s.tasks[job][task]
+	j := s.W.Jobs[job]
+	node := &s.C.Nodes[n]
+	s.nodes[n].free--
+
+	cpuSec, mb := s.taskDemand(job, task)
+	slotECU := node.ECU / float64(node.Slots)
+	transferSec := 0.0
+	if mb > 0 {
+		transferSec = mb / s.C.BandwidthStoreNode(store, n)
+	}
+	runSec := cpuSec / slotECU
+
+	if speculative {
+		ti.specRunning = true
+		ti.specNode = n
+		ti.specStart = s.clock
+		ti.specCPUSec = cpuSec
+	} else {
+		ti.state = Running
+		ti.node = n
+		ti.attempts++
+		ti.doneAt = s.clock + transferSec + runSec // expected finish
+	}
+	s.observeLocality(n, store, j.HasInput())
+
+	gen := ti.gen
+	if s.opts.SharedLinks && mb > 0 && node.Store != store {
+		s.startSharedAttempt(job, task, n, store, cpuSec, mb, runSec, speculative, gen)
+		return
+	}
+	timedOut := transferSec > s.opts.TaskTimeoutSec && ti.attempts <= s.opts.MaxAttempts && !speculative
+	if timedOut {
+		// Hadoop's progress timeout: the task is killed after the
+		// timeout window; the bytes moved so far were still billed.
+		s.At(s.clock+s.opts.TaskTimeoutSec, func() {
+			if s.tasks[job][task].gen != gen {
+				return
+			}
+			movedMB := s.opts.TaskTimeoutSec * s.C.BandwidthStoreNode(store, n)
+			s.Ledger.Charge(cost.CatTransfer, j.Name,
+				s.C.MSPerGB(n, store).MulFloat(movedMB/1024))
+			s.busySlotSec += s.opts.TaskTimeoutSec
+			ti := &s.tasks[job][task]
+			ti.gen++
+			ti.state = Pending
+			s.nodes[n].free++
+			s.dispatch(n)
+		})
+		return
+	}
+
+	s.At(s.clock+transferSec+runSec, func() {
+		if s.tasks[job][task].gen != gen {
+			return
+		}
+		s.completeAttempt(job, task, n, store, cpuSec, mb, transferSec+runSec, speculative)
+	})
+}
+
+// startSharedAttempt runs one attempt whose input read contends on the
+// shared zone-pair link (Options.SharedLinks). The transfer becomes a
+// processor-sharing flow; Hadoop's progress timeout applies to the
+// transfer phase only, as in the dedicated-rate path.
+func (s *Sim) startSharedAttempt(job, task int, n cluster.NodeID, store cluster.StoreID, cpuSec, mb, runSec float64, speculative bool, gen int) {
+	ti := &s.tasks[job][task]
+	j := s.W.Jobs[job]
+	start := s.clock
+	fl := s.net.start(s.C.Stores[store].Zone, s.C.Nodes[n].Zone, mb, func() {
+		if s.tasks[job][task].gen != gen {
+			return
+		}
+		if speculative {
+			ti.specFlow = nil
+		} else {
+			ti.flow = nil
+		}
+		s.At(s.clock+runSec, func() {
+			if s.tasks[job][task].gen != gen {
+				return
+			}
+			s.completeAttempt(job, task, n, store, cpuSec, mb, s.clock+runSec-start, speculative)
+		})
+	})
+	if speculative {
+		ti.specFlow = fl
+	} else {
+		ti.flow = fl
+		ti.doneAt = start + mb/fl.rate + runSec // optimistic estimate for speculation
+	}
+	if !speculative && ti.attempts <= s.opts.MaxAttempts {
+		s.At(start+s.opts.TaskTimeoutSec, func() {
+			ti := &s.tasks[job][task]
+			if ti.gen != gen || ti.flow == nil {
+				return // attempt superseded or transfer already finished
+			}
+			moved := s.net.cancel(ti.flow)
+			ti.flow = nil
+			s.Ledger.Charge(cost.CatTransfer, j.Name, s.C.MSPerGB(n, store).MulFloat(moved/1024))
+			s.busySlotSec += s.opts.TaskTimeoutSec
+			ti.gen++
+			ti.state = Pending
+			s.nodes[n].free++
+			s.dispatch(n)
+		})
+	}
+}
+
+// completeAttempt finishes one attempt: bills it, frees the slot, settles
+// any speculative twin, and fires the completion callbacks.
+func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.StoreID, cpuSec, mb, wallSec float64, speculative bool) {
+	ti := &s.tasks[job][task]
+	j := s.W.Jobs[job]
+	node := &s.C.Nodes[n]
+
+	billedCPUSec := cpuSec
+	if s.opts.BillOccupancy {
+		billedCPUSec = wallSec * node.ECU / float64(node.Slots)
+	}
+	s.Ledger.Charge(cost.CatCPU, j.Name, cost.CPUCost(s.priceOf(node), billedCPUSec))
+	if mb > 0 {
+		s.Ledger.Charge(cost.CatTransfer, j.Name, s.C.MSPerGB(n, store).MulFloat(mb/1024))
+	}
+	s.NodeCPU.Add(int(n), cpuSec)
+	s.UserCPU[j.User] += cpuSec
+	s.busySlotSec += wallSec
+	s.nodes[n].free++
+
+	// Settle the twin attempt, if any.
+	if speculative {
+		// The speculative copy won; kill the primary and bill its
+		// partial CPU burn as speculative waste.
+		s.killAttempt(job, task, ti.node, s.clock-0)
+	} else if ti.specRunning {
+		s.killSpeculative(job, task)
+	}
+
+	ti.gen++
+	ti.state = Done
+	ti.doneAt = s.clock
+	js := &s.jobs[job]
+	js.remaining--
+	if js.remaining == 0 {
+		js.doneAt = s.clock
+		s.remaining--
+		// Release dependents whose prerequisites are now all complete
+		// (§III DAG leveling): they arrive at max(now, their own
+		// ArrivalSec).
+		for _, dep := range js.dependents {
+			s.jobs[dep].waitingOn--
+			if s.jobs[dep].waitingOn == 0 {
+				arriveAt := s.W.Jobs[dep].ArrivalSec
+				if arriveAt < s.clock {
+					arriveAt = s.clock
+				}
+				d := dep
+				s.At(arriveAt, func() { s.arrive(d) })
+			}
+		}
+	}
+	s.sched.OnTaskDone(s, job, task)
+	s.dispatch(n)
+}
+
+// killSpeculative cancels a running speculative copy, billing the CPU it
+// burned so far to the speculative-waste category.
+func (s *Sim) killSpeculative(job, task int) {
+	ti := &s.tasks[job][task]
+	if !ti.specRunning {
+		return
+	}
+	if ti.specFlow != nil {
+		// Free the link; the aborted copy's partial bytes are folded
+		// into the speculative-waste CPU charge below.
+		s.net.cancel(ti.specFlow)
+		ti.specFlow = nil
+	}
+	n := ti.specNode
+	elapsed := s.clock - ti.specStart
+	node := &s.C.Nodes[n]
+	slotECU := node.ECU / float64(node.Slots)
+	burned := elapsed * slotECU
+	if burned > ti.specCPUSec {
+		burned = ti.specCPUSec
+	}
+	s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, cost.CPUCost(s.priceOf(node), burned))
+	s.busySlotSec += elapsed
+	ti.specRunning = false
+	s.nodes[n].free++
+	s.dispatch(n)
+}
+
+// killAttempt cancels the primary attempt after a speculative win.
+func (s *Sim) killAttempt(job, task int, n cluster.NodeID, _ float64) {
+	if fl := s.tasks[job][task].flow; fl != nil {
+		s.net.cancel(fl)
+		s.tasks[job][task].flow = nil
+	}
+	node := &s.C.Nodes[n]
+	// We do not track the primary's start separately; bill half its
+	// demand as a conservative estimate of the wasted burn.
+	cpuSec, _ := s.taskDemand(job, task)
+	s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, cost.CPUCost(s.priceOf(node), cpuSec/2))
+	s.nodes[n].free++
+	s.dispatch(n)
+}
+
+// LaunchSpeculative starts a duplicate copy of a running task on node n
+// (which must have a free slot), reading from the best replica. It
+// returns false if no running task qualifies. Hadoop launches such copies
+// when slots idle near the end of a job; the first finisher wins.
+func (s *Sim) LaunchSpeculative(n cluster.NodeID) bool {
+	if !s.opts.Speculative || s.nodes[n].free <= 0 {
+		return false
+	}
+	bestJob, bestTask := -1, -1
+	var bestDone float64
+	for _, j := range s.ArrivedJobs() {
+		for t := range s.tasks[j] {
+			ti := &s.tasks[j][t]
+			if ti.state != Running || ti.specRunning || ti.node == n {
+				continue
+			}
+			if bestJob == -1 || ti.doneAt > bestDone {
+				bestJob, bestTask, bestDone = j, t, ti.doneAt
+			}
+		}
+	}
+	if bestJob == -1 {
+		return false
+	}
+	store := NoStore
+	if s.W.Jobs[bestJob].HasInput() {
+		store = s.BestReplica(bestJob, bestTask, n)
+	}
+	s.startAttempt(bestJob, bestTask, n, store, true)
+	return true
+}
+
+// BestReplica returns the replica of the task's block closest to node n:
+// node-local beats zone-local beats remote.
+func (s *Sim) BestReplica(job, task int, n cluster.NodeID) cluster.StoreID {
+	store, _ := s.BestReplicaRank(job, task, n)
+	return store
+}
+
+// BestReplicaRank returns the closest replica and its locality rank
+// (0 node-local, 1 zone-local, 2 remote).
+func (s *Sim) BestReplicaRank(job, task int, n cluster.NodeID) (cluster.StoreID, int) {
+	j := s.W.Jobs[job]
+	reps := s.P.Replicas(j.Object, task)
+	best := reps[0]
+	bestRank := s.localityRank(n, best)
+	for _, r := range reps[1:] {
+		if rank := s.localityRank(n, r); rank < bestRank {
+			best, bestRank = r, rank
+		}
+	}
+	return best, bestRank
+}
+
+func (s *Sim) localityRank(n cluster.NodeID, store cluster.StoreID) int {
+	switch {
+	case s.C.Nodes[n].Store == store:
+		return 0
+	case s.C.Nodes[n].Zone == s.C.Stores[store].Zone:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// KillTask preempts a Running task: its attempt is cancelled, the CPU it
+// burned so far is billed (work lost is work paid for, as with Hadoop's
+// fair-scheduler preemption), the slot frees, and the task returns to
+// Pending for rescheduling. Queued tasks simply return to Pending.
+// Killing a Pending or Done task is an error.
+func (s *Sim) KillTask(job, task int) error {
+	ti := &s.tasks[job][task]
+	switch ti.state {
+	case Running:
+		n := ti.node
+		node := &s.C.Nodes[n]
+		// Bill the partial burn: we do not track per-attempt start, so
+		// charge the elapsed share of the expected runtime.
+		cpuSec, _ := s.taskDemand(job, task)
+		slotECU := node.ECU / float64(node.Slots)
+		remaining := ti.doneAt - s.clock
+		burned := cpuSec - remaining*slotECU
+		if burned < 0 {
+			burned = 0
+		}
+		if burned > cpuSec {
+			burned = cpuSec
+		}
+		s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, cost.CPUCost(s.priceOf(node), burned))
+		if ti.flow != nil {
+			s.net.cancel(ti.flow)
+			ti.flow = nil
+		}
+		if ti.specRunning {
+			s.killSpeculative(job, task)
+		}
+		ti.gen++
+		ti.state = Pending
+		s.nodes[n].free++
+		s.dispatch(n)
+		return nil
+	case Queued:
+		for ni := range s.nodes {
+			q := s.nodes[ni].queue[:0]
+			for _, e := range s.nodes[ni].queue {
+				if e.job == job && e.task == task {
+					continue
+				}
+				q = append(q, e)
+			}
+			s.nodes[ni].queue = q
+		}
+		ti.state = Pending
+		return nil
+	default:
+		return fmt.Errorf("sim: cannot kill task %d/%d in state %d", job, task, ti.state)
+	}
+}
+
+// RunningTasks returns the Running task indices of a job, ascending.
+func (s *Sim) RunningTasks(job int) []int {
+	var out []int
+	for t := range s.tasks[job] {
+		if s.tasks[job][t].state == Running {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TaskNode returns the node a Running task occupies.
+func (s *Sim) TaskNode(job, task int) cluster.NodeID { return s.tasks[job][task].node }
+
+// Enqueue pins a task to node n's FIFO queue, to start no earlier than
+// readyAt (e.g. after a data move completes). The task runs when a slot
+// frees and readyAt passes, reading from store.
+func (s *Sim) Enqueue(job, task int, n cluster.NodeID, store cluster.StoreID, readyAt float64) error {
+	ti := &s.tasks[job][task]
+	if ti.state != Pending {
+		return fmt.Errorf("sim: task %d/%d enqueued in state %d", job, task, ti.state)
+	}
+	ti.state = Queued
+	s.nodes[n].queue = append(s.nodes[n].queue, queueEntry{job: job, task: task, store: store, readyAt: readyAt})
+	if readyAt > s.clock {
+		s.At(readyAt, func() { s.dispatch(n) })
+	}
+	s.dispatch(n)
+	return nil
+}
+
+// UnqueueAll returns all queued-but-not-started tasks of a job to Pending
+// (used by epoch schedulers that re-plan).
+func (s *Sim) UnqueueAll(job int) {
+	for n := range s.nodes {
+		q := s.nodes[n].queue[:0]
+		for _, e := range s.nodes[n].queue {
+			if e.job == job {
+				s.tasks[e.job][e.task].state = Pending
+				continue
+			}
+			q = append(q, e)
+		}
+		s.nodes[n].queue = q
+	}
+}
+
+// dispatch launches ready queued tasks while slots are free; if the queue
+// holds only future-ready entries it arms a wake-up, and if the node is
+// idle with an empty queue it hands the slot to the scheduler.
+func (s *Sim) dispatch(nid cluster.NodeID) {
+	ns := &s.nodes[nid]
+	for ns.free > 0 {
+		idx := -1
+		for i := range ns.queue {
+			if ns.queue[i].readyAt <= s.clock+1e-9 {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		e := ns.queue[idx]
+		ns.queue = append(ns.queue[:idx], ns.queue[idx+1:]...)
+		s.tasks[e.job][e.task].state = Pending // Launch re-validates
+		if err := s.Launch(e.job, e.task, nid, e.store); err != nil {
+			// The block moved or the task completed speculatively;
+			// fall back to the best replica if still pending.
+			ti := &s.tasks[e.job][e.task]
+			if ti.state == Pending && s.W.Jobs[e.job].HasInput() {
+				_ = s.Launch(e.job, e.task, nid, s.BestReplica(e.job, e.task, nid))
+			}
+		}
+	}
+	if ns.free > 0 {
+		// Any future-ready queue entries have dispatch wake-ups armed by
+		// Enqueue; meanwhile the scheduler may use the idle slot.
+		s.sched.OnSlotFree(s, nid)
+	}
+}
+
+// MoveBlock relocates one block's primary copy from its current store to
+// dst, charging the placement category and returning the completion time.
+// The placement is updated when the transfer lands; callers sequencing
+// tasks after the move should pass the returned time as Enqueue readyAt.
+func (s *Sim) MoveBlock(obj int, block int, dst cluster.StoreID) float64 {
+	j := s.W.Objects[obj]
+	src := s.P.Primary(j.ID, block)
+	if src == dst {
+		return s.clock
+	}
+	mb := j.BlockSizeMB(block)
+	s.Ledger.Charge(cost.CatPlacement, "", s.C.SSPerGB(src, dst).MulFloat(mb/1024))
+	doneAt := s.clock + mb/s.C.BandwidthStoreStore(src, dst)
+	s.At(doneAt, func() {
+		s.P.SetPrimary(j.ID, block, dst)
+	})
+	return doneAt
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+
+	"lips/internal/cluster"
+	"lips/internal/hdfs"
+)
+
+// ReduceSpec describes one job's reduce stage for ExpandReduces.
+type ReduceSpec struct {
+	// ShuffleMB is the map-output volume the reducers pull (SWIM's
+	// shuffle-bytes column). Zero means the job is map-only.
+	ShuffleMB float64
+	// CPUSecPerMB is the reduce-side intensity; 0 selects 0.5 ECU-s/MB
+	// (sort+merge dominated).
+	CPUSecPerMB float64
+}
+
+// ExpandReduces models each job's reduce stage as a companion job gated
+// on the map job through a dependency edge (consumed by sim.Options.Deps).
+// The shuffle data becomes the companion's input object — one reduce task
+// per 64 MB shuffle partition — staged at the map job's input origin;
+// reducers pull it across the network (and a data-aware scheduler may
+// relocate it), which matches Hadoop's mapper-side shuffle storage.
+// Map-only jobs (spec.ShuffleMB == 0) pass through unchanged.
+//
+// It returns the expanded workload and the dependency lists. Original
+// jobs keep their indices; companions are appended after them.
+func ExpandReduces(w *Workload, specs []ReduceSpec) (*Workload, [][]int, error) {
+	if len(specs) != len(w.Jobs) {
+		return nil, nil, fmt.Errorf("workload: %d reduce specs for %d jobs", len(specs), len(w.Jobs))
+	}
+	out := &Workload{
+		Jobs:    append([]Job(nil), w.Jobs...),
+		Objects: append([]hdfs.DataObject(nil), w.Objects...),
+	}
+	deps := make([][]int, len(w.Jobs))
+	for j, spec := range specs {
+		if spec.ShuffleMB <= 0 {
+			continue
+		}
+		if spec.CPUSecPerMB == 0 {
+			spec.CPUSecPerMB = 0.5
+		}
+		mapJob := w.Jobs[j]
+		// The shuffle object stages where the map job's input lived;
+		// Pi-style maps stage wherever the workload's first object is
+		// (any store works — the data gets pulled either way).
+		var staged cluster.StoreID
+		if mapJob.HasInput() {
+			staged = w.Objects[mapJob.Object].Origin
+		} else if len(w.Objects) > 0 {
+			staged = w.Objects[0].Origin
+		}
+		obj := hdfs.DataObject{
+			ID:     hdfs.ObjectID(len(out.Objects)),
+			Name:   mapJob.Name + "-shuffle",
+			SizeMB: spec.ShuffleMB,
+			Origin: staged,
+		}
+		out.Objects = append(out.Objects, obj)
+		reduce := Job{
+			ID:        len(out.Jobs),
+			Name:      mapJob.Name + "-reduce",
+			Archetype: "reduce",
+			User:      mapJob.User,
+			// Arrival is gated by the dependency; the simulator runs the
+			// companion at max(its ArrivalSec, map completion).
+			ArrivalSec:  mapJob.ArrivalSec,
+			NumTasks:    obj.NumBlocks(),
+			Object:      obj.ID,
+			InputMB:     spec.ShuffleMB,
+			CPUSecPerMB: spec.CPUSecPerMB,
+		}
+		out.Jobs = append(out.Jobs, reduce)
+		deps = append(deps, []int{j})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return out, deps, nil
+}
+
+// SWIMReduceSpecs converts the metadata returned by ReadSWIMNative into
+// reduce specs for ExpandReduces.
+func SWIMReduceSpecs(metas []SWIMJobMeta) []ReduceSpec {
+	specs := make([]ReduceSpec, len(metas))
+	for i, m := range metas {
+		specs[i] = ReduceSpec{ShuffleMB: float64(m.ShuffleBytes) / (1024 * 1024)}
+	}
+	return specs
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestExpandReduces(t *testing.T) {
+	wb := NewBuilder()
+	wb.AddInputJob("etl", "u", Grep, 4*64, 2, 0)
+	wb.AddInputJob("maponly", "u", Grep, 2*64, 1, 10)
+	wb.AddNoInputJob("pi", "u", 2, 100, 20)
+	w := wb.Build()
+	specs := []ReduceSpec{
+		{ShuffleMB: 200},
+		{},             // map-only
+		{ShuffleMB: 3}, // tiny shuffle → one reducer
+	}
+	out, deps, err := ExpandReduces(w, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 originals + 2 companions.
+	if len(out.Jobs) != 5 {
+		t.Fatalf("%d jobs", len(out.Jobs))
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r1 := out.Jobs[3]
+	if r1.Name != "etl-reduce" || r1.NumTasks != 4 { // ceil(200/64)
+		t.Errorf("r1 = %+v", r1)
+	}
+	if out.Objects[r1.Object].Origin != 2 {
+		t.Errorf("shuffle staged at %d, want the map input's origin 2", out.Objects[r1.Object].Origin)
+	}
+	r2 := out.Jobs[4]
+	if r2.Name != "pi-reduce" || r2.NumTasks != 1 {
+		t.Errorf("r2 = %+v", r2)
+	}
+	// Dependencies: companions gated on their map jobs.
+	if len(deps) != 5 || len(deps[3]) != 1 || deps[3][0] != 0 || deps[4][0] != 2 {
+		t.Errorf("deps = %v", deps)
+	}
+	// Reduce intensity defaulted.
+	if r1.CPUSecPerMB != 0.5 {
+		t.Errorf("intensity = %g", r1.CPUSecPerMB)
+	}
+}
+
+func TestExpandReducesSpecMismatch(t *testing.T) {
+	wb := NewBuilder()
+	wb.AddNoInputJob("pi", "u", 1, 10, 0)
+	if _, _, err := ExpandReduces(wb.Build(), nil); err == nil {
+		t.Error("spec length mismatch accepted")
+	}
+}
+
+func TestSWIMReduceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w, metas, err := ReadSWIMNative(strings.NewReader(swimSample), rng, someStores(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, deps, err := ExpandReduces(w, SWIMReduceSpecs(metas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// job0 (1 MiB shuffle) and job3 (1 GiB shuffle) get companions;
+	// job1/job2 have no shuffle bytes.
+	if len(out.Jobs) != len(w.Jobs)+2 {
+		t.Fatalf("%d jobs, want %d", len(out.Jobs), len(w.Jobs)+2)
+	}
+	gated := 0
+	for _, d := range deps {
+		gated += len(d)
+	}
+	if gated != 2 {
+		t.Errorf("%d dependency edges", gated)
+	}
+	// job3's reducer count: 1 GiB / 64 MB = 16.
+	last := out.Jobs[len(out.Jobs)-1]
+	if last.NumTasks != 16 {
+		t.Errorf("big job reducers = %d, want 16", last.NumTasks)
+	}
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lips/internal/cluster"
+)
+
+// SWIMSpec parameterises the SWIM-like Facebook workload synthesizer used
+// for the 100-node experiments (paper §VI-B: 400 jobs derived from
+// FB-2010_samples_24_times_1hr_0.tsv, one day in duration, "composed of
+// interactive (short), medium-size and long jobs").
+type SWIMSpec struct {
+	Jobs        int     // number of jobs (paper: 400)
+	DurationSec float64 // arrival window (paper: 24 h)
+}
+
+// DefaultSWIMSpec is the paper's configuration.
+func DefaultSWIMSpec() SWIMSpec {
+	return SWIMSpec{Jobs: 400, DurationSec: 24 * 3600}
+}
+
+// swimBucket is one size class of the documented Facebook job-size
+// mixture: SWIM's published FB-2010 histogram is dominated by tiny jobs
+// with a heavy tail of large ones.
+type swimBucket struct {
+	weight  float64
+	minMaps int
+	maxMaps int
+	kind    string
+}
+
+var swimBuckets = []swimBucket{
+	{0.55, 1, 4, "interactive"},
+	{0.25, 5, 20, "small"},
+	{0.12, 21, 150, "medium"},
+	{0.06, 151, 800, "large"},
+	{0.02, 801, 2400, "huge"},
+}
+
+// SWIM synthesizes a SWIM-like workload: job arrival times uniform over
+// the duration window (a Poisson process conditioned on the job count),
+// map counts drawn from the documented size mixture, input sizes of one
+// 64 MB block per map, and CPU intensities drawn from the Table I
+// archetypes. Origins are drawn uniformly (pre-loaded HDFS data).
+func SWIM(rng *rand.Rand, origins []cluster.StoreID, spec SWIMSpec) *Workload {
+	if len(origins) == 0 {
+		panic("workload: SWIM needs at least one origin store")
+	}
+	if spec.Jobs <= 0 {
+		spec = DefaultSWIMSpec()
+	}
+	arrivals := make([]float64, spec.Jobs)
+	for i := range arrivals {
+		arrivals[i] = rng.Float64() * spec.DurationSec
+	}
+	sort.Float64s(arrivals)
+	inputArchs := []Archetype{Grep, Stress1, Stress2, WordCount}
+	b := NewBuilder()
+	for i := 0; i < spec.Jobs; i++ {
+		bk := pickBucket(rng)
+		maps := bk.minMaps + rng.Intn(bk.maxMaps-bk.minMaps+1)
+		a := inputArchs[rng.Intn(len(inputArchs))]
+		name := fmt.Sprintf("fb-%s-%04d", bk.kind, i)
+		user := fmt.Sprintf("pool%d", rng.Intn(8))
+		origin := origins[rng.Intn(len(origins))]
+		b.AddInputJob(name, user, a, float64(maps)*64, origin, arrivals[i])
+	}
+	return b.Build()
+}
+
+func pickBucket(rng *rand.Rand) swimBucket {
+	r := rng.Float64()
+	acc := 0.0
+	for _, bk := range swimBuckets {
+		acc += bk.weight
+		if r < acc {
+			return bk
+		}
+	}
+	return swimBuckets[len(swimBuckets)-1]
+}
+
+// WriteTrace writes the workload in a SWIM-style TSV format:
+//
+//	name \t submit_sec \t input_bytes \t cpu_sec_per_mb \t num_tasks
+//
+// (Real SWIM traces carry shuffle/output bytes instead of CPU intensity;
+// we keep the intensity so a round trip is lossless.)
+func WriteTrace(w io.Writer, wl *Workload) error {
+	bw := bufio.NewWriter(w)
+	for _, j := range wl.Jobs {
+		inputBytes := int64(j.InputMB * 1024 * 1024)
+		intensity := j.CPUSecPerMB
+		if !j.HasInput() {
+			intensity = j.CPUSecPerTask
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%.3f\t%d\t%g\t%d\n",
+			j.Name, j.ArrivalSec, inputBytes, intensity, j.NumTasks); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a TSV written by WriteTrace. Origins for the recreated
+// input objects are drawn uniformly using rng.
+func ReadTrace(r io.Reader, rng *rand.Rand, origins []cluster.StoreID) (*Workload, error) {
+	if len(origins) == 0 {
+		return nil, fmt.Errorf("workload: ReadTrace needs at least one origin store")
+	}
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("workload: trace line %d: %d fields, want 5", line, len(fields))
+		}
+		name := fields[0]
+		submit, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: submit: %v", line, err)
+		}
+		inputBytes, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: input bytes: %v", line, err)
+		}
+		intensity, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: intensity: %v", line, err)
+		}
+		tasks, err := strconv.Atoi(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: tasks: %v", line, err)
+		}
+		if inputBytes > 0 {
+			sizeMB := float64(inputBytes) / (1024 * 1024)
+			a := Archetype{Name: "trace", Property: Mixed, CPUSecPerBlock: intensity * 64}
+			j := b.AddInputJob(name, "trace", a, sizeMB, origins[rng.Intn(len(origins))], submit)
+			if j.NumTasks != tasks {
+				return nil, fmt.Errorf("workload: trace line %d: %d tasks for %d blocks", line, tasks, j.NumTasks)
+			}
+		} else {
+			b.AddNoInputJob(name, "trace", tasks, intensity, submit)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+)
+
+// ReadSWIMNative parses a trace in SWIM's published Facebook format, as
+// found in the SWIM repository's workloadSuite directory (e.g.
+// FB-2010_samples_24_times_1hr_0.tsv, the file the paper's 100-node
+// experiment replays):
+//
+//	job_name \t submit_time_sec \t inter_job_gap_sec \t map_input_bytes \t shuffle_bytes \t reduce_output_bytes
+//
+// SWIM traces carry data volumes but no CPU intensity, so each job's TCP
+// is drawn from the Table I archetype mixture using rng (deterministic for
+// a fixed seed), and origins are drawn uniformly from origins. Jobs with
+// zero input bytes become single-task CPU-only jobs. Shuffle and output
+// bytes are retained in the returned SWIMJobMeta for callers that model
+// reduce stages.
+func ReadSWIMNative(r io.Reader, rng interface{ Intn(int) int }, origins []cluster.StoreID) (*Workload, []SWIMJobMeta, error) {
+	if len(origins) == 0 {
+		return nil, nil, fmt.Errorf("workload: ReadSWIMNative needs at least one origin store")
+	}
+	inputArchs := []Archetype{Grep, Stress1, Stress2, WordCount}
+	b := NewBuilder()
+	var metas []SWIMJobMeta
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 6 {
+			return nil, nil, fmt.Errorf("workload: swim line %d: %d fields, want 6", line, len(fields))
+		}
+		name := fields[0]
+		submit, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: swim line %d: submit: %v", line, err)
+		}
+		// fields[2] is the inter-job gap, redundant with submit times.
+		inputBytes, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: swim line %d: input bytes: %v", line, err)
+		}
+		shuffleBytes, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: swim line %d: shuffle bytes: %v", line, err)
+		}
+		outputBytes, err := strconv.ParseInt(fields[5], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: swim line %d: output bytes: %v", line, err)
+		}
+		if inputBytes < 0 || submit < 0 {
+			return nil, nil, fmt.Errorf("workload: swim line %d: negative field", line)
+		}
+		metas = append(metas, SWIMJobMeta{
+			Name: name, ShuffleBytes: shuffleBytes, OutputBytes: outputBytes,
+		})
+		if inputBytes == 0 {
+			b.AddNoInputJob(name, "swim", 1, PiTaskCPUSec/10, submit)
+			continue
+		}
+		// Round the input up to at least one block so the task count is
+		// sensible for tiny jobs.
+		sizeMB := math.Max(float64(inputBytes)/(1024*1024), cost.BlockMB)
+		a := inputArchs[rng.Intn(len(inputArchs))]
+		origin := origins[rng.Intn(len(origins))]
+		b.AddInputJob(name, "swim", a, sizeMB, origin, submit)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return b.Build(), metas, nil
+}
+
+// SWIMJobMeta carries the SWIM trace columns our map-stage model does not
+// consume directly.
+type SWIMJobMeta struct {
+	Name         string
+	ShuffleBytes int64
+	OutputBytes  int64
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// A fragment in SWIM's published FB-2010 format:
+// name, submit sec, inter-arrival gap, map input bytes, shuffle bytes,
+// reduce output bytes.
+const swimSample = `job0	0	0	67108864	1048576	4096
+job1	12.5	12.5	268435456	0	134217728
+job2	40	27.5	0	0	0
+# trailing comment line
+job3	100	60	2147483648	1073741824	536870912
+`
+
+func TestReadSWIMNative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w, metas, err := ReadSWIMNative(strings.NewReader(swimSample), rng, someStores(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 4 || len(metas) != 4 {
+		t.Fatalf("jobs=%d metas=%d", len(w.Jobs), len(metas))
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// job0: exactly one 64 MB block.
+	if w.Jobs[0].NumTasks != 1 || w.Jobs[0].InputMB != 64 {
+		t.Errorf("job0 = %+v", w.Jobs[0])
+	}
+	// job1: 256 MB → 4 blocks.
+	if w.Jobs[1].NumTasks != 4 {
+		t.Errorf("job1 tasks = %d", w.Jobs[1].NumTasks)
+	}
+	// job2: zero input becomes a CPU-only job.
+	if w.Jobs[2].HasInput() {
+		t.Error("job2 should be CPU-only")
+	}
+	// job3: 2 GB → 32 blocks, submit time preserved.
+	if w.Jobs[3].NumTasks != 32 || w.Jobs[3].ArrivalSec != 100 {
+		t.Errorf("job3 = %+v", w.Jobs[3])
+	}
+	// Metadata carries the shuffle/output volumes.
+	if metas[3].ShuffleBytes != 1073741824 || metas[3].OutputBytes != 536870912 {
+		t.Errorf("meta3 = %+v", metas[3])
+	}
+	// Intensities come from the Table I mixture.
+	for _, j := range w.Jobs {
+		if j.HasInput() && j.CPUSecPerMB <= 0 {
+			t.Errorf("job %s has no intensity", j.Name)
+		}
+	}
+}
+
+func TestReadSWIMNativeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bad := range []string{
+		"short\tline\n",
+		"j\tx\t0\t1\t1\t1\n",
+		"j\t0\t0\tx\t1\t1\n",
+		"j\t0\t0\t1\tx\t1\n",
+		"j\t0\t0\t1\t1\tx\n",
+		"j\t-5\t0\t1\t1\t1\n",
+	} {
+		if _, _, err := ReadSWIMNative(strings.NewReader(bad), rng, someStores(1)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	if _, _, err := ReadSWIMNative(strings.NewReader(""), rng, nil); err == nil {
+		t.Error("accepted empty origin list")
+	}
+}
