@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all build test race vet bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Runs the LP benchmarks and records BENCH_lp.json (see scripts/bench.sh).
+bench:
+	scripts/bench.sh

@@ -112,6 +112,32 @@ func BenchmarkFig9Cost100Nodes(b *testing.B) {
 	b.ReportMetric(reduction, "reduction_vs_default_%")
 }
 
+// BenchmarkFig9ColdStartLP reruns the 100-node experiment with
+// epoch-to-epoch basis reuse disabled — the seed's solve behaviour. The
+// gap to BenchmarkFig9Cost100Nodes is the end-to-end warm-start win.
+func BenchmarkFig9ColdStartLP(b *testing.B) {
+	cfg := benchCfg
+	cfg.ColdStart = true
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9ParallelPricingLP runs the 100-node experiment with the
+// pricing step fanned out over four workers; results are bit-identical to
+// the sequential run by construction.
+func BenchmarkFig9ParallelPricingLP(b *testing.B) {
+	cfg := benchCfg
+	cfg.LPWorkers = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFig10ExecutionTime100Nodes(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {

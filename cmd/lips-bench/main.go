@@ -3,7 +3,7 @@
 // Usage:
 //
 //	lips-bench [-experiment all|table1|table3|table4|fig1|fig5|fig6|fig8|fig9|fig11|overhead|ablations]
-//	           [-full] [-seed N] [-trials N]
+//	           [-full] [-seed N] [-trials N] [-lp-workers N] [-cold-start]
 //
 // By default experiments run at Quick scale (seconds); -full selects the
 // paper-scale configurations (the 1608-task Table IV job set, the 400-job
@@ -23,9 +23,14 @@ func main() {
 	full := flag.Bool("full", false, "run at paper scale instead of quick scale")
 	seed := flag.Int64("seed", 42, "random seed")
 	trials := flag.Int("trials", 0, "trials per Fig. 5 point (0 = default)")
+	lpWorkers := flag.Int("lp-workers", 0, "parallel pricing workers per LP solve (0 = sequential)")
+	coldStart := flag.Bool("cold-start", false, "disable epoch-to-epoch LP basis reuse")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: !*full}
+	cfg := experiments.Config{
+		Seed: *seed, Trials: *trials, Quick: !*full,
+		LPWorkers: *lpWorkers, ColdStart: *coldStart,
+	}
 	if err := run(*experiment, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lips-bench:", err)
 		os.Exit(1)

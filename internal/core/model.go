@@ -329,7 +329,10 @@ func (m *Model) Solve(opts lp.Options) (*Plan, error) {
 // extract converts an LP solution into a Plan.
 func (m *Model) extract(sol *lp.Solution) *Plan {
 	in := m.In
-	p := &Plan{In: in, Kind: m.Kind, Iters: sol.Iters}
+	p := &Plan{
+		In: in, Kind: m.Kind, Iters: sol.Iters, Phase1: sol.Phase1,
+		Basis: sol.Basis, WarmStarted: sol.WarmStarted, PricingTime: sol.PricingTime,
+	}
 	p.XT = make([]map[[2]int]float64, len(in.Jobs))
 	for k := range in.Jobs {
 		p.XT[k] = make(map[[2]int]float64)

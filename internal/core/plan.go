@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
+
+	"lips/internal/lp"
 )
 
 // Plan is a fractional schedule extracted from a solved model.
@@ -33,7 +36,17 @@ type Plan struct {
 	// (online model only): work pushed to the next epoch.
 	DeferredFrac []float64
 
-	Iters int // simplex iterations spent
+	Iters  int // simplex iterations spent
+	Phase1 int // iterations spent reaching feasibility (0 on a warm start)
+
+	// Basis is the optimal simplex basis, reusable as lp.Options.WarmStart
+	// when the next epoch's LP has the same shape. Nil when the solver
+	// could not express one.
+	Basis *lp.Basis
+	// WarmStarted reports whether this solve reused a previous basis.
+	WarmStarted bool
+	// PricingTime is the wall-clock the solver spent pricing columns.
+	PricingTime time.Duration
 }
 
 // TotalMC returns the executed-work cost: placement + execution + runtime

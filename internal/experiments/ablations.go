@@ -181,7 +181,7 @@ func AblationBilling(cfg Config) (*AblationBillingResult, error) {
 	}
 	for _, m := range []mk{
 		{"hadoop-default", func() sim.Scheduler { return sched.NewFIFO() }, sim.Options{}},
-		{"lips", func() sim.Scheduler { return sched.NewLiPS(Fig6Epoch) }, sim.Options{TaskTimeoutSec: 1200}},
+		{"lips", func() sim.Scheduler { return cfg.newLiPS(Fig6Epoch) }, sim.Options{TaskTimeoutSec: 1200}},
 	} {
 		row := AblationBillingRow{Scheduler: m.label}
 		for _, occupancy := range []bool{false, true} {

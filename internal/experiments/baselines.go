@@ -41,7 +41,7 @@ func Baselines(cfg Config) (*BaselinesResult, error) {
 		{"delay", func() sim.Scheduler { return sched.NewDelay() }, sim.Options{}},
 		{"fair", func() sim.Scheduler { return sched.NewFair() }, sim.Options{}},
 		{"quincy-like", func() sim.Scheduler { return sched.NewQuincy() }, sim.Options{}},
-		{"lips", func() sim.Scheduler { return sched.NewLiPS(Fig6Epoch) }, sim.Options{TaskTimeoutSec: 1200}},
+		{"lips", func() sim.Scheduler { return cfg.newLiPS(Fig6Epoch) }, sim.Options{TaskTimeoutSec: 1200}},
 	} {
 		c := cluster.Paper20(0.5)
 		w := fig6Workload(cfg, c)

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"strings"
 	"text/tabwriter"
+
+	"lips/internal/sched"
 )
 
 // Config sizes and seeds an experiment run.
@@ -24,6 +26,22 @@ type Config struct {
 	// by tests and the default `go test -bench`. The full-size runs are
 	// behind cmd/lips-bench -full.
 	Quick bool
+	// LPWorkers parallelizes the simplex pricing step across this many
+	// goroutines (lp.Options.PricingWorkers); results are bit-identical
+	// to sequential. 0 means sequential.
+	LPWorkers int
+	// ColdStart disables epoch-to-epoch basis reuse in the LiPS
+	// scheduler, forcing every epoch's LP to solve from scratch — the
+	// baseline the benchmark harness compares warm starts against.
+	ColdStart bool
+}
+
+// newLiPS builds a LiPS scheduler carrying the run's LP knobs.
+func (c Config) newLiPS(epochSec float64) *sched.LiPS {
+	l := sched.NewLiPS(epochSec)
+	l.WarmStart = !c.ColdStart
+	l.LPOpts.PricingWorkers = c.LPWorkers
+	return l
 }
 
 func (c Config) withDefaults() Config {

@@ -39,7 +39,7 @@ func AblationContention(cfg Config) (*AblationContentionResult, error) {
 	for _, m := range []mk{
 		{"hadoop-default", func() sim.Scheduler { return sched.NewFIFO() }, sim.Options{}},
 		{"delay", func() sim.Scheduler { return sched.NewDelay() }, sim.Options{}},
-		{"lips", func() sim.Scheduler { return sched.NewLiPS(Fig6Epoch) }, sim.Options{TaskTimeoutSec: 1200}},
+		{"lips", func() sim.Scheduler { return cfg.newLiPS(Fig6Epoch) }, sim.Options{TaskTimeoutSec: 1200}},
 	} {
 		row := AblationContentionRow{Scheduler: m.label}
 		for _, shared := range []bool{false, true} {
@@ -131,7 +131,7 @@ func SpotMarket(cfg Config) (*SpotMarketResult, error) {
 		{"lips-oblivious", func(spot bool) (sim.Scheduler, sim.Options) {
 			// Plans with static prices even when billed at spot rates —
 			// isolates the value of per-epoch repricing below.
-			l := sched.NewLiPS(400)
+			l := cfg.newLiPS(400)
 			opts := sim.Options{TaskTimeoutSec: 1200}
 			if spot {
 				opts.PriceMultiplier = schedule
@@ -139,7 +139,7 @@ func SpotMarket(cfg Config) (*SpotMarketResult, error) {
 			return l, opts
 		}},
 		{"lips-repricing", func(spot bool) (sim.Scheduler, sim.Options) {
-			l := sched.NewLiPS(400) // epoch shorter than the price period
+			l := cfg.newLiPS(400) // epoch shorter than the price period
 			opts := sim.Options{TaskTimeoutSec: 1200}
 			if spot {
 				l.PriceMultiplier = schedule

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"lips/internal/cluster"
-	"lips/internal/sched"
 	"lips/internal/sim"
 )
 
@@ -34,7 +33,7 @@ func Fig11(cfg Config) (*Fig11Result, error) {
 		c := cluster.Paper20(0.5)
 		w := fig6Workload(cfg, c)
 		p := shuffledPlacement(cfg, c, w)
-		l := sched.NewLiPS(epoch)
+		l := cfg.newLiPS(epoch)
 		r, err := sim.New(c, w, p, l, sim.Options{TaskTimeoutSec: 1200}).Run()
 		if err != nil {
 			return nil, fmt.Errorf("fig11 e=%g: %w", epoch, err)

@@ -145,7 +145,7 @@ func fig6Setting(cfg Config, name string, fracC1 float64) ([]Fig6Row, error) {
 	runners := []runner{
 		{"hadoop-default", func() sim.Scheduler { return sched.NewFIFO() }, sim.Options{}},
 		{"delay", func() sim.Scheduler { return sched.NewDelay() }, sim.Options{}},
-		{"lips", func() sim.Scheduler { return sched.NewLiPS(Fig6Epoch) }, sim.Options{TaskTimeoutSec: 1200}},
+		{"lips", func() sim.Scheduler { return cfg.newLiPS(Fig6Epoch) }, sim.Options{TaskTimeoutSec: 1200}},
 	}
 	rows := make([]Fig6Row, 0, len(runners))
 	for _, r := range runners {

@@ -5,7 +5,6 @@ import (
 
 	"lips/internal/cluster"
 	"lips/internal/cost"
-	"lips/internal/sched"
 	"lips/internal/sim"
 )
 
@@ -40,7 +39,7 @@ func Fig8(cfg Config) (*Fig8Result, error) {
 		c := cluster.Paper20(0.5)
 		w := fig6Workload(cfg, c)
 		p := shuffledPlacement(cfg, c, w)
-		l := sched.NewLiPS(e)
+		l := cfg.newLiPS(e)
 		r, err := sim.New(c, w, p, l, sim.Options{TaskTimeoutSec: 1200}).Run()
 		if err != nil {
 			return nil, fmt.Errorf("fig8 e=%g: %w", e, err)

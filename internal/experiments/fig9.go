@@ -60,7 +60,7 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 	runners := []runner{
 		{"hadoop-default", func() sim.Scheduler { return sched.NewFIFO() }, sim.Options{}},
 		{"delay", func() sim.Scheduler { return sched.NewDelay() }, sim.Options{}},
-		{"lips", func() sim.Scheduler { return sched.NewLiPS(Fig9Epoch) }, sim.Options{TaskTimeoutSec: 1200}},
+		{"lips", func() sim.Scheduler { return cfg.newLiPS(Fig9Epoch) }, sim.Options{TaskTimeoutSec: 1200}},
 	}
 	res := &Fig9Result{Jobs: spec.Jobs}
 	for _, r := range runners {

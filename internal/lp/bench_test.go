@@ -3,6 +3,7 @@ package lp
 import (
 	"bytes"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -60,6 +61,58 @@ func BenchmarkSolveDenseReference(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// epochScaleLP builds the online-model silhouette at the paper's
+// 100-node / 1000-task scale: 30 queued jobs × 13 machine units (12 real
+// + fake) × 12 store units ≈ 5000 columns over ≈ 800 rows. With prng set
+// the capacities, horizons and costs drift by a few percent — the shape
+// of two consecutive scheduling epochs.
+func epochScaleLP(prng *rand.Rand) *Problem {
+	return lipsShapedLP(30, 13, 12, rand.New(rand.NewSource(77)), prng)
+}
+
+// BenchmarkEpoch measures one epoch's LP solve the way sched.LiPS runs
+// it: cold from scratch (the seed's behaviour), and warm-started from the
+// previous epoch's optimal basis with parallel pricing (the fast path).
+func BenchmarkEpoch(b *testing.B) {
+	base := epochScaleLP(nil)
+	prev := epochScaleLP(rand.New(rand.NewSource(78)))
+	psol, err := prev.Solve(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if psol.Status != Optimal || psol.Basis == nil {
+		b.Fatalf("previous epoch: status %v, basis %v", psol.Status, psol.Basis != nil)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sol, err := base.Solve(Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sol.Status != Optimal {
+				b.Fatalf("status %v", sol.Status)
+			}
+			b.ReportMetric(float64(sol.Iters), "iters")
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		opts := Options{WarmStart: psol.Basis, PricingWorkers: runtime.GOMAXPROCS(0)}
+		for i := 0; i < b.N; i++ {
+			sol, err := base.Solve(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sol.Status != Optimal {
+				b.Fatalf("status %v", sol.Status)
+			}
+			if !sol.WarmStarted {
+				b.Fatal("warm start rejected — benchmark would measure a cold solve")
+			}
+			b.ReportMetric(float64(sol.Iters), "iters")
+		}
+	})
 }
 
 func BenchmarkParse(b *testing.B) {

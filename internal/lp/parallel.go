@@ -1,0 +1,60 @@
+package lp
+
+import "sync"
+
+// chunkPool is a pool of persistent worker goroutines used to parallelize
+// the simplex pricing step. One pool lives for the duration of a single
+// Solve, so the goroutine spawn cost is paid once, not per iteration.
+//
+// Determinism contract: run partitions an index range into one contiguous
+// chunk per worker, with boundaries that depend only on (n, workers).
+// Workers never share mutable state — each writes its own result slot —
+// so every per-column float computation is performed with exactly the
+// same operands and order as the sequential scan, and merged results are
+// bit-identical for any worker count.
+type chunkPool struct {
+	workers int
+	jobs    chan func()
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// newChunkPool returns a pool with the given worker count (≥ 2).
+func newChunkPool(workers int) *chunkPool {
+	p := &chunkPool{workers: workers, jobs: make(chan func(), workers)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for f := range p.jobs {
+				f()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run splits [0, n) into p.workers contiguous chunks and invokes
+// f(lo, hi, chunk) for each on the pool, blocking until all complete.
+// Chunk boundaries are a pure function of (n, p.workers).
+func (p *chunkPool) run(n int, f func(lo, hi, chunk int)) {
+	per := (n + p.workers - 1) / p.workers
+	for c := 0; c < p.workers; c++ {
+		lo := c * per
+		hi := lo + per
+		if lo >= n {
+			break
+		}
+		if hi > n {
+			hi = n
+		}
+		lo, hi, c := lo, hi, c
+		p.wg.Add(1)
+		p.jobs <- func() { f(lo, hi, c) }
+	}
+	p.wg.Wait()
+}
+
+// close stops the workers. The pool must not be used afterwards.
+func (p *chunkPool) close() {
+	p.once.Do(func() { close(p.jobs) })
+}

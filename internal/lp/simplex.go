@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 )
 
 // debugSimplex enables iteration tracing via LIPS_LP_DEBUG=1.
@@ -95,7 +96,19 @@ type simplexState struct {
 
 	degenRun int // consecutive degenerate pivots (triggers Bland)
 	nflips   int // bound flips (debug accounting)
+
+	pool      *chunkPool  // parallel pricing workers (nil = sequential)
+	cands     []priceCand // per-worker pricing results, reused
+	warm      bool        // warm-start basis accepted
+	pivots    []Pivot     // recorded when opts.RecordPivots
+	pricingNS time.Duration
 }
+
+// parallelMinCols gates the worker pool: below this column count the
+// per-iteration dispatch overhead outweighs the scan. The sequential and
+// parallel scans produce bit-identical results, so the gate affects only
+// speed, never the pivot sequence.
+const parallelMinCols = 256
 
 func newSimplexState(p *Problem, opts Options) *simplexState {
 	m := len(p.cons)
@@ -147,19 +160,17 @@ func (s *simplexState) nonbasicStart(j int) (int, float64) {
 
 func (s *simplexState) run() (*Solution, error) {
 	m := s.m
-	// Start from the slack basis with structurals at their start bounds.
 	s.status = make([]int, len(s.cols), cap(s.cols))
 	s.value = make([]float64, len(s.cols), cap(s.cols))
-	for j := 0; j < s.nStruct; j++ {
-		s.status[j], s.value[j] = s.nonbasicStart(j)
-	}
 	s.basis = make([]int, m)
 	s.xB = make([]float64, m)
 	s.binv = make([]float64, m*m)
-	for i := 0; i < m; i++ {
-		s.basis[i] = s.nStruct + i
-		s.status[s.nStruct+i] = basic
-		s.binv[i*m+i] = 1
+	s.y = make([]float64, m)
+	s.w = make([]float64, m)
+	if s.opts.PricingWorkers > 1 && len(s.cols) >= parallelMinCols {
+		s.pool = newChunkPool(s.opts.PricingWorkers)
+		s.cands = make([]priceCand, s.opts.PricingWorkers)
+		defer s.pool.close()
 	}
 
 	// Anti-degeneracy perturbation: scheduling LPs are massively
@@ -179,11 +190,87 @@ func (s *simplexState) run() (*Solution, error) {
 			s.b[i] += delta
 		}
 	}
-	s.computeXB()
-	s.y = make([]float64, m)
-	s.w = make([]float64, m)
 
-	// Repair slack-basis infeasibility with artificials where needed.
+	if ws := s.opts.WarmStart; ws != nil {
+		s.warm = s.tryWarmStart(ws)
+	}
+	if !s.warm {
+		s.coldStart()
+		if st, done, err := s.phase1(); done {
+			return st, err
+		}
+	}
+
+	// Phase 2 with the original costs.
+	cost := s.cost
+	if len(cost) < len(s.cols) {
+		cost = append(append([]float64(nil), s.cost...), make([]float64, len(s.cols)-len(s.cost))...)
+	}
+	st, err := s.iterate(cost)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Status: st, Iters: s.iter, Phase1: s.p1it,
+		WarmStarted: s.warm, PricingTime: s.pricingNS, Pivots: s.pivots}
+	if st != Optimal {
+		return sol, nil
+	}
+	// Undo the anti-degeneracy perturbation: re-derive the basic values
+	// from the original right-hand sides under the final (optimal) basis.
+	s.b = bOrig
+	if err := s.refactorize(); err != nil {
+		return nil, err
+	}
+	sol.X = make([]float64, s.nStruct)
+	for j := 0; j < s.nStruct; j++ {
+		if s.status[j] == basic {
+			continue
+		}
+		sol.X[j] = s.value[j]
+	}
+	for i := 0; i < m; i++ {
+		if bj := s.basis[i]; bj < s.nStruct {
+			sol.X[bj] = s.xB[i]
+		}
+	}
+	// Clamp roundoff back into the box so downstream consumers see
+	// in-bounds values.
+	for j := 0; j < s.nStruct; j++ {
+		sol.X[j] = math.Min(math.Max(sol.X[j], s.lower[j]), s.upper[j])
+	}
+	sol.Objective = s.p.Objective(sol.X)
+	s.computeDuals(cost)
+	sol.Dual = append([]float64(nil), s.y...)
+	sol.Basis = s.extractBasis()
+	return sol, nil
+}
+
+// coldStart initializes the slack basis with structurals at their start
+// bounds, then repairs any slack-bound violations with per-row artificial
+// variables. It overwrites all of status/value/basis/binv, so it also
+// serves as the fallback after a rejected warm start.
+func (s *simplexState) coldStart() {
+	m := s.m
+	for j := 0; j < s.nStruct; j++ {
+		s.status[j], s.value[j] = s.nonbasicStart(j)
+	}
+	for i := range s.binv {
+		s.binv[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		s.basis[i] = s.nStruct + i
+		s.status[s.nStruct+i] = basic
+		s.value[s.nStruct+i] = 0
+		s.binv[i*m+i] = 1
+	}
+	s.computeXB()
+}
+
+// phase1 repairs slack-basis infeasibility with artificials and minimises
+// their sum. done reports that run should return (st, err) immediately —
+// an iteration limit, infeasibility, or a numeric failure.
+func (s *simplexState) phase1() (st *Solution, done bool, err error) {
+	m := s.m
 	tol := s.opts.Tol
 	needPhase1 := false
 	for i := 0; i < m; i++ {
@@ -229,84 +316,149 @@ func (s *simplexState) run() (*Solution, error) {
 		s.binv[i*m+i] = sign
 	}
 
-	if needPhase1 {
-		// Phase 1: minimise the sum of artificials.
-		p1cost := make([]float64, len(s.cols))
-		for j := s.nStruct + s.nSlack; j < len(s.cols); j++ {
-			p1cost[j] = 1
-		}
-		st, err := s.iterate(p1cost)
-		if err != nil {
-			return nil, err
-		}
-		s.p1it = s.iter
-		if st == IterLimit {
-			return &Solution{Status: IterLimit, Iters: s.iter, Phase1: s.p1it}, nil
-		}
-		infeas := 0.0
-		for i := 0; i < m; i++ {
-			if s.basis[i] >= s.nStruct+s.nSlack {
-				infeas += s.xB[i]
-			}
-		}
-		for j := s.nStruct + s.nSlack; j < len(s.cols); j++ {
-			if s.status[j] != basic {
-				infeas += s.value[j]
-			}
-		}
-		if infeas > 1e-6 {
-			return &Solution{Status: Infeasible, Iters: s.iter, Phase1: s.p1it}, nil
-		}
-		// Freeze artificials at zero for phase 2.
-		for j := s.nStruct + s.nSlack; j < len(s.cols); j++ {
-			s.upper[j] = 0
-			if s.status[j] != basic {
-				s.value[j] = 0
-				s.status[j] = atLower
-			}
-		}
+	if !needPhase1 {
+		return nil, false, nil
 	}
-
-	// Phase 2 with the original costs.
-	cost := s.cost
-	if len(cost) < len(s.cols) {
-		cost = append(append([]float64(nil), s.cost...), make([]float64, len(s.cols)-len(s.cost))...)
+	// Phase 1: minimise the sum of artificials.
+	p1cost := make([]float64, len(s.cols))
+	for j := s.nStruct + s.nSlack; j < len(s.cols); j++ {
+		p1cost[j] = 1
 	}
-	st, err := s.iterate(cost)
+	stat, err := s.iterate(p1cost)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
-	sol := &Solution{Status: st, Iters: s.iter, Phase1: s.p1it}
-	if st != Optimal {
-		return sol, nil
+	s.p1it = s.iter
+	if stat == IterLimit {
+		return &Solution{Status: IterLimit, Iters: s.iter, Phase1: s.p1it}, true, nil
 	}
-	// Undo the anti-degeneracy perturbation: re-derive the basic values
-	// from the original right-hand sides under the final (optimal) basis.
-	s.b = bOrig
-	if err := s.refactorize(); err != nil {
-		return nil, err
-	}
-	sol.X = make([]float64, s.nStruct)
-	for j := 0; j < s.nStruct; j++ {
-		if s.status[j] == basic {
-			continue
+	infeas := 0.0
+	for i := 0; i < m; i++ {
+		if s.basis[i] >= s.nStruct+s.nSlack {
+			infeas += s.xB[i]
 		}
-		sol.X[j] = s.value[j]
+	}
+	for j := s.nStruct + s.nSlack; j < len(s.cols); j++ {
+		if s.status[j] != basic {
+			infeas += s.value[j]
+		}
+	}
+	if infeas > 1e-6 {
+		return &Solution{Status: Infeasible, Iters: s.iter, Phase1: s.p1it}, true, nil
+	}
+	// Freeze artificials at zero for phase 2.
+	for j := s.nStruct + s.nSlack; j < len(s.cols); j++ {
+		s.upper[j] = 0
+		if s.status[j] != basic {
+			s.value[j] = 0
+			s.status[j] = atLower
+		}
+	}
+	return nil, false, nil
+}
+
+// tryWarmStart seeds the state from a previous solve's basis. It reports
+// whether the basis was accepted: it must match the problem's dimensions,
+// name a valid set of distinct columns, factorize, and be primal feasible
+// under the current bounds and right-hand sides. On rejection the caller
+// falls back to coldStart, which overwrites everything touched here.
+//
+// The basis is reusable across epochs precisely because the LiPS online
+// model keeps its column structure between epochs — only bounds and RHS
+// drift — so nonbasic rest positions are remapped to the current bounds
+// (a column recorded at an upper bound that is now infinite moves to its
+// default start position).
+func (s *simplexState) tryWarmStart(ws *Basis) bool {
+	m := s.m
+	nb := s.nStruct + s.nSlack
+	if ws.NumVars != s.nStruct || ws.NumCons != m ||
+		len(ws.RowCol) != m || len(ws.ColStat) != nb {
+		return false
+	}
+	seen := make([]bool, nb)
+	for i := 0; i < m; i++ {
+		j := int(ws.RowCol[i])
+		if j < 0 || j >= nb || seen[j] {
+			return false
+		}
+		seen[j] = true
+	}
+	for j := 0; j < nb; j++ {
+		if seen[j] {
+			continue // basic: ColStat entries of basic columns are ignored
+		}
+		st := int(ws.ColStat[j])
+		lo, hi := s.lower[j], s.upper[j]
+		switch st {
+		case atLower:
+			if math.IsInf(lo, -1) {
+				st, _ = s.nonbasicStart(j)
+			}
+		case atUpper:
+			if math.IsInf(hi, 1) {
+				st, _ = s.nonbasicStart(j)
+			}
+		case atFree:
+			if !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
+				st, _ = s.nonbasicStart(j)
+			}
+		default:
+			return false
+		}
+		switch st {
+		case atLower:
+			s.status[j], s.value[j] = atLower, lo
+		case atUpper:
+			s.status[j], s.value[j] = atUpper, hi
+		default:
+			s.status[j], s.value[j] = atFree, 0
+		}
 	}
 	for i := 0; i < m; i++ {
-		if bj := s.basis[i]; bj < s.nStruct {
-			sol.X[bj] = s.xB[i]
+		j := int(ws.RowCol[i])
+		s.basis[i] = j
+		s.status[j] = basic
+		s.value[j] = 0
+	}
+	if err := s.refactorize(); err != nil {
+		return false
+	}
+	// Primal feasibility of the recomputed basic values. The acceptance
+	// tolerance is looser than the pivot tolerance — small epoch-to-epoch
+	// RHS drift lands here — because the ratio test tolerates (and
+	// repairs) slightly out-of-bounds basic values.
+	ftol := math.Max(1e-7, 100*s.opts.Tol)
+	for i := 0; i < m; i++ {
+		bj := s.basis[i]
+		scale := ftol * (1 + math.Abs(s.xB[i]))
+		if s.xB[i] < s.lower[bj]-scale || s.xB[i] > s.upper[bj]+scale {
+			return false
 		}
 	}
-	// Clamp roundoff back into the box so downstream consumers see
-	// in-bounds values.
-	for j := 0; j < s.nStruct; j++ {
-		sol.X[j] = math.Min(math.Max(sol.X[j], s.lower[j]), s.upper[j])
+	return true
+}
+
+// extractBasis captures the final basis for Solution.Basis. It returns nil
+// when an artificial variable is still basic (a degenerate phase-1
+// leftover), since such a basis is not expressible over the structural and
+// slack columns alone.
+func (s *simplexState) extractBasis() *Basis {
+	nb := s.nStruct + s.nSlack
+	b := &Basis{
+		NumVars: s.nStruct, NumCons: s.m,
+		RowCol:  make([]int32, s.m),
+		ColStat: make([]int8, nb),
 	}
-	sol.Objective = s.p.Objective(sol.X)
-	s.computeDuals(cost)
-	sol.Dual = append([]float64(nil), s.y...)
-	return sol, nil
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] >= nb {
+			return nil
+		}
+		b.RowCol[i] = int32(s.basis[i])
+	}
+	for j := 0; j < nb; j++ {
+		b.ColStat[j] = int8(s.status[j])
+	}
+	return b
 }
 
 // computeXB recomputes the basic values from scratch:
@@ -452,55 +604,9 @@ func (s *simplexState) iterate(cost []float64) (Status, error) {
 
 		// Pricing: pick the entering column — Devex score d²/weight, or
 		// the first eligible column under Bland's rule.
-		entering := -1
-		enterDir := 1.0 // +1 increase from lower/free, −1 decrease from upper
-		bestScore := 0.0
-		for j := range s.cols {
-			st := s.status[j]
-			if st == basic {
-				continue
-			}
-			if s.lower[j] == s.upper[j] && st != atFree {
-				continue // fixed column can never improve
-			}
-			d := cost[j]
-			for _, e := range s.cols[j] {
-				d -= s.y[e.row] * e.coef
-			}
-			// Dual feasibility is judged RELATIVE to the column's cost
-			// magnitude: with mixed cost scales (the online model's fake
-			// node is ~10⁴× the real prices), an absolute tolerance lets
-			// cancellation noise on truly-zero reduced costs masquerade
-			// as improving columns and the solver churns at the optimum.
-			dtol := tol * (1 + math.Abs(cost[j]))
-			dir := 0.0
-			switch st {
-			case atLower:
-				if d < -dtol {
-					dir = 1
-				}
-			case atUpper:
-				if d > dtol {
-					dir = -1
-				}
-			case atFree:
-				if d < -dtol {
-					dir = 1
-				} else if d > dtol {
-					dir = -1
-				}
-			}
-			if dir == 0 {
-				continue
-			}
-			if useBland {
-				entering, enterDir = j, dir
-				break
-			}
-			if score := d * d / s.devex[j]; score > bestScore {
-				entering, enterDir, bestScore = j, dir, score
-			}
-		}
+		t0 := time.Now()
+		entering, enterDir := s.price(cost, useBland)
+		s.pricingNS += time.Since(t0)
 		if entering == -1 {
 			// No improving column: optimal for this cost vector.
 			// Refactorise once for a clean final answer if drift is
@@ -596,6 +702,9 @@ func (s *simplexState) iterate(cost []float64) (Status, error) {
 		if leaving == -1 {
 			// Bound flip: the entering variable crosses its whole span.
 			s.nflips++
+			if s.opts.RecordPivots {
+				s.pivots = append(s.pivots, Pivot{Entering: int32(entering), Leaving: -1})
+			}
 			for i := 0; i < m; i++ {
 				s.xB[i] -= enterDir * s.w[i] * t
 			}
@@ -640,26 +749,23 @@ func (s *simplexState) iterate(cost []float64) (Status, error) {
 		s.status[entering] = basic
 		s.xB[leaving] = enterVal
 
+		if s.opts.RecordPivots {
+			s.pivots = append(s.pivots, Pivot{Entering: int32(entering), Leaving: int32(outVar)})
+		}
+
 		// Devex reference-weight update (Forrest–Goldfarb), using the
 		// pivot row of the *pre-pivot* basis inverse.
 		if !useBland {
+			t0 = time.Now()
 			wq := s.devex[entering]
 			prowOld := s.binv[leaving*m : leaving*m+m]
 			pivotSq := leavePivot * leavePivot
-			for j := range s.cols {
-				if s.status[j] == basic || j == entering {
-					continue
-				}
-				alpha := 0.0
-				for _, e := range s.cols[j] {
-					alpha += prowOld[e.row] * e.coef
-				}
-				if alpha == 0 {
-					continue
-				}
-				if cand := (alpha * alpha / pivotSq) * wq; cand > s.devex[j] {
-					s.devex[j] = cand
-				}
+			if s.pool != nil {
+				s.pool.run(len(s.cols), func(lo, hi, _ int) {
+					s.devexRange(prowOld, pivotSq, wq, entering, lo, hi)
+				})
+			} else {
+				s.devexRange(prowOld, pivotSq, wq, entering, 0, len(s.cols))
 			}
 			lw := wq / pivotSq
 			if lw < 1 {
@@ -672,6 +778,7 @@ func (s *simplexState) iterate(cost []float64) (Status, error) {
 					s.devex[j] = 1
 				}
 			}
+			s.pricingNS += time.Since(t0)
 		}
 
 		// Update B^{-1}: pivot row `leaving` on w[leaving].
@@ -694,5 +801,123 @@ func (s *simplexState) iterate(cost []float64) (Status, error) {
 			}
 		}
 		sinceRefactor++
+	}
+}
+
+// priceCand is one worker's best entering-column candidate: the Devex
+// score and movement direction of column j, or j == -1 for none.
+type priceCand struct {
+	j     int
+	dir   float64
+	score float64
+}
+
+// priceRange scans columns [lo, hi) for the best entering candidate. Under
+// Bland's rule it returns the first eligible column. Every per-column
+// computation depends only on that column's data, so scanning a subrange
+// yields bit-identical candidates to the full sequential scan.
+func (s *simplexState) priceRange(cost []float64, useBland bool, lo, hi int) priceCand {
+	tol := s.opts.Tol
+	best := priceCand{j: -1}
+	for j := lo; j < hi; j++ {
+		st := s.status[j]
+		if st == basic {
+			continue
+		}
+		if s.lower[j] == s.upper[j] && st != atFree {
+			continue // fixed column can never improve
+		}
+		d := cost[j]
+		for _, e := range s.cols[j] {
+			d -= s.y[e.row] * e.coef
+		}
+		// Dual feasibility is judged RELATIVE to the column's cost
+		// magnitude: with mixed cost scales (the online model's fake
+		// node is ~10⁴× the real prices), an absolute tolerance lets
+		// cancellation noise on truly-zero reduced costs masquerade
+		// as improving columns and the solver churns at the optimum.
+		dtol := tol * (1 + math.Abs(cost[j]))
+		dir := 0.0
+		switch st {
+		case atLower:
+			if d < -dtol {
+				dir = 1
+			}
+		case atUpper:
+			if d > dtol {
+				dir = -1
+			}
+		case atFree:
+			if d < -dtol {
+				dir = 1
+			} else if d > dtol {
+				dir = -1
+			}
+		}
+		if dir == 0 {
+			continue
+		}
+		if useBland {
+			return priceCand{j: j, dir: dir}
+		}
+		if score := d * d / s.devex[j]; score > best.score {
+			best = priceCand{j: j, dir: dir, score: score}
+		}
+	}
+	return best
+}
+
+// price picks the entering column, sequentially or across the worker pool.
+// The merge preserves the sequential tie-breaking exactly: highest Devex
+// score wins, ties go to the lowest column index (Bland: lowest eligible
+// index, period), so the pivot sequence is identical for any worker count.
+func (s *simplexState) price(cost []float64, useBland bool) (entering int, enterDir float64) {
+	n := len(s.cols)
+	if s.pool == nil {
+		c := s.priceRange(cost, useBland, 0, n)
+		return c.j, c.dir
+	}
+	cands := s.cands
+	for i := range cands {
+		cands[i] = priceCand{j: -1}
+	}
+	s.pool.run(n, func(lo, hi, chunk int) {
+		cands[chunk] = s.priceRange(cost, useBland, lo, hi)
+	})
+	best := priceCand{j: -1}
+	for _, c := range cands {
+		if c.j == -1 {
+			continue
+		}
+		if useBland {
+			// Chunks cover ascending index ranges, so the first chunk
+			// with a candidate holds the lowest eligible index.
+			return c.j, c.dir
+		}
+		if c.score > best.score {
+			best = c
+		}
+	}
+	return best.j, best.dir
+}
+
+// devexRange applies the Forrest–Goldfarb reference-weight update to
+// columns [lo, hi). Each column's weight is written independently, so
+// partitioned execution is race-free and bit-identical to sequential.
+func (s *simplexState) devexRange(prowOld []float64, pivotSq, wq float64, entering, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		if s.status[j] == basic || j == entering {
+			continue
+		}
+		alpha := 0.0
+		for _, e := range s.cols[j] {
+			alpha += prowOld[e.row] * e.coef
+		}
+		if alpha == 0 {
+			continue
+		}
+		if cand := (alpha * alpha / pivotSq) * wq; cand > s.devex[j] {
+			s.devex[j] = cand
+		}
 	}
 }

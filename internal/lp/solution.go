@@ -1,6 +1,9 @@
 package lp
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Status reports the outcome of a solve.
 type Status int
@@ -40,10 +43,51 @@ type Solution struct {
 	Dual      []float64 // one dual multiplier per constraint row
 	Iters     int       // total simplex iterations (both phases)
 	Phase1    int       // iterations spent in phase 1
+
+	// Basis is the final simplex basis, reusable as Options.WarmStart for
+	// a follow-up solve of a structurally identical problem (same variable
+	// and constraint counts; bounds and right-hand sides may differ). Nil
+	// when the solve did not reach an expressible optimal basis — e.g. a
+	// degenerate artificial variable survived phase 2.
+	Basis *Basis
+	// WarmStarted reports whether the warm-start basis was accepted (it
+	// validated and was primal feasible under this problem's data). When
+	// false despite Options.WarmStart, the solver fell back to a cold
+	// two-phase start.
+	WarmStarted bool
+	// PricingTime is the wall-clock spent in the pricing step (reduced-
+	// cost scan plus Devex weight maintenance) across all iterations.
+	PricingTime time.Duration
+	// Pivots is the pivot sequence, recorded when Options.RecordPivots is
+	// set. Used by determinism tests to assert that parallel pricing
+	// follows exactly the single-threaded path.
+	Pivots []Pivot
+}
+
+// Pivot records one simplex iteration's basis change. Leaving is -1 for a
+// bound flip (the entering column crossed to its opposite bound without a
+// basis change).
+type Pivot struct {
+	Entering int32
+	Leaving  int32
 }
 
 // Value returns the solution value of v.
 func (s *Solution) Value(v Var) float64 { return s.X[v] }
+
+// Basis captures a simplex basis over the structural and slack columns of
+// a problem with NumVars variables and NumCons rows. Treat it as opaque:
+// obtain one from Solution.Basis and pass it to Options.WarmStart.
+type Basis struct {
+	NumVars, NumCons int
+	// RowCol[i] is the column basic in row i: j < NumVars is structural
+	// variable j, NumVars+i is the slack of row i.
+	RowCol []int32
+	// ColStat[j] is the rest position of nonbasic column j (one of the
+	// internal atLower/atUpper/atFree codes); entries of basic columns
+	// are ignored.
+	ColStat []int8
+}
 
 // Options tunes the simplex solver. The zero value selects sensible
 // defaults via (*Options).withDefaults.
@@ -57,6 +101,22 @@ type Options struct {
 	// The default is Dantzig pricing with an automatic Bland fallback
 	// after a long degenerate stall.
 	Bland bool
+	// WarmStart seeds the solve with a basis from a previous solve of a
+	// structurally identical problem (same variable and constraint
+	// counts). If the basis does not validate, is singular, or is primal
+	// infeasible under the current bounds and right-hand sides, the
+	// solver silently falls back to a cold two-phase start; an accepted
+	// warm start skips phase 1 entirely. Solution.WarmStarted reports
+	// which path ran.
+	WarmStart *Basis
+	// PricingWorkers parallelizes the pricing step (the reduced-cost scan
+	// and Devex weight update) across this many goroutines. Results are
+	// bit-identical to the sequential scan for any worker count: each
+	// column's reduced cost is computed independently and ties break by
+	// lowest column index. 0 or 1 means sequential.
+	PricingWorkers int
+	// RecordPivots fills Solution.Pivots with the pivot sequence.
+	RecordPivots bool
 }
 
 func (o Options) withDefaults(rows, cols int) Options {

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// SolverStats accumulates per-solve LP statistics across the epochs of a
+// run, quantifying what warm-starting and parallel pricing buy: how many
+// warm starts were attempted and accepted, the iteration counts on each
+// path, and the wall-clock split between pricing and the rest of the
+// solve.
+type SolverStats struct {
+	Solves        int // LP solves observed
+	WarmAttempted int // solves that offered a starting basis
+	WarmAccepted  int // solves where the basis validated and was used
+
+	Iters       int // total simplex iterations, both paths
+	Phase1Iters int // iterations spent reaching feasibility (cold only)
+	WarmIters   int // iterations on warm-started solves
+	ColdIters   int // iterations on cold solves
+
+	SolveTime   time.Duration // wall-clock inside lp.Solve
+	PricingTime time.Duration // portion spent in the pricing step
+}
+
+// Observe records one solve. warmAttempted says a starting basis was
+// offered; warmAccepted says the solver used it (as reported by
+// Solution.WarmStarted).
+func (ss *SolverStats) Observe(iters, phase1 int, warmAttempted, warmAccepted bool, solve, pricing time.Duration) {
+	ss.Solves++
+	ss.Iters += iters
+	ss.SolveTime += solve
+	ss.PricingTime += pricing
+	if warmAttempted {
+		ss.WarmAttempted++
+	}
+	if warmAccepted {
+		ss.WarmAccepted++
+		ss.WarmIters += iters
+	} else {
+		ss.ColdIters += iters
+		ss.Phase1Iters += phase1
+	}
+}
+
+// IterationsSaved estimates the simplex iterations avoided by warm
+// starts: accepted warm solves cost WarmIters instead of the average
+// cold solve's iteration count.
+func (ss *SolverStats) IterationsSaved() int {
+	cold := ss.Solves - ss.WarmAccepted
+	if cold == 0 || ss.WarmAccepted == 0 {
+		return 0
+	}
+	perCold := ss.ColdIters / cold
+	saved := ss.WarmAccepted*perCold - ss.WarmIters
+	if saved < 0 {
+		return 0
+	}
+	return saved
+}
+
+// AcceptRate is the fraction of attempted warm starts that were usable.
+func (ss *SolverStats) AcceptRate() float64 {
+	if ss.WarmAttempted == 0 {
+		return 0
+	}
+	return float64(ss.WarmAccepted) / float64(ss.WarmAttempted)
+}
+
+// String summarises the stats on one line.
+func (ss *SolverStats) String() string {
+	return fmt.Sprintf(
+		"%d solves (%d/%d warm), %d iters (%d phase1, ~%d saved), solve %v (pricing %v)",
+		ss.Solves, ss.WarmAccepted, ss.WarmAttempted,
+		ss.Iters, ss.Phase1Iters, ss.IterationsSaved(),
+		ss.SolveTime.Round(time.Millisecond), ss.PricingTime.Round(time.Millisecond),
+	)
+}

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSolverStatsAccounting(t *testing.T) {
+	var ss SolverStats
+	// First solve: cold (nothing to warm-start from).
+	ss.Observe(100, 40, false, false, 10*time.Millisecond, 2*time.Millisecond)
+	// Second: warm attempted and accepted.
+	ss.Observe(5, 0, true, true, time.Millisecond, 200*time.Microsecond)
+	// Third: warm attempted but rejected → cold path.
+	ss.Observe(80, 30, true, false, 8*time.Millisecond, time.Millisecond)
+
+	if ss.Solves != 3 || ss.WarmAttempted != 2 || ss.WarmAccepted != 1 {
+		t.Fatalf("counts: %+v", ss)
+	}
+	if ss.Iters != 185 || ss.WarmIters != 5 || ss.ColdIters != 180 {
+		t.Fatalf("iters: %+v", ss)
+	}
+	if ss.Phase1Iters != 70 {
+		t.Fatalf("phase1: %d", ss.Phase1Iters)
+	}
+	if ss.SolveTime != 19*time.Millisecond {
+		t.Fatalf("solve time: %v", ss.SolveTime)
+	}
+	// One warm solve replaced an average cold solve (180/2 = 90 iters)
+	// with 5 iterations.
+	if saved := ss.IterationsSaved(); saved != 85 {
+		t.Fatalf("iterations saved: %d", saved)
+	}
+	if r := ss.AcceptRate(); r != 0.5 {
+		t.Fatalf("accept rate: %g", r)
+	}
+	if s := ss.String(); !strings.Contains(s, "1/2 warm") {
+		t.Fatalf("string: %q", s)
+	}
+}
+
+func TestSolverStatsEmpty(t *testing.T) {
+	var ss SolverStats
+	if ss.IterationsSaved() != 0 || ss.AcceptRate() != 0 {
+		t.Fatal("empty stats should report zeros")
+	}
+	// All-warm runs have no cold baseline to estimate savings from.
+	ss.Observe(3, 0, true, true, time.Millisecond, 0)
+	if ss.IterationsSaved() != 0 {
+		t.Fatalf("saved without a cold baseline: %d", ss.IterationsSaved())
+	}
+}

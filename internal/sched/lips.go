@@ -10,6 +10,7 @@ import (
 	"lips/internal/cost"
 	"lips/internal/hdfs"
 	"lips/internal/lp"
+	"lips/internal/metrics"
 	"lips/internal/sim"
 	"lips/internal/workload"
 )
@@ -28,8 +29,16 @@ type LiPS struct {
 	// nodes (lossless for class-structured clusters; see DESIGN.md).
 	// Enabled by default via NewLiPS.
 	Aggregate bool
-	// LPOpts tunes the simplex.
+	// LPOpts tunes the simplex. LPOpts.WarmStart is managed by the
+	// scheduler itself when WarmStart is set — leave it nil.
 	LPOpts lp.Options
+	// WarmStart seeds each epoch's solve with the previous epoch's
+	// optimal basis. Consecutive epochs share the LP's column structure
+	// whenever the pending job set is stable, so the old basis is often
+	// primal feasible under the new bounds/RHS and phase 1 is skipped
+	// entirely; when shapes diverge the solver silently falls back to a
+	// cold start. Enabled by default via NewLiPS.
+	WarmStart bool
 	// PriceMultiplier, when non-nil, re-prices each epoch's LP with the
 	// spot multiplier sampled at the epoch start — pass the same function
 	// given to sim.Options so planning and billing agree.
@@ -41,17 +50,19 @@ type LiPS struct {
 	LPIters     int
 	TasksMoved  int // tasks enqueued via LP plans
 	BlocksMoved int
-	Err         error // first scheduling error, if any
+	Solver      metrics.SolverStats // per-solve LP statistics
+	Err         error               // first scheduling error, if any
 
-	stale   int // consecutive epochs with pending work but no launches
-	rrNode  map[int]int
-	rrStore map[int]int
+	stale     int // consecutive epochs with pending work but no launches
+	rrNode    map[int]int
+	rrStore   map[int]int
+	prevBasis *lp.Basis // last epoch's optimal basis (warm-start seed)
 }
 
 // NewLiPS returns a LiPS scheduler with the given epoch length (0 selects
 // the 400 s default) and group aggregation enabled.
 func NewLiPS(epochSec float64) *LiPS {
-	return &LiPS{EpochSec: epochSec, Aggregate: true}
+	return &LiPS{EpochSec: epochSec, Aggregate: true, WarmStart: true}
 }
 
 // Name implements sim.Scheduler.
@@ -179,14 +190,24 @@ func (l *LiPS) planEpoch(s *sim.Sim, queued []int) int {
 		l.fail(err)
 		return 0
 	}
+	opts := l.LPOpts
+	if l.WarmStart {
+		opts.WarmStart = l.prevBasis
+	}
 	start := time.Now()
-	plan, err := model.Solve(l.LPOpts)
-	l.SolveTime += time.Since(start)
+	plan, err := model.Solve(opts)
+	elapsed := time.Since(start)
+	l.SolveTime += elapsed
 	if err != nil {
 		l.fail(fmt.Errorf("epoch %d: %w", l.Epochs, err))
 		return 0
 	}
 	l.LPIters += plan.Iters
+	l.Solver.Observe(plan.Iters, plan.Phase1, opts.WarmStart != nil, plan.WarmStarted,
+		elapsed, plan.PricingTime)
+	if l.WarmStart {
+		l.prevBasis = plan.Basis
+	}
 	return l.apply(s, in, plan.Round(), queued, pendingOf)
 }
 

@@ -14,6 +14,8 @@ package sim
 // events are rescheduled (stale events are voided by a generation
 // counter).
 
+import "sort"
+
 // linkID identifies an unordered zone pair.
 type linkID struct{ a, b string }
 
@@ -107,6 +109,19 @@ func (ne *netEngine) cancel(f *flow) float64 {
 // after elapse).
 func (f *flow) movedOf() float64 { return f.total - f.remainingMB }
 
+// sortedFlows returns the link's flows ordered by id. Iteration order
+// matters wherever events are scheduled: the event heap breaks same-time
+// ties by insertion sequence, so ranging over the flow map directly would
+// make simultaneous completions fire in a different order on every run.
+func (ls *linkState) sortedFlows() []*flow {
+	out := make([]*flow, 0, len(ls.flows))
+	for _, f := range ls.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // elapse advances every flow on the link to the current clock.
 func (ne *netEngine) elapse(ls *linkState) {
 	now := ne.s.clock
@@ -127,7 +142,7 @@ func (ne *netEngine) reschedule(ls *linkState) {
 		return
 	}
 	share := ls.capacityMBps / float64(n)
-	for _, f := range ls.flows {
+	for _, f := range ls.sortedFlows() {
 		f.rate = share
 		f.gen++
 		gen := f.gen

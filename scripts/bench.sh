@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Benchmark regression harness: runs the internal/lp benchmarks (the
+# epoch-scale cold/warm pair plus the solver size sweep) and writes
+# BENCH_lp.json so future changes have a perf trajectory to compare
+# against. Usage: scripts/bench.sh [output.json]; BENCHTIME=10x to rerun
+# with more samples.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_lp.json}
+BENCHTIME=${BENCHTIME:-5x}
+
+RAW=$(go test ./internal/lp -run '^$' -bench 'BenchmarkSolve|BenchmarkEpoch' \
+	-benchtime "$BENCHTIME" -timeout 30m)
+printf '%s\n' "$RAW"
+
+printf '%s\n' "$RAW" | awk -v date="$(date -u +%FT%TZ)" -v benchtime="$BENCHTIME" '
+BEGIN {
+	printf "{\n  \"generated\": \"%s\",\n  \"benchtime\": \"%s\",\n", date, benchtime
+	printf "  \"benchmarks\": [\n"
+}
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+	iters = $2; ns = $3
+	extra = ""
+	for (i = 5; i + 1 <= NF; i += 2) {     # trailing "value unit" pairs
+		if (extra != "") extra = extra ","
+		extra = extra sprintf("\"%s\": %s", $(i + 1), $i)
+	}
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+	if (extra != "") printf ", \"metrics\": {%s}", extra
+	printf "}"
+	if (name == "BenchmarkEpoch/cold") cold = ns
+	if (name == "BenchmarkEpoch/warm") warm = ns
+}
+END {
+	printf "\n  ],\n"
+	if (cold > 0 && warm > 0)
+		printf "  \"epoch_warm_speedup\": %.2f\n", cold / warm
+	else
+		printf "  \"epoch_warm_speedup\": null\n"
+	printf "}\n"
+}' > "$OUT"
+
+echo "wrote $OUT"
