@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench
+.PHONY: all build test race vet bench perfsmoke
 
 all: vet build test
 
@@ -19,3 +19,7 @@ vet:
 # Runs the LP benchmarks and records BENCH_lp.json (see scripts/bench.sh).
 bench:
 	scripts/bench.sh
+
+# Fails if BenchmarkEpoch regresses >3x against the committed baseline.
+perfsmoke:
+	scripts/perfsmoke.sh

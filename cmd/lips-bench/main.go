@@ -4,6 +4,8 @@
 //
 //	lips-bench [-experiment all|table1|table3|table4|fig1|fig5|fig6|fig8|fig9|fig11|overhead|ablations]
 //	           [-full] [-seed N] [-trials N] [-lp-workers N] [-cold-start]
+//	           [-presolve on|off] [-factor lu|dense]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // By default experiments run at Quick scale (seconds); -full selects the
 // paper-scale configurations (the 1608-task Table IV job set, the 400-job
@@ -14,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"lips/internal/experiments"
 )
@@ -25,14 +29,65 @@ func main() {
 	trials := flag.Int("trials", 0, "trials per Fig. 5 point (0 = default)")
 	lpWorkers := flag.Int("lp-workers", 0, "parallel pricing workers per LP solve (0 = sequential)")
 	coldStart := flag.Bool("cold-start", false, "disable epoch-to-epoch LP basis reuse")
+	presolve := flag.String("presolve", "on", "LP presolve reduction pass: on or off")
+	factor := flag.String("factor", "lu", "LP basis factorization: lu (sparse) or dense")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	cfg := experiments.Config{
 		Seed: *seed, Trials: *trials, Quick: !*full,
 		LPWorkers: *lpWorkers, ColdStart: *coldStart,
 	}
-	if err := run(*experiment, cfg); err != nil {
+	switch *presolve {
+	case "on":
+	case "off":
+		cfg.NoPresolve = true
+	default:
+		fmt.Fprintf(os.Stderr, "lips-bench: -presolve must be on or off, got %q\n", *presolve)
+		os.Exit(1)
+	}
+	switch *factor {
+	case "lu":
+	case "dense":
+		cfg.DenseFactor = true
+	default:
+		fmt.Fprintf(os.Stderr, "lips-bench: -factor must be lu or dense, got %q\n", *factor)
+		os.Exit(1)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lips-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lips-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(*experiment, cfg)
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "lips-bench:", merr)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "lips-bench:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lips-bench:", err)
+		// Let the CPU-profile deferred writer flush before exiting.
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
 }

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	lips-lp [-bland] [-max-iters N] [-duals] [file]
+//	lips-lp [-bland] [-max-iters N] [-duals] [-presolve on|off] [-factor lu|dense]
+//	        [-cpuprofile FILE] [-memprofile FILE] [file]
 //
 // With no file, the problem is read from standard input. The format:
 //
@@ -20,14 +21,30 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"lips/internal/lp"
 )
 
+// cliOpts carries the command-line knobs into run.
+type cliOpts struct {
+	bland    bool
+	maxIters int
+	duals    bool
+	presolve string // "on" or "off"
+	factor   string // "lu" or "dense"
+}
+
 func main() {
-	bland := flag.Bool("bland", false, "force Bland's anti-cycling rule")
-	maxIters := flag.Int("max-iters", 0, "iteration budget (0 = automatic)")
-	duals := flag.Bool("duals", false, "also print the dual values")
+	var o cliOpts
+	flag.BoolVar(&o.bland, "bland", false, "force Bland's anti-cycling rule")
+	flag.IntVar(&o.maxIters, "max-iters", 0, "iteration budget (0 = automatic)")
+	flag.BoolVar(&o.duals, "duals", false, "also print the dual values")
+	flag.StringVar(&o.presolve, "presolve", "on", "presolve reduction pass: on or off")
+	flag.StringVar(&o.factor, "factor", "lu", "basis factorization: lu (sparse) or dense")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -40,7 +57,34 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	code, err := run(in, os.Stdout, *bland, *maxIters, *duals)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lips-lp:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lips-lp:", err)
+			os.Exit(1)
+		}
+	}
+	code, err := run(in, os.Stdout, o)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "lips-lp:", merr)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "lips-lp:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lips-lp:", err)
 	}
@@ -48,18 +92,36 @@ func main() {
 }
 
 // run parses, solves and prints; it returns the process exit code.
-func run(in io.Reader, out io.Writer, bland bool, maxIters int, duals bool) (int, error) {
+func run(in io.Reader, out io.Writer, o cliOpts) (int, error) {
 	p, err := lp.Parse(in)
 	if err != nil {
 		return 1, err
 	}
-	sol, err := p.Solve(lp.Options{Bland: bland, MaxIters: maxIters})
+	opts := lp.Options{Bland: o.bland, MaxIters: o.maxIters}
+	switch o.presolve {
+	case "", "on":
+	case "off":
+		opts.Presolve = lp.PresolveOff
+	default:
+		return 1, fmt.Errorf("-presolve must be on or off, got %q", o.presolve)
+	}
+	switch o.factor {
+	case "", "lu":
+	case "dense":
+		opts.Factor = lp.FactorDense
+	default:
+		return 1, fmt.Errorf("-factor must be lu or dense, got %q", o.factor)
+	}
+	sol, err := p.Solve(opts)
 	if err != nil {
 		return 1, err
 	}
 	fmt.Fprintf(out, "problem %s: %d variables, %d constraints, %d nonzeros\n",
 		p.Name(), p.NumVars(), p.NumCons(), p.NumNonzeros())
 	fmt.Fprintf(out, "status: %v (%d iterations, %d in phase 1)\n", sol.Status, sol.Iters, sol.Phase1)
+	if sol.PresolveRows > 0 || sol.PresolveCols > 0 {
+		fmt.Fprintf(out, "presolve: removed %d rows, %d cols\n", sol.PresolveRows, sol.PresolveCols)
+	}
 	if sol.Status != lp.Optimal {
 		return 2, nil
 	}
@@ -70,7 +132,7 @@ func run(in io.Reader, out io.Writer, bland bool, maxIters int, duals bool) (int
 			fmt.Fprintf(out, "  %s = %g\n", p.VarName(v), x)
 		}
 	}
-	if duals {
+	if o.duals {
 		fmt.Fprintln(out, "duals:")
 		for i := 0; i < p.NumCons(); i++ {
 			fmt.Fprintf(out, "  %s = %g\n", p.ConName(lp.Con(i)), sol.Dual[i])

@@ -16,7 +16,7 @@ coef 0 1 1
 
 func TestRunOptimal(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run(strings.NewReader(demoLP), &out, false, 0, true)
+	code, err := run(strings.NewReader(demoLP), &out, cliOpts{duals: true})
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
@@ -30,7 +30,7 @@ func TestRunOptimal(t *testing.T) {
 
 func TestRunInfeasible(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run(strings.NewReader("var x 0 1 1\ncon c >= 5\ncoef 0 0 1\n"), &out, false, 0, false)
+	code, err := run(strings.NewReader("var x 0 1 1\ncon c >= 5\ncoef 0 0 1\n"), &out, cliOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestRunInfeasible(t *testing.T) {
 
 func TestRunParseError(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run(strings.NewReader("garbage\n"), &out, false, 0, false)
+	code, err := run(strings.NewReader("garbage\n"), &out, cliOpts{})
 	if err == nil || code != 1 {
 		t.Errorf("code=%d err=%v", code, err)
 	}
@@ -52,8 +52,30 @@ func TestRunParseError(t *testing.T) {
 
 func TestRunBland(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run(strings.NewReader(demoLP), &out, true, 100, false)
+	code, err := run(strings.NewReader(demoLP), &out, cliOpts{bland: true, maxIters: 100})
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v", code, err)
+	}
+}
+
+func TestRunPresolveOffDenseFactor(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run(strings.NewReader(demoLP), &out,
+		cliOpts{presolve: "off", factor: "dense"})
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "objective: -6") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunBadKnob(t *testing.T) {
+	for _, o := range []cliOpts{{presolve: "maybe"}, {factor: "qr"}} {
+		var out bytes.Buffer
+		code, err := run(strings.NewReader(demoLP), &out, o)
+		if err == nil || code != 1 {
+			t.Errorf("opts %+v: code=%d err=%v, want rejection", o, code, err)
+		}
 	}
 }

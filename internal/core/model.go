@@ -332,6 +332,9 @@ func (m *Model) extract(sol *lp.Solution) *Plan {
 	p := &Plan{
 		In: in, Kind: m.Kind, Iters: sol.Iters, Phase1: sol.Phase1,
 		Basis: sol.Basis, WarmStarted: sol.WarmStarted, PricingTime: sol.PricingTime,
+		FactorTime: sol.FactorTime, FtranTime: sol.FtranTime, BtranTime: sol.BtranTime,
+		PresolveTime: sol.PresolveTime, Refactorizations: sol.Refactorizations,
+		FactorNNZ: sol.FactorNNZ, PresolveRows: sol.PresolveRows, PresolveCols: sol.PresolveCols,
 	}
 	p.XT = make([]map[[2]int]float64, len(in.Jobs))
 	for k := range in.Jobs {

@@ -47,6 +47,22 @@ type Plan struct {
 	WarmStarted bool
 	// PricingTime is the wall-clock the solver spent pricing columns.
 	PricingTime time.Duration
+	// FactorTime, FtranTime and BtranTime split the basis-factorization
+	// work: building/updating the sparse LU (or dense inverse) and the
+	// forward/backward triangular solves.
+	FactorTime time.Duration
+	FtranTime  time.Duration
+	BtranTime  time.Duration
+	// PresolveTime is the wall-clock spent in presolve and postsolve;
+	// zero when presolve found nothing to remove.
+	PresolveTime time.Duration
+	// Refactorizations counts from-scratch basis factorizations; FactorNNZ
+	// is the nonzero count (fill-in included) of the final factorization.
+	Refactorizations int
+	FactorNNZ        int
+	// PresolveRows and PresolveCols count what presolve removed.
+	PresolveRows int
+	PresolveCols int
 }
 
 // TotalMC returns the executed-work cost: placement + execution + runtime

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"lips/internal/lp"
 	"lips/internal/sched"
 )
 
@@ -34,6 +35,13 @@ type Config struct {
 	// scheduler, forcing every epoch's LP to solve from scratch — the
 	// baseline the benchmark harness compares warm starts against.
 	ColdStart bool
+	// NoPresolve disables the LP presolve reduction pass
+	// (lp.Options.Presolve = PresolveOff).
+	NoPresolve bool
+	// DenseFactor swaps the sparse LU basis factorization for the
+	// historical dense explicit inverse (lp.Options.Factor =
+	// FactorDense) — a numerical cross-check and perf baseline.
+	DenseFactor bool
 }
 
 // newLiPS builds a LiPS scheduler carrying the run's LP knobs.
@@ -41,6 +49,12 @@ func (c Config) newLiPS(epochSec float64) *sched.LiPS {
 	l := sched.NewLiPS(epochSec)
 	l.WarmStart = !c.ColdStart
 	l.LPOpts.PricingWorkers = c.LPWorkers
+	if c.NoPresolve {
+		l.LPOpts.Presolve = lp.PresolveOff
+	}
+	if c.DenseFactor {
+		l.LPOpts.Factor = lp.FactorDense
+	}
 	return l
 }
 

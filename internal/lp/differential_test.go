@@ -190,6 +190,170 @@ func TestWarmStartFromOwnOptimum(t *testing.T) {
 	}
 }
 
+// junkedLiPSLP builds a LiPS-shaped LP and injects presolvable structure
+// around it: empty rows, fixed variables wired into capacity rows, empty
+// columns, singleton rows (one tightening an existing column's bound, one
+// chaining into an empty-column fix), and a dominated duplicate-column
+// pair. The junk is constructed so the optimal solution of the core LP is
+// perturbed only by the forced values, keeping the instance feasible.
+func junkedLiPSLP(seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	jobs := 2 + rng.Intn(4)
+	machines := 2 + rng.Intn(3)
+	stores := 2 + rng.Intn(3)
+	p := lipsShapedLP(jobs, machines, stores, rand.New(rand.NewSource(seed)), nil)
+
+	// Empty rows: trivially satisfied, presolve drops them.
+	p.AddCon("junk-empty-le", LE, 1+rng.Float64())
+	p.AddCon("junk-empty-ge", GE, -1-rng.Float64())
+	p.AddCon("junk-empty-eq", EQ, 0)
+
+	// Fixed variables attached to capacity rows (small coefficient and
+	// value so the substituted right-hand sides stay comfortably positive).
+	for t := 0; t < 3; t++ {
+		v := p.AddVar("junk-fixed", 0.5, 0.5, rng.Float64()*10-5)
+		p.SetCoef(Con(rng.Intn(stores+machines)), v, 0.1+0.4*rng.Float64())
+	}
+
+	// Empty columns: each fixed at its cheaper bound.
+	p.AddVar("junk-empty-pos", 0, 5, 1+rng.Float64())
+	p.AddVar("junk-empty-neg", 0, 5, -1-rng.Float64())
+	p.AddVar("junk-empty-zero", 1, 3, 0)
+
+	// Singleton row chaining into an empty-column fix: the row folds into
+	// an upper bound, leaving a profitable column with no rows that is
+	// then fixed at that bound.
+	w := p.AddVar("junk-chain", 0, Inf, -(1 + rng.Float64()))
+	cw := p.AddCon("junk-single", LE, 1+rng.Float64())
+	p.SetCoef(cw, w, 1+rng.Float64())
+
+	// Singleton row tightening the first xd flow's upper bound; the job's
+	// other flows keep the EQ placement row feasible.
+	sr := p.AddCon("junk-tighten", LE, 0.5+0.4*rng.Float64())
+	p.SetCoef(sr, Var(0), 1)
+
+	// Dominated pair over two shared LE rows: the winner is unbounded
+	// above, no more expensive, and at least as light in both rows, so
+	// presolve fixes the loser at its lower bound.
+	dj := p.AddVar("junk-dom-winner", 0, Inf, 5+rng.Float64())
+	dk := p.AddVar("junk-dom-loser", 0, 8, 6+rng.Float64())
+	for _, c := range []Con{Con(0), Con(stores)} {
+		a := 0.5 + rng.Float64()
+		p.SetCoef(c, dj, a)
+		p.SetCoef(c, dk, a+0.2)
+	}
+	return p
+}
+
+// TestPresolveDifferential is the presolve→solve→postsolve property test:
+// on randomized LiPS-shaped LPs with injected presolvable junk, the
+// default solve (presolve + sparse LU) must agree with the dense tableau
+// reference on status and objective, return a feasible primal point, have
+// actually removed rows and columns, and hand back a postsolved basis
+// that warm-starts a re-solve of the full problem in O(1) iterations.
+func TestPresolveDifferential(t *testing.T) {
+	const trials = 25
+	warmTested := 0
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(4000 + trial)
+		p := junkedLiPSLP(seed)
+
+		sol, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: solve: %v", trial, err)
+		}
+		dense, err := p.SolveDense(0)
+		if err != nil {
+			t.Fatalf("trial %d: dense solve: %v", trial, err)
+		}
+		if sol.Status != dense.Status {
+			t.Fatalf("trial %d: presolved status %v, dense status %v",
+				trial, sol.Status, dense.Status)
+		}
+		if sol.Status != Optimal {
+			continue
+		}
+		// 3 empty rows + 2 singleton rows injected; 3 fixed + 3 empty +
+		// 1 chained + 1 dominated column.
+		if sol.PresolveRows < 5 {
+			t.Errorf("trial %d: PresolveRows = %d, want >= 5", trial, sol.PresolveRows)
+		}
+		if sol.PresolveCols < 7 {
+			t.Errorf("trial %d: PresolveCols = %d, want >= 7", trial, sol.PresolveCols)
+		}
+		if d := relDiff(sol.Objective, dense.Objective); d > 1e-6 {
+			t.Errorf("trial %d: presolved %.12g vs dense %.12g (rel %.2g)",
+				trial, sol.Objective, dense.Objective, d)
+		}
+		if err := p.CheckFeasible(sol.X, 1e-6); err != nil {
+			t.Errorf("trial %d: presolved point infeasible: %v", trial, err)
+		}
+
+		if sol.Basis == nil {
+			continue // legal per-instance; the counter below keeps us honest
+		}
+		warm, err := p.Solve(Options{WarmStart: sol.Basis})
+		if err != nil {
+			t.Fatalf("trial %d: warm re-solve: %v", trial, err)
+		}
+		if !warm.WarmStarted {
+			t.Errorf("trial %d: postsolved basis rejected by warm start", trial)
+			continue
+		}
+		warmTested++
+		if warm.Phase1 != 0 {
+			t.Errorf("trial %d: warm re-solve ran %d phase-1 iterations", trial, warm.Phase1)
+		}
+		if warm.Iters > 2 {
+			t.Errorf("trial %d: warm re-solve took %d iterations", trial, warm.Iters)
+		}
+		if d := relDiff(sol.Objective, warm.Objective); d > 1e-6 {
+			t.Errorf("trial %d: warm objective %.12g vs %.12g", trial,
+				warm.Objective, sol.Objective)
+		}
+	}
+	if warmTested == 0 {
+		t.Fatal("no trial exercised the postsolved-basis warm start")
+	}
+	t.Logf("postsolved basis warm-started %d/%d trials", warmTested, trials)
+}
+
+// TestPresolveDominatedColumn pins the dominated-column rule: the loser of
+// a duplicate pair must be removed and the objective must match both the
+// dense reference and a presolve-off solve.
+func TestPresolveDominatedColumn(t *testing.T) {
+	p := New("dom")
+	// min 1·j + 2·k  s.t. j + 1.2k >= 3 (as -j - 1.2k <= -3), both >= 0.
+	j := p.AddVar("j", 0, Inf, 1)
+	k := p.AddVar("k", 0, 5, 2)
+	c := p.AddCon("need", GE, 3)
+	p.SetCoef(c, j, 1.2)
+	p.SetCoef(c, k, 1)
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := p.Solve(Options{Presolve: PresolveOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := p.SolveDense(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.PresolveCols < 1 {
+		t.Errorf("PresolveCols = %d, want >= 1 (dominated column)", sol.PresolveCols)
+	}
+	for name, other := range map[string]*Solution{"presolve-off": off, "dense": dense} {
+		if d := relDiff(sol.Objective, other.Objective); d > 1e-9 {
+			t.Errorf("objective %.12g disagrees with %s %.12g", sol.Objective, name, other.Objective)
+		}
+	}
+}
+
 // TestWarmStartShapeMismatch verifies the silent cold fallback when the
 // offered basis belongs to a differently-shaped problem.
 func TestWarmStartShapeMismatch(t *testing.T) {

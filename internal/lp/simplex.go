@@ -13,9 +13,12 @@ var debugSimplex = os.Getenv("LIPS_LP_DEBUG") == "1"
 // Solve runs the two-phase bounded-variable revised simplex method and
 // returns the solution. The receiver is not modified and may be reused.
 //
-// The method maintains an explicit dense basis inverse updated by pivoting
-// (O(m²) per iteration) with periodic refactorisation from scratch to bound
-// numerical drift. Upper bounds are honoured by the bounded-variable
+// The method maintains a sparse LU factorization of the basis (Markowitz
+// pivot ordering, product-form eta updates, periodic refactorisation from
+// scratch to bound eta growth and numerical drift); Options.Factor can
+// select the historical explicit dense inverse instead. Cold solves first
+// pass through a presolve layer (see presolve.go) unless Options.Presolve
+// disables it. Upper bounds are honoured by the bounded-variable
 // pivoting rule — including bound flips — so no extra rows are created for
 // them. Infeasibility of the initial slack basis is repaired by per-row
 // artificial variables minimised in phase 1.
@@ -25,6 +28,13 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	opts = opts.withDefaults(m, n)
 	if m == 0 {
 		return p.solveUnconstrained(opts)
+	}
+	// Presolve only on cold solves: a warm-start basis addresses the
+	// unreduced problem and could not seed the reduced one.
+	if opts.Presolve != PresolveOff && opts.WarmStart == nil {
+		if sol, err, done := p.solvePresolved(opts); done {
+			return sol, err
+		}
 	}
 	s := newSimplexState(p, opts)
 	return s.run()
@@ -81,14 +91,15 @@ type simplexState struct {
 	cost  []float64 // phase-2 (original) costs; artificials are 0
 	b     []float64 // row right-hand sides
 
-	status []int     // per column: atLower/atUpper/atFree/basic
-	value  []float64 // current value of each NONBASIC column (bound or 0)
-	basis  []int     // column index of the basic variable in each row
-	xB     []float64 // value of the basic variable in each row
-	binv   []float64 // dense m×m basis inverse, row-major
+	status []int      // per column: atLower/atUpper/atFree/basic
+	value  []float64  // current value of each NONBASIC column (bound or 0)
+	basis  []int      // column index of the basic variable in each row
+	xB     []float64  // value of the basic variable in each row
+	factor factorizer // representation of B^{-1} (sparse LU or dense)
 
 	// scratch
 	y     []float64 // duals c_B^T B^{-1}
+	cb    []float64 // slot-space basic costs handed to BTRAN
 	w     []float64 // B^{-1} A_q
 	devex []float64 // Devex reference weights, one per column
 	iter  int
@@ -102,6 +113,10 @@ type simplexState struct {
 	warm      bool        // warm-start basis accepted
 	pivots    []Pivot     // recorded when opts.RecordPivots
 	pricingNS time.Duration
+	factorNS  time.Duration // wall-clock inside refactorize
+	ftranNS   time.Duration // wall-clock in FTRAN (entering columns + x_B)
+	btranNS   time.Duration // wall-clock in BTRAN (duals + Devex pivot rows)
+	nRefactor int
 }
 
 // parallelMinCols gates the worker pool: below this column count the
@@ -164,8 +179,9 @@ func (s *simplexState) run() (*Solution, error) {
 	s.value = make([]float64, len(s.cols), cap(s.cols))
 	s.basis = make([]int, m)
 	s.xB = make([]float64, m)
-	s.binv = make([]float64, m*m)
+	s.factor = newFactorizer(s)
 	s.y = make([]float64, m)
+	s.cb = make([]float64, m)
 	s.w = make([]float64, m)
 	if s.opts.PricingWorkers > 1 && len(s.cols) >= parallelMinCols {
 		s.pool = newChunkPool(s.opts.PricingWorkers)
@@ -211,7 +227,9 @@ func (s *simplexState) run() (*Solution, error) {
 		return nil, err
 	}
 	sol := &Solution{Status: st, Iters: s.iter, Phase1: s.p1it,
-		WarmStarted: s.warm, PricingTime: s.pricingNS, Pivots: s.pivots}
+		WarmStarted: s.warm, PricingTime: s.pricingNS, Pivots: s.pivots,
+		FactorTime: s.factorNS, FtranTime: s.ftranNS, BtranTime: s.btranNS,
+		Refactorizations: s.nRefactor, FactorNNZ: s.factor.nnz()}
 	if st != Optimal {
 		return sol, nil
 	}
@@ -242,27 +260,27 @@ func (s *simplexState) run() (*Solution, error) {
 	s.computeDuals(cost)
 	sol.Dual = append([]float64(nil), s.y...)
 	sol.Basis = s.extractBasis()
+	sol.FactorTime, sol.FtranTime, sol.BtranTime = s.factorNS, s.ftranNS, s.btranNS
+	sol.Refactorizations, sol.FactorNNZ = s.nRefactor, s.factor.nnz()
 	return sol, nil
 }
 
 // coldStart initializes the slack basis with structurals at their start
 // bounds, then repairs any slack-bound violations with per-row artificial
-// variables. It overwrites all of status/value/basis/binv, so it also
-// serves as the fallback after a rejected warm start.
+// variables. It overwrites all of status/value/basis and resets the
+// factorization, so it also serves as the fallback after a rejected warm
+// start.
 func (s *simplexState) coldStart() {
 	m := s.m
 	for j := 0; j < s.nStruct; j++ {
 		s.status[j], s.value[j] = s.nonbasicStart(j)
 	}
-	for i := range s.binv {
-		s.binv[i] = 0
-	}
 	for i := 0; i < m; i++ {
 		s.basis[i] = s.nStruct + i
 		s.status[s.nStruct+i] = basic
 		s.value[s.nStruct+i] = 0
-		s.binv[i*m+i] = 1
 	}
+	s.factor.resetIdentity()
 	s.computeXB()
 }
 
@@ -308,12 +326,10 @@ func (s *simplexState) phase1() (st *Solution, done bool, err error) {
 		s.nArt++
 		s.basis[i] = aj
 		s.xB[i] = math.Abs(resid)
-		// binv row stays e_i scaled: column is ±e_i, so B^{-1} row i
-		// becomes sign·e_i.
-		for k := 0; k < m; k++ {
-			s.binv[i*m+k] = 0
-		}
-		s.binv[i*m+i] = sign
+		// The artificial column is ±e_i, so row i of B^{-1} becomes
+		// sign·e_i — an exact incremental fix on the fresh identity
+		// factorization coldStart just installed.
+		s.factor.setUnitRow(i, sign)
 	}
 
 	if !needPhase1 {
@@ -475,86 +491,31 @@ func (s *simplexState) computeXB() {
 			rhs[e.row] -= e.coef * s.value[j]
 		}
 	}
-	for i := 0; i < m; i++ {
-		sum := 0.0
-		row := s.binv[i*m : i*m+m]
-		for k := 0; k < m; k++ {
-			sum += row[k] * rhs[k]
-		}
-		s.xB[i] = sum
-	}
+	t0 := time.Now()
+	s.factor.ftranVec(rhs, s.xB)
+	s.ftranNS += time.Since(t0)
 }
 
 // computeDuals sets s.y = c_B^T B^{-1} for the given cost vector.
 func (s *simplexState) computeDuals(cost []float64) {
-	m := s.m
-	for k := 0; k < m; k++ {
-		s.y[k] = 0
+	for i := 0; i < s.m; i++ {
+		s.cb[i] = cost[s.basis[i]]
 	}
-	for i := 0; i < m; i++ {
-		cb := cost[s.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		row := s.binv[i*m : i*m+m]
-		for k := 0; k < m; k++ {
-			s.y[k] += cb * row[k]
-		}
-	}
+	t0 := time.Now()
+	s.factor.btran(s.cb, s.y)
+	s.btranNS += time.Since(t0)
 }
 
-// refactorize rebuilds the dense basis inverse from the basis columns by
-// Gauss–Jordan elimination with partial pivoting, then recomputes x_B.
+// refactorize rebuilds the basis factorization from the basis columns,
+// then recomputes x_B.
 func (s *simplexState) refactorize() error {
-	m := s.m
-	// Assemble B column-wise into a dense row-major matrix.
-	a := make([]float64, m*m)
-	for i := 0; i < m; i++ {
-		for _, e := range s.cols[s.basis[i]] {
-			a[e.row*m+i] = e.coef
-		}
+	t0 := time.Now()
+	err := s.factor.refactorize()
+	s.factorNS += time.Since(t0)
+	s.nRefactor++
+	if err != nil {
+		return err
 	}
-	inv := make([]float64, m*m)
-	for i := 0; i < m; i++ {
-		inv[i*m+i] = 1
-	}
-	for col := 0; col < m; col++ {
-		// Partial pivot.
-		piv, pmax := -1, 0.0
-		for r := col; r < m; r++ {
-			if v := math.Abs(a[r*m+col]); v > pmax {
-				piv, pmax = r, v
-			}
-		}
-		if piv < 0 || pmax < 1e-12 {
-			return fmt.Errorf("lp: singular basis during refactorisation (row %d)", col)
-		}
-		if piv != col {
-			for k := 0; k < m; k++ {
-				a[col*m+k], a[piv*m+k] = a[piv*m+k], a[col*m+k]
-				inv[col*m+k], inv[piv*m+k] = inv[piv*m+k], inv[col*m+k]
-			}
-		}
-		d := a[col*m+col]
-		for k := 0; k < m; k++ {
-			a[col*m+k] /= d
-			inv[col*m+k] /= d
-		}
-		for r := 0; r < m; r++ {
-			if r == col {
-				continue
-			}
-			f := a[r*m+col]
-			if f == 0 {
-				continue
-			}
-			for k := 0; k < m; k++ {
-				a[r*m+k] -= f * a[col*m+k]
-				inv[r*m+k] -= f * inv[col*m+k]
-			}
-		}
-	}
-	s.binv = inv
 	s.computeXB()
 	return nil
 }
@@ -581,7 +542,7 @@ func (s *simplexState) iterate(cost []float64) (Status, error) {
 		if s.iter >= s.opts.MaxIters {
 			return IterLimit, nil
 		}
-		if sinceRefactor >= 256 {
+		if sinceRefactor > 0 && s.factor.needsRefactor(sinceRefactor) {
 			if err := s.refactorize(); err != nil {
 				return 0, err
 			}
@@ -620,15 +581,9 @@ func (s *simplexState) iterate(cost []float64) (Status, error) {
 		}
 
 		// FTRAN: w = B^{-1} A_q.
-		for i := 0; i < m; i++ {
-			s.w[i] = 0
-		}
-		for _, e := range s.cols[entering] {
-			c := e.coef
-			for i := 0; i < m; i++ {
-				s.w[i] += s.binv[i*m+e.row] * c
-			}
-		}
+		t0 = time.Now()
+		s.factor.ftranCol(s.cols[entering], s.w)
+		s.ftranNS += time.Since(t0)
 
 		// Ratio test. The entering variable moves by t ≥ 0 in direction
 		// enterDir; basic i changes by −enterDir·w[i]·t.
@@ -719,8 +674,11 @@ func (s *simplexState) iterate(cost []float64) (Status, error) {
 		}
 
 		// Basis change.
-		if math.Abs(leavePivot) < 1e-11 {
-			// Numerically unsafe pivot: refactorise and retry.
+		if math.Abs(leavePivot) < 1e-11 && sinceRefactor > 0 {
+			// Numerically unsafe pivot: refactorise and retry. When the
+			// factorization is already fresh (sinceRefactor == 0) a
+			// rebuild cannot improve the pivot, so we accept it rather
+			// than loop.
 			if err := s.refactorize(); err != nil {
 				return 0, err
 			}
@@ -758,7 +716,9 @@ func (s *simplexState) iterate(cost []float64) (Status, error) {
 		if !useBland {
 			t0 = time.Now()
 			wq := s.devex[entering]
-			prowOld := s.binv[leaving*m : leaving*m+m]
+			prowOld := s.factor.pivotRow(leaving) // pre-pivot B^{-1} row
+			s.btranNS += time.Since(t0)
+			t0 = time.Now()
 			pivotSq := leavePivot * leavePivot
 			if s.pool != nil {
 				s.pool.run(len(s.cols), func(lo, hi, _ int) {
@@ -781,25 +741,11 @@ func (s *simplexState) iterate(cost []float64) (Status, error) {
 			s.pricingNS += time.Since(t0)
 		}
 
-		// Update B^{-1}: pivot row `leaving` on w[leaving].
-		prow := s.binv[leaving*m : leaving*m+m]
-		inv := 1 / leavePivot
-		for k := 0; k < m; k++ {
-			prow[k] *= inv
-		}
-		for i := 0; i < m; i++ {
-			if i == leaving {
-				continue
-			}
-			f := s.w[i]
-			if f == 0 {
-				continue
-			}
-			row := s.binv[i*m : i*m+m]
-			for k := 0; k < m; k++ {
-				row[k] -= f * prow[k]
-			}
-		}
+		// Update the factorization: slot `leaving` now holds the entering
+		// column, whose FTRAN image is still in s.w.
+		t0 = time.Now()
+		s.factor.update(s.w, leaving)
+		s.factorNS += time.Since(t0)
 		sinceRefactor++
 	}
 }

@@ -58,6 +58,25 @@ type Solution struct {
 	// PricingTime is the wall-clock spent in the pricing step (reduced-
 	// cost scan plus Devex weight maintenance) across all iterations.
 	PricingTime time.Duration
+	// FactorTime is the wall-clock spent building and updating the basis
+	// factorization; FtranTime and BtranTime cover the triangular solves
+	// (entering columns and x_B; duals and Devex pivot rows).
+	FactorTime time.Duration
+	FtranTime  time.Duration
+	BtranTime  time.Duration
+	// PresolveTime is the wall-clock spent reducing the problem and
+	// postsolving the answer back; zero when presolve did not run or
+	// found nothing to remove.
+	PresolveTime time.Duration
+	// Refactorizations counts from-scratch basis factorizations.
+	Refactorizations int
+	// FactorNNZ is the nonzero count of the final basis factorization —
+	// L+U fill-in under FactorLU, m² under FactorDense.
+	FactorNNZ int
+	// PresolveRows and PresolveCols count the constraint rows and columns
+	// presolve removed before the simplex saw the problem.
+	PresolveRows int
+	PresolveCols int
 	// Pivots is the pivot sequence, recorded when Options.RecordPivots is
 	// set. Used by determinism tests to assert that parallel pricing
 	// follows exactly the single-threaded path.
@@ -117,7 +136,48 @@ type Options struct {
 	PricingWorkers int
 	// RecordPivots fills Solution.Pivots with the pivot sequence.
 	RecordPivots bool
+	// Factor selects the basis-inverse representation: the default
+	// (FactorAuto/FactorLU) is a sparse LU factorization with Markowitz
+	// pivot ordering and product-form updates; FactorDense keeps the
+	// explicit dense inverse the solver originally shipped with.
+	Factor FactorMode
+	// Presolve controls the reduction pass that removes empty rows and
+	// columns, fixed variables, singleton and forcing rows, and dominated
+	// columns before the simplex runs, postsolving the answer (including
+	// duals and the warm-startable Basis) back to the original problem.
+	// The default (PresolveAuto) runs it on cold solves; it is always
+	// skipped when Options.WarmStart is set, since a basis for the
+	// unreduced problem cannot seed the reduced one. PresolveOff disables
+	// it entirely.
+	Presolve PresolveMode
 }
+
+// FactorMode selects the representation of the basis inverse.
+type FactorMode int8
+
+// Basis factorization modes.
+const (
+	// FactorAuto lets the solver choose; currently sparse LU.
+	FactorAuto FactorMode = iota
+	// FactorLU selects the sparse LU factorization explicitly.
+	FactorLU
+	// FactorDense selects the dense explicit inverse (the historical
+	// representation, kept as a numerical cross-check and fallback).
+	FactorDense
+)
+
+// PresolveMode controls the presolve reduction pass.
+type PresolveMode int8
+
+// Presolve modes.
+const (
+	// PresolveAuto runs presolve on cold solves (no warm-start basis).
+	PresolveAuto PresolveMode = iota
+	// PresolveOn is an explicit alias for PresolveAuto today.
+	PresolveOn
+	// PresolveOff disables presolve.
+	PresolveOff
+)
 
 func (o Options) withDefaults(rows, cols int) Options {
 	if o.MaxIters == 0 {

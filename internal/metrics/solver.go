@@ -22,6 +22,19 @@ type SolverStats struct {
 
 	SolveTime   time.Duration // wall-clock inside lp.Solve
 	PricingTime time.Duration // portion spent in the pricing step
+
+	// Factorization and presolve split of the solve wall-clock: building
+	// and updating the basis factorization, the FTRAN/BTRAN triangular
+	// solves, and the presolve/postsolve pass.
+	FactorTime   time.Duration
+	FtranTime    time.Duration
+	BtranTime    time.Duration
+	PresolveTime time.Duration
+
+	Refactorizations int // from-scratch basis factorizations
+	FactorNNZ        int // nonzeros of the last solve's final factorization
+	PresolveRows     int // constraint rows removed by presolve, summed
+	PresolveCols     int // columns removed by presolve, summed
 }
 
 // Observe records one solve. warmAttempted says a starting basis was
@@ -42,6 +55,21 @@ func (ss *SolverStats) Observe(iters, phase1 int, warmAttempted, warmAccepted bo
 		ss.ColdIters += iters
 		ss.Phase1Iters += phase1
 	}
+}
+
+// ObserveFactor records one solve's factorization and presolve detail.
+// It complements Observe, which keeps its historical signature; callers
+// that have the numbers invoke both per solve.
+func (ss *SolverStats) ObserveFactor(factor, ftran, btran, presolve time.Duration,
+	refactorizations, factorNNZ, presolveRows, presolveCols int) {
+	ss.FactorTime += factor
+	ss.FtranTime += ftran
+	ss.BtranTime += btran
+	ss.PresolveTime += presolve
+	ss.Refactorizations += refactorizations
+	ss.FactorNNZ = factorNNZ
+	ss.PresolveRows += presolveRows
+	ss.PresolveCols += presolveCols
 }
 
 // IterationsSaved estimates the simplex iterations avoided by warm
@@ -71,9 +99,12 @@ func (ss *SolverStats) AcceptRate() float64 {
 // String summarises the stats on one line.
 func (ss *SolverStats) String() string {
 	return fmt.Sprintf(
-		"%d solves (%d/%d warm), %d iters (%d phase1, ~%d saved), solve %v (pricing %v)",
+		"%d solves (%d/%d warm), %d iters (%d phase1, ~%d saved), solve %v (pricing %v, factor %v, ftran %v, btran %v, presolve %v), %d refactor, %d fill nnz, presolved %d rows/%d cols",
 		ss.Solves, ss.WarmAccepted, ss.WarmAttempted,
 		ss.Iters, ss.Phase1Iters, ss.IterationsSaved(),
 		ss.SolveTime.Round(time.Millisecond), ss.PricingTime.Round(time.Millisecond),
+		ss.FactorTime.Round(time.Millisecond), ss.FtranTime.Round(time.Millisecond),
+		ss.BtranTime.Round(time.Millisecond), ss.PresolveTime.Round(time.Millisecond),
+		ss.Refactorizations, ss.FactorNNZ, ss.PresolveRows, ss.PresolveCols,
 	)
 }

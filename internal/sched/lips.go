@@ -205,6 +205,9 @@ func (l *LiPS) planEpoch(s *sim.Sim, queued []int) int {
 	l.LPIters += plan.Iters
 	l.Solver.Observe(plan.Iters, plan.Phase1, opts.WarmStart != nil, plan.WarmStarted,
 		elapsed, plan.PricingTime)
+	l.Solver.ObserveFactor(plan.FactorTime, plan.FtranTime, plan.BtranTime,
+		plan.PresolveTime, plan.Refactorizations, plan.FactorNNZ,
+		plan.PresolveRows, plan.PresolveCols)
 	if l.WarmStart {
 		l.prevBasis = plan.Basis
 	}

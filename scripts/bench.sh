@@ -2,21 +2,31 @@
 # Benchmark regression harness: runs the internal/lp benchmarks (the
 # epoch-scale cold/warm pair plus the solver size sweep) and writes
 # BENCH_lp.json so future changes have a perf trajectory to compare
-# against. Usage: scripts/bench.sh [output.json]; BENCHTIME=10x to rerun
-# with more samples.
+# against. Each run records the git SHA it measured; prior results are
+# preserved in the file's "history" array (newest first, capped at 50)
+# instead of being overwritten. Usage: scripts/bench.sh [output.json];
+# BENCHTIME=10x to rerun with more samples.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_lp.json}
 BENCHTIME=${BENCHTIME:-5x}
 
+SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+if [ "$SHA" != unknown ] && ! git diff --quiet HEAD -- 2>/dev/null; then
+	SHA="$SHA-dirty"
+fi
+
 RAW=$(go test ./internal/lp -run '^$' -bench 'BenchmarkSolve|BenchmarkEpoch' \
 	-benchtime "$BENCHTIME" -timeout 30m)
 printf '%s\n' "$RAW"
 
-printf '%s\n' "$RAW" | awk -v date="$(date -u +%FT%TZ)" -v benchtime="$BENCHTIME" '
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+printf '%s\n' "$RAW" | awk -v date="$(date -u +%FT%TZ)" -v benchtime="$BENCHTIME" -v sha="$SHA" '
 BEGIN {
-	printf "{\n  \"generated\": \"%s\",\n  \"benchtime\": \"%s\",\n", date, benchtime
+	printf "{\n  \"generated\": \"%s\",\n  \"git_sha\": \"%s\",\n  \"benchtime\": \"%s\",\n", date, sha, benchtime
 	printf "  \"benchmarks\": [\n"
 }
 /^Benchmark/ {
@@ -41,6 +51,18 @@ END {
 	else
 		printf "  \"epoch_warm_speedup\": null\n"
 	printf "}\n"
-}' > "$OUT"
+}' > "$TMP"
+
+# Fold the previous file (and its accumulated history) into the new
+# one's "history" array, newest first. Without jq, or with no previous
+# file, the current run stands alone.
+if [ -s "$OUT" ] && command -v jq >/dev/null 2>&1; then
+	jq --slurpfile prev "$OUT" \
+		'. + {history: ([($prev[0] | del(.history))] + ($prev[0].history // []))[:50]}' \
+		"$TMP" > "$OUT.tmp"
+	mv "$OUT.tmp" "$OUT"
+else
+	cp "$TMP" "$OUT"
+fi
 
 echo "wrote $OUT"
