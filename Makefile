@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench perfsmoke
+.PHONY: all build test race vet bench perfsmoke faultsmoke
 
 all: vet build test
 
@@ -23,3 +23,8 @@ bench:
 # Fails if BenchmarkEpoch regresses >3x against the committed baseline.
 perfsmoke:
 	scripts/perfsmoke.sh
+
+# Races the fault-path tests and replays a seeded churn scenario through
+# every scheduler, requiring bit-identical repeats.
+faultsmoke:
+	scripts/faultsmoke.sh

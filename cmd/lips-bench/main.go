@@ -2,9 +2,10 @@
 //
 // Usage:
 //
-//	lips-bench [-experiment all|table1|table3|table4|fig1|fig5|fig6|fig8|fig9|fig11|overhead|ablations]
+//	lips-bench [-experiment all|table1|table3|table4|fig1|fig5|fig6|fig8|fig9|fig11|overhead|ablations|faults]
 //	           [-full] [-seed N] [-trials N] [-lp-workers N] [-cold-start]
 //	           [-presolve on|off] [-factor lu|dense]
+//	           [-faults N] [-fault-seed N]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // By default experiments run at Quick scale (seconds); -full selects the
@@ -31,6 +32,8 @@ func main() {
 	coldStart := flag.Bool("cold-start", false, "disable epoch-to-epoch LP basis reuse")
 	presolve := flag.String("presolve", "on", "LP presolve reduction pass: on or off")
 	factor := flag.String("factor", "lu", "LP basis factorization: lu (sparse) or dense")
+	faults := flag.Int("faults", 0, "node crashes in the churn ablation's fault plan (0 = 2)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault-plan seed for the churn ablation (0 = -seed)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -38,6 +41,7 @@ func main() {
 	cfg := experiments.Config{
 		Seed: *seed, Trials: *trials, Quick: !*full,
 		LPWorkers: *lpWorkers, ColdStart: *coldStart,
+		FaultCrashes: *faults, FaultSeed: *faultSeed,
 	}
 	switch *presolve {
 	case "on":
@@ -199,6 +203,13 @@ func run(experiment string, cfg experiments.Config) error {
 		}
 		fmt.Println("-- dedicated vs shared (contended) network links --")
 		fmt.Println(a6.Render())
+	}
+	if section("faults", "Churn — LiPS vs delay scheduling under injected faults") {
+		r, err := experiments.AblationFaults(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
 	}
 	if section("spot", "Extension — spot-market price volatility") {
 		r, err := experiments.SpotMarket(cfg)

@@ -7,6 +7,7 @@
 //	         [-workload paper|swim|random] [-jobs 60] [-tasks 400]
 //	         [-scheduler fifo|delay|fair|lips] [-epoch 600]
 //	         [-speculative] [-bill-occupancy] [-seed 1] [-v]
+//	         [-faults 0] [-fault-stores 0] [-fault-slowdowns 0] [-fault-seed 0]
 //
 // Examples:
 //
@@ -22,6 +23,7 @@ import (
 	"sort"
 
 	"lips/internal/cluster"
+	"lips/internal/cost"
 	"lips/internal/hdfs"
 	"lips/internal/metrics"
 	"lips/internal/sched"
@@ -45,6 +47,11 @@ func main() {
 		balance     = flag.Bool("balance", false, "run the HDFS balancer on the initial placement first")
 		seed        = flag.Int64("seed", 1, "random seed")
 		verbose     = flag.Bool("v", false, "print per-job and per-node detail")
+
+		faults    = flag.Int("faults", 0, "inject this many node crash+recovery pairs")
+		faultSt   = flag.Int("fault-stores", 0, "inject this many store data losses")
+		faultSlow = flag.Int("fault-slowdowns", 0, "inject this many straggler slowdown windows")
+		faultSeed = flag.Int64("fault-seed", 0, "fault-plan seed (0 = the -seed value)")
 	)
 	flag.Parse()
 	cfg := config{
@@ -54,6 +61,8 @@ func main() {
 		Speculative: *speculative, BillOccupancy: *occupancy,
 		SharedLinks: *sharedLinks, Balance: *balance,
 		Seed: *seed, Verbose: *verbose,
+		FaultCrashes: *faults, FaultStores: *faultSt, FaultSlowdowns: *faultSlow,
+		FaultSeed: *faultSeed,
 	}
 	if err := runCfg(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lips-sim:", err)
@@ -79,6 +88,11 @@ type config struct {
 
 	Seed    int64
 	Verbose bool
+
+	FaultCrashes   int
+	FaultStores    int
+	FaultSlowdowns int
+	FaultSeed      int64
 }
 
 // run keeps the old positional signature for the tests.
@@ -112,10 +126,7 @@ func runCfg(cfg config) error {
 	default:
 		return fmt.Errorf("unknown cluster %q", clusterKind)
 	}
-	stores := make([]cluster.StoreID, len(c.Stores))
-	for i := range stores {
-		stores[i] = cluster.StoreID(i)
-	}
+	stores := c.StoreIDs()
 
 	var w *workload.Workload
 	switch wlKind {
@@ -138,6 +149,15 @@ func runCfg(cfg config) error {
 	opts := sim.Options{
 		Speculative: speculative, BillOccupancy: occupancy,
 		SharedLinks: cfg.SharedLinks,
+	}
+	if cfg.FaultCrashes > 0 || cfg.FaultStores > 0 || cfg.FaultSlowdowns > 0 {
+		fseed := cfg.FaultSeed
+		if fseed == 0 {
+			fseed = seed
+		}
+		opts.Faults = sim.RandomFaultPlan(fseed, c, sim.FaultSpec{
+			Crashes: cfg.FaultCrashes, StoreLosses: cfg.FaultStores, Slowdowns: cfg.FaultSlowdowns,
+		})
 	}
 	var s sim.Scheduler
 	switch scheduler {
@@ -180,6 +200,9 @@ func runCfg(cfg config) error {
 		result.Locality.Count(metrics.Remote), result.Locality.Count(metrics.NoInput))
 	fmt.Printf("utilization: %.1f%%;  fairness (Jain over users): %.3f\n",
 		100*result.Utilization, result.Fairness)
+	if result.Faults.Any() {
+		fmt.Printf("faults: %s; failure cost %v\n", result.Faults, result.Cost.Category(cost.CatFault))
+	}
 
 	if verbose {
 		fmt.Println("\nper-job completion:")

@@ -358,6 +358,62 @@ func (in *Instance) MachineUnitOf() map[cluster.NodeID]int {
 	return out
 }
 
+// FilterMachines restricts the instance to machines whose nodes satisfy
+// alive: dead nodes leave their unit (scaling the unit's aggregate ECU
+// down proportionally), and units with no live node are removed together
+// with their MS/B matrix rows and CoMachine references. It reports
+// whether anything changed — callers warm-starting an LP must drop their
+// basis when it does, as the column structure no longer matches. Store
+// units are untouched: a store outlives its node (the data survives; only
+// co-located compute is gone).
+func (in *Instance) FilterMachines(alive func(cluster.NodeID) bool) bool {
+	changed := false
+	keep := make([]int, 0, len(in.Machines))
+	newIdx := make([]int, len(in.Machines))
+	for l, m := range in.Machines {
+		newIdx[l] = -1
+		if m.Fake || len(m.Nodes) == 0 {
+			newIdx[l] = len(keep)
+			keep = append(keep, l)
+			continue
+		}
+		var live []cluster.NodeID
+		for _, n := range m.Nodes {
+			if alive(n) {
+				live = append(live, n)
+			}
+		}
+		if len(live) == 0 {
+			changed = true
+			continue
+		}
+		if len(live) < len(m.Nodes) {
+			changed = true
+			in.Machines[l].ECU = m.ECU * float64(len(live)) / float64(len(m.Nodes))
+			in.Machines[l].Nodes = live
+		}
+		newIdx[l] = len(keep)
+		keep = append(keep, l)
+	}
+	if len(keep) < len(in.Machines) {
+		machines := make([]Machine, len(keep))
+		ms := make([][]float64, len(keep))
+		bw := make([][]float64, len(keep))
+		for i, l := range keep {
+			machines[i] = in.Machines[l]
+			ms[i] = in.MSPerMBMC[l]
+			bw[i] = in.BandwidthMBps[l]
+		}
+		in.Machines, in.MSPerMBMC, in.BandwidthMBps = machines, ms, bw
+		for m, cm := range in.CoMachine {
+			if cm >= 0 {
+				in.CoMachine[m] = newIdx[cm]
+			}
+		}
+	}
+	return changed
+}
+
 // AddFakeNode appends the online model's overflow node F: effectively
 // unlimited capacity at a prohibitive CPU price (paper §V-B). It returns
 // the machine index. perECUSecMC should dwarf every real price; the

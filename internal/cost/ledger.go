@@ -15,6 +15,7 @@ const (
 	CatTransfer    Category = "transfer"    // runtime store→machine data movement
 	CatPlacement   Category = "placement"   // store→store data relocation (x^d)
 	CatSpeculative Category = "speculative" // CPU burnt by killed speculative copies
+	CatFault       Category = "fault"       // CPU wasted by crash-killed attempts and re-replication traffic
 )
 
 // Ledger accumulates dollar charges by category and by job. A Ledger is

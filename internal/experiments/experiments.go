@@ -42,6 +42,13 @@ type Config struct {
 	// historical dense explicit inverse (lp.Options.Factor =
 	// FactorDense) — a numerical cross-check and perf baseline.
 	DenseFactor bool
+	// FaultCrashes sizes the churn ablation (AblationFaults): how many
+	// node crash+recovery pairs the seeded fault plan injects. 0 means 2.
+	FaultCrashes int
+	// FaultSeed seeds the fault plan independently of the workload seed,
+	// so the same churn can be replayed over different workloads. 0 means
+	// Seed.
+	FaultSeed int64
 }
 
 // newLiPS builds a LiPS scheduler carrying the run's LP knobs.
@@ -68,6 +75,12 @@ func (c Config) withDefaults() Config {
 		} else {
 			c.Trials = 5
 		}
+	}
+	if c.FaultCrashes == 0 {
+		c.FaultCrashes = 2
+	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = c.Seed
 	}
 	return c
 }

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAblationFaultsRendersAndReproduces(t *testing.T) {
+	r, err := AblationFaults(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows, want delay + lips", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.CalmCost <= 0 || row.ChurnCost <= 0 {
+			t.Errorf("%s: costs calm=%v churn=%v, want positive", row.Scheduler, row.CalmCost, row.ChurnCost)
+		}
+		if row.CalmMakespan <= 0 || row.ChurnMakespan <= 0 {
+			t.Errorf("%s: makespans calm=%g churn=%g, want positive", row.Scheduler, row.CalmMakespan, row.ChurnMakespan)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"fault plan", "delay", "lips", "re-executed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	again, err := AblationFaults(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Rows, again.Rows) {
+		t.Errorf("churn ablation not reproducible:\n%+v\nvs\n%+v", r.Rows, again.Rows)
+	}
+}

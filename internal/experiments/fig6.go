@@ -127,12 +127,8 @@ func shuffledPlacement(cfg Config, c *cluster.Cluster, w *workload.Workload) *hd
 // SWIM runs, whose cluster was built heterogeneous from the start).
 func uniformPlacement(cfg Config, c *cluster.Cluster, w *workload.Workload) *hdfs.Placement {
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-	stores := make([]cluster.StoreID, len(c.Stores))
-	for i := range stores {
-		stores[i] = cluster.StoreID(i)
-	}
 	p := w.Placement()
-	p.Shuffle(rng, stores)
+	p.Shuffle(rng, c.StoreIDs())
 	return p
 }
 

@@ -1,0 +1,54 @@
+package hdfs
+
+import (
+	"testing"
+)
+
+func TestDropStorePartitionsDamage(t *testing.T) {
+	// Object 0: 4 blocks on store 0; give blocks 0 and 1 a second copy on
+	// store 1. Object 1: 1 block on store 1.
+	p := NewPlacement(twoObjects())
+	p.AddReplica(0, 0, 1)
+	p.AddReplica(0, 1, 1)
+
+	under, lost := p.DropStore(0)
+	if len(under) != 2 || len(lost) != 2 {
+		t.Fatalf("under=%v lost=%v, want 2 under-replicated + 2 lost", under, lost)
+	}
+	for i, ref := range under {
+		if ref.Object != 0 || ref.Block != i {
+			t.Errorf("under[%d] = %+v, want object 0 block %d", i, ref, i)
+		}
+	}
+	for i, ref := range lost {
+		if ref.Object != 0 || ref.Block != i+2 {
+			t.Errorf("lost[%d] = %+v, want object 0 block %d", i, ref, i+2)
+		}
+	}
+	// Survivors are promoted to primary.
+	if p.Primary(0, 0) != 1 || p.Primary(0, 1) != 1 {
+		t.Errorf("survivors not promoted: primaries %d/%d", p.Primary(0, 0), p.Primary(0, 1))
+	}
+	// Fully-lost blocks hold no replicas until the caller re-materializes.
+	if len(p.Replicas(0, 2)) != 0 || len(p.Replicas(0, 3)) != 0 {
+		t.Error("lost blocks still list replicas")
+	}
+	// Blocks on other stores are untouched.
+	if p.Primary(1, 0) != 1 {
+		t.Error("object 1 disturbed by an unrelated store loss")
+	}
+	if p.HasReplicaOn(0, 0, 0) {
+		t.Error("dropped store still holds a replica")
+	}
+}
+
+func TestDropStoreWithoutData(t *testing.T) {
+	p := NewPlacement(twoObjects())
+	under, lost := p.DropStore(3) // nothing lives there
+	if len(under) != 0 || len(lost) != 0 {
+		t.Errorf("dropping an empty store reported damage: under=%v lost=%v", under, lost)
+	}
+	if p.Primary(0, 0) != 0 || p.Primary(1, 0) != 1 {
+		t.Error("placement changed by an empty drop")
+	}
+}

@@ -114,6 +114,44 @@ func (p *Placement) HasReplicaOn(obj ObjectID, block int, s cluster.StoreID) boo
 	return false
 }
 
+// BlockRef identifies one block of one object.
+type BlockRef struct {
+	Object ObjectID
+	Block  int
+}
+
+// DropStore removes store s from every block's replica list — a store
+// data-loss event. When the primary copy is lost, the first surviving
+// replica is promoted. It returns the blocks left under-replicated (they
+// lost a copy but others survive) and the blocks left with no copy at
+// all; the caller must re-materialize the latter (the simulator re-creates
+// them on a fallback store), as until then those blocks have an empty
+// replica list.
+func (p *Placement) DropStore(s cluster.StoreID) (under, lost []BlockRef) {
+	for i := range p.blocks {
+		for b := range p.blocks[i] {
+			reps := p.blocks[i][b]
+			kept := reps[:0:0]
+			for _, r := range reps {
+				if r != s {
+					kept = append(kept, r)
+				}
+			}
+			if len(kept) == len(reps) {
+				continue
+			}
+			p.blocks[i][b] = kept
+			ref := BlockRef{Object: ObjectID(i), Block: b}
+			if len(kept) == 0 {
+				lost = append(lost, ref)
+			} else {
+				under = append(under, ref)
+			}
+		}
+	}
+	return under, lost
+}
+
 // Fractions returns, for one object, the fraction of its primary blocks on
 // each store — the x^d_ij view the LiPS LP consumes.
 func (p *Placement) Fractions(obj ObjectID) map[cluster.StoreID]float64 {

@@ -13,6 +13,8 @@ import (
 // paper uses this as its "move computation" baseline — with enough small
 // jobs it reaches almost 100% data locality.
 type Delay struct {
+	sim.NopNodeEvents
+
 	// NodeWaitSec (W1) and ZoneWaitSec (W2) are the locality-relaxation
 	// thresholds. The zero value selects 15 s each, in line with the
 	// delay-scheduling paper's small multiples of the task length.

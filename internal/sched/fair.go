@@ -11,6 +11,8 @@ import (
 // the one with the fewest running tasks per unit weight — schedules next;
 // within a pool jobs run FIFO with locality-greedy task choice.
 type Fair struct {
+	sim.NopNodeEvents
+
 	// Weights gives per-pool weights; missing pools weigh 1.
 	Weights map[string]float64
 	// MinShare guarantees a pool a minimum number of concurrently

@@ -90,6 +90,7 @@ func TestKillTaskStates(t *testing.T) {
 
 // stubKiller exercises KillTask transitions from inside the simulation.
 type stubKiller struct {
+	sim.NopNodeEvents
 	s        *sim.Sim
 	checked  bool
 	checking bool

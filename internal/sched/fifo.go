@@ -13,7 +13,7 @@ import (
 // TaskTracker frees a slot the JobTracker greedily picks, from the oldest
 // job with pending work, the task whose data is closest to the tracker
 // (node-local, then same zone, then remote).
-type FIFO struct{}
+type FIFO struct{ sim.NopNodeEvents }
 
 // NewFIFO returns the Hadoop default scheduler.
 func NewFIFO() *FIFO { return &FIFO{} }

@@ -41,7 +41,12 @@ type LiPS struct {
 	WarmStart bool
 	// PriceMultiplier, when non-nil, re-prices each epoch's LP with the
 	// spot multiplier sampled at the epoch start — pass the same function
-	// given to sim.Options so planning and billing agree.
+	// given to sim.Options so planning and billing agree. The simulator
+	// bills each attempt at the multiplier sampled when the attempt
+	// starts, so a task the planner priced in epoch k and launched within
+	// it is billed at epoch-k prices even when it finishes after the
+	// boundary; planner and biller diverge only by the sub-epoch drift
+	// between the epoch start and the attempt's actual launch.
 	PriceMultiplier func(instanceType string, t float64) float64
 
 	// Stats, readable after a run.
@@ -53,10 +58,11 @@ type LiPS struct {
 	Solver      metrics.SolverStats // per-solve LP statistics
 	Err         error               // first scheduling error, if any
 
-	stale     int // consecutive epochs with pending work but no launches
-	rrNode    map[int]int
-	rrStore   map[int]int
-	prevBasis *lp.Basis // last epoch's optimal basis (warm-start seed)
+	stale       int // consecutive epochs with pending work but no launches
+	rrNode      map[int]int
+	rrStore     map[int]int
+	prevBasis   *lp.Basis // last epoch's optimal basis (warm-start seed)
+	topoChanged bool      // a node went down or up since the last solve
 }
 
 // NewLiPS returns a LiPS scheduler with the given epoch length (0 selects
@@ -68,15 +74,39 @@ func NewLiPS(epochSec float64) *LiPS {
 // Name implements sim.Scheduler.
 func (l *LiPS) Name() string { return fmt.Sprintf("lips(e=%.0fs)", l.EpochSec) }
 
-// Init implements sim.Scheduler.
+// Init implements sim.Scheduler. It resets every piece of run-scoped
+// state — stats, error, staleness counter, round-robin cursors and the
+// warm-start basis — so one *LiPS can be reused across sim.Run calls and
+// each run behaves identically.
 func (l *LiPS) Init(s *sim.Sim) {
 	if l.EpochSec == 0 {
 		l.EpochSec = 400
 	}
+	l.Epochs = 0
+	l.SolveTime = 0
+	l.LPIters = 0
+	l.TasksMoved = 0
+	l.BlocksMoved = 0
+	l.Solver = metrics.SolverStats{}
+	l.Err = nil
+	l.stale = 0
+	l.prevBasis = nil
+	l.topoChanged = false
 	l.rrNode = make(map[int]int)
 	l.rrStore = make(map[int]int)
 	s.At(0, func() { l.tick(s) })
 }
+
+// OnNodeDown implements sim.Scheduler: the next epoch's LP must exclude
+// the dead node, so the column structure changes and the warm-start basis
+// is dropped. The simulator already returned the node's tasks to Pending,
+// where the next tick picks them up (overflow beyond the surviving
+// capacity parks on the fake node as usual).
+func (l *LiPS) OnNodeDown(*sim.Sim, cluster.NodeID) { l.topoChanged = true }
+
+// OnNodeUp implements sim.Scheduler: the recovered node re-enters the
+// next epoch's LP, changing the column structure again.
+func (l *LiPS) OnNodeUp(*sim.Sim, cluster.NodeID) { l.topoChanged = true }
 
 // OnJobArrival implements sim.Scheduler: LiPS waits for the next epoch
 // ("non-greedy patience", paper §V-B).
@@ -191,6 +221,12 @@ func (l *LiPS) planEpoch(s *sim.Sim, queued []int) int {
 		return 0
 	}
 	opts := l.LPOpts
+	if l.topoChanged {
+		// Nodes came or went since the basis was saved; its columns no
+		// longer line up with this epoch's LP.
+		l.prevBasis = nil
+		l.topoChanged = false
+	}
 	if l.WarmStart {
 		opts.WarmStart = l.prevBasis
 	}
@@ -226,6 +262,9 @@ func (l *LiPS) buildInstance(s *sim.Sim, jobs []workload.Job, objects []hdfs.Dat
 	if err != nil {
 		return nil, err
 	}
+	// Crashed nodes offer no capacity this epoch; shrink (or drop) their
+	// units. Stores keep their units — data outlives co-located compute.
+	in.FilterMachines(func(n cluster.NodeID) bool { return s.NodeAlive(n) })
 	unitOf := in.StoreUnitOf()
 	for i := range objects {
 		origin := make(map[int]float64)
@@ -281,9 +320,20 @@ func (l *LiPS) apply(s *sim.Sim, in *core.Instance, ip *core.IntegralPlan, queue
 		item := in.Jobs[qi].Data
 		obj := s.W.Objects[job.Object]
 		want := wantBlocks[item]
-		// Pass 1: keep blocks already where the plan wants them.
+		// Pass 1: keep blocks already where the plan wants them. Blocks
+		// with a relocation still in flight (issued by an earlier epoch,
+		// then orphaned by a crash or re-plan) are pinned to that move's
+		// destination rather than raced with a second move.
 		var homeless []int
 		for _, t := range pendingOf[qi] {
+			if dst, doneAt, inFlight := s.BlockMove(int(obj.ID), t); inFlight {
+				u := unitOf[dst]
+				if want[u] > 0 {
+					want[u]--
+				}
+				locs[qi][t] = taskLoc{store: dst, unit: u, readyAt: doneAt}
+				continue
+			}
 			st := s.P.Primary(obj.ID, t)
 			unit := unitOf[st]
 			if want[unit] > 0 {
@@ -432,13 +482,23 @@ func (l *LiPS) pickStore(in *core.Instance, unit int) cluster.StoreID {
 }
 
 // fallback greedily enqueues all pending tasks data-locally (or on the
-// cheapest node) — only used to break rounding starvation.
+// cheapest live node) — only used to break rounding starvation. Tasks
+// whose input block is still being relocated by an earlier epoch are left
+// alone: enqueueing them against the stale primary would race the move
+// (the block could land mid-read); the next epoch plans them at the
+// move's destination instead.
 func (l *LiPS) fallback(s *sim.Sim, queued []int) {
-	cheapest := cluster.NodeID(0)
+	cheapest := cluster.NodeID(cluster.None)
 	for _, n := range s.C.Nodes {
-		if n.PerECUSec < s.C.Nodes[cheapest].PerECUSec {
+		if !s.NodeAlive(n.ID) {
+			continue
+		}
+		if cheapest == cluster.None || n.PerECUSec < s.C.Nodes[cheapest].PerECUSec {
 			cheapest = n.ID
 		}
+	}
+	if cheapest == cluster.None {
+		return // whole cluster down; wait for a recovery
 	}
 	for _, j := range queued {
 		job := s.W.Jobs[j]
@@ -449,9 +509,12 @@ func (l *LiPS) fallback(s *sim.Sim, queued []int) {
 				}
 				continue
 			}
+			if _, _, inFlight := s.BlockMove(int(job.Object), t); inFlight {
+				continue
+			}
 			st := s.P.Primary(job.Object, t)
 			node := s.C.Stores[st].Node
-			if node == cluster.None {
+			if node == cluster.None || !s.NodeAlive(node) {
 				node = cheapest
 			}
 			if err := s.Enqueue(j, t, node, st, s.Now()); err != nil {

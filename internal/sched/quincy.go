@@ -21,6 +21,8 @@ import (
 // the original, it optimizes placement cost, not dollars — which is
 // exactly the contrast with LiPS the comparison experiments expose.
 type Quincy struct {
+	sim.NopNodeEvents
+
 	// Locality costs per task (arbitrary units). Zero values select
 	// 0/10/25, roughly Quincy's data-volume proxies.
 	NodeLocalCost, ZoneLocalCost, RemoteCost int64

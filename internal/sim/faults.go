@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+	"lips/internal/hdfs"
+)
+
+// Fault injection. A FaultPlan is a deterministic script of node crashes,
+// node recoveries, store data losses and straggler slowdowns replayed
+// through the ordinary event heap, so a faulty run is exactly as
+// reproducible as a calm one. The simulator absorbs each fault itself —
+// killing attempts, draining queues, re-replicating blocks — and then
+// notifies the scheduler through the OnNodeDown/OnNodeUp hooks; greedy
+// schedulers recover through their slot-free paths while epoch planners
+// rebuild their cluster view. The damage is priced into the ledger's
+// fault category and counted in Result.Faults.
+
+// FaultKind labels one injected fault.
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultNodeDown  FaultKind = iota // node crashes: attempts killed, queue drained, slots gone
+	FaultNodeUp                     // node rejoins with all slots free
+	FaultStoreLoss                  // store loses its data (the device stays in service)
+	FaultSlowdown                   // straggler: attempts started on the node run slower for a window
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNodeDown:
+		return "node-down"
+	case FaultNodeUp:
+		return "node-up"
+	case FaultStoreLoss:
+		return "store-loss"
+	case FaultSlowdown:
+		return "slowdown"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Fault is one scripted event.
+type Fault struct {
+	At   float64
+	Kind FaultKind
+
+	// Node is the target of NodeDown, NodeUp and Slowdown faults.
+	Node cluster.NodeID
+	// Store is the target of StoreLoss faults.
+	Store cluster.StoreID
+
+	// Factor is the Slowdown runtime multiplier (>1 is slower); it applies
+	// to attempts started on the node while the window is open, not to
+	// attempts already running.
+	Factor float64
+	// DurationSec is the Slowdown window length.
+	DurationSec float64
+}
+
+// FaultPlan is a script of faults injected into one run via
+// Options.Faults. Order within the slice is irrelevant; events fire in
+// time order through the event heap.
+type FaultPlan struct {
+	Faults []Fault
+}
+
+// validate rejects plans referencing nodes or stores outside the cluster.
+func (p *FaultPlan) validate(c *cluster.Cluster) error {
+	for i, f := range p.Faults {
+		switch f.Kind {
+		case FaultNodeDown, FaultNodeUp, FaultSlowdown:
+			if f.Node < 0 || int(f.Node) >= len(c.Nodes) {
+				return fmt.Errorf("sim: fault %d (%s) targets node %d of %d", i, f.Kind, f.Node, len(c.Nodes))
+			}
+		case FaultStoreLoss:
+			if f.Store < 0 || int(f.Store) >= len(c.Stores) {
+				return fmt.Errorf("sim: fault %d (%s) targets store %d of %d", i, f.Kind, f.Store, len(c.Stores))
+			}
+		default:
+			return fmt.Errorf("sim: fault %d has unknown kind %d", i, int(f.Kind))
+		}
+		if f.At < 0 {
+			return fmt.Errorf("sim: fault %d fires at t=%g", i, f.At)
+		}
+		if f.Kind == FaultSlowdown && (f.Factor < 1 || f.DurationSec <= 0) {
+			return fmt.Errorf("sim: fault %d slowdown needs factor>=1 and duration>0, got %g/%g", i, f.Factor, f.DurationSec)
+		}
+	}
+	return nil
+}
+
+// FaultSpec sizes a RandomFaultPlan.
+type FaultSpec struct {
+	// Crashes is the number of node crash+recovery pairs.
+	Crashes int
+	// StoreLosses is the number of store data-loss events.
+	StoreLosses int
+	// Slowdowns is the number of straggler windows.
+	Slowdowns int
+	// WindowSec bounds fault injection times, drawn uniformly from
+	// [0, WindowSec). 0 means 1000.
+	WindowSec float64
+	// DowntimeSec separates each crash from its recovery. 0 means 300.
+	DowntimeSec float64
+	// SlowFactor is the straggler runtime multiplier. 0 means 3.
+	SlowFactor float64
+	// SlowDurationSec is the straggler window length. 0 means 600.
+	SlowDurationSec float64
+}
+
+func (spec FaultSpec) withDefaults() FaultSpec {
+	if spec.WindowSec == 0 {
+		spec.WindowSec = 1000
+	}
+	if spec.DowntimeSec == 0 {
+		spec.DowntimeSec = 300
+	}
+	if spec.SlowFactor == 0 {
+		spec.SlowFactor = 3
+	}
+	if spec.SlowDurationSec == 0 {
+		spec.SlowDurationSec = 600
+	}
+	return spec
+}
+
+// RandomFaultPlan draws a seed-deterministic plan over the cluster: each
+// crash is paired with a recovery DowntimeSec later, store losses and
+// slowdowns land uniformly in the window. The same seed, cluster shape
+// and spec always produce the same plan.
+func RandomFaultPlan(seed int64, c *cluster.Cluster, spec FaultSpec) *FaultPlan {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	var fs []Fault
+	for i := 0; i < spec.Crashes && len(c.Nodes) > 0; i++ {
+		n := cluster.NodeID(rng.Intn(len(c.Nodes)))
+		at := rng.Float64() * spec.WindowSec
+		fs = append(fs,
+			Fault{At: at, Kind: FaultNodeDown, Node: n},
+			Fault{At: at + spec.DowntimeSec, Kind: FaultNodeUp, Node: n})
+	}
+	for i := 0; i < spec.StoreLosses && len(c.Stores) > 0; i++ {
+		fs = append(fs, Fault{
+			At: rng.Float64() * spec.WindowSec, Kind: FaultStoreLoss,
+			Store: cluster.StoreID(rng.Intn(len(c.Stores))),
+		})
+	}
+	for i := 0; i < spec.Slowdowns && len(c.Nodes) > 0; i++ {
+		fs = append(fs, Fault{
+			At: rng.Float64() * spec.WindowSec, Kind: FaultSlowdown,
+			Node:   cluster.NodeID(rng.Intn(len(c.Nodes))),
+			Factor: spec.SlowFactor, DurationSec: spec.SlowDurationSec,
+		})
+	}
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].At < fs[j].At })
+	return &FaultPlan{Faults: fs}
+}
+
+// inject dispatches one fault at its scheduled time.
+func (s *Sim) inject(f Fault) {
+	switch f.Kind {
+	case FaultNodeDown:
+		s.crashNode(f.Node)
+	case FaultNodeUp:
+		s.recoverNode(f.Node)
+	case FaultStoreLoss:
+		s.loseStore(f.Store)
+	case FaultSlowdown:
+		s.slowNode(f.Node, f.Factor, f.DurationSec)
+	}
+}
+
+// NodeAlive reports whether node n is currently up.
+func (s *Sim) NodeAlive(n cluster.NodeID) bool { return !s.nodes[n].down }
+
+// crashNode takes a node down: every attempt running on it (primary or
+// speculative) is killed, its pinned queue drains back to Pending, its
+// slots vanish, and the scheduler is told via OnNodeDown. Partially
+// executed work is billed to the fault category — a crash does not refund
+// the cycles it wasted.
+func (s *Sim) crashNode(n cluster.NodeID) {
+	ns := &s.nodes[n]
+	if ns.down {
+		return
+	}
+	ns.down = true
+	ns.free = 0
+	s.Faults.NodesCrashed++
+
+	for j := range s.tasks {
+		for t := range s.tasks[j] {
+			ti := &s.tasks[j][t]
+			if ti.specRunning && ti.specNode == n {
+				s.cancelSpeculative(j, t, cost.CatFault, false)
+			}
+			if ti.state == Running && ti.node == n {
+				if ti.specRunning {
+					// The surviving speculative copy could in principle be
+					// promoted; Hadoop instead re-runs the task, and so do
+					// we — both copies die with the primary's node.
+					s.cancelSpeculative(j, t, cost.CatFault, true)
+				}
+				s.failAttempt(j, t, false)
+			}
+		}
+	}
+	// Drain the pinned queue: those tasks were promised this node's slots.
+	for _, e := range ns.queue {
+		s.tasks[e.job][e.task].state = Pending
+	}
+	ns.queue = nil
+
+	s.sched.OnNodeDown(s, n)
+	s.KickIdleNodes()
+}
+
+// recoverNode brings a crashed node back with every slot free.
+func (s *Sim) recoverNode(n cluster.NodeID) {
+	ns := &s.nodes[n]
+	if !ns.down {
+		return
+	}
+	ns.down = false
+	ns.free = s.C.Nodes[n].Slots
+	s.Faults.NodesRecovered++
+	s.sched.OnNodeUp(s, n)
+	s.dispatch(n)
+}
+
+// failAttempt kills the primary attempt of a Running task after a fault,
+// billing the CPU it burned to the fault category and returning the task
+// to Pending for re-execution. freeSlot is false when the slot died with
+// its node.
+func (s *Sim) failAttempt(job, task int, freeSlot bool) {
+	ti := &s.tasks[job][task]
+	n := ti.node
+	node := &s.C.Nodes[n]
+	if ti.flow != nil {
+		s.net.cancel(ti.flow)
+		ti.flow = nil
+	}
+	cpuSec, _ := s.taskDemand(job, task)
+	slotECU := node.ECU / float64(node.Slots)
+	burned := cpuSec - (ti.doneAt-s.clock)*slotECU
+	if burned > cpuSec {
+		burned = cpuSec
+	}
+	if burned > 0 {
+		s.Ledger.Charge(cost.CatFault, s.W.Jobs[job].Name, cost.CPUCost(ti.price, burned))
+	}
+	ti.gen++
+	ti.state = Pending
+	s.Faults.TasksReexecuted++
+	if freeSlot {
+		s.nodes[n].free++
+		s.dispatch(n)
+	}
+}
+
+// loseStore wipes a store's data: every replica on it disappears (the
+// device itself stays in service). Under-replicated blocks get a fresh
+// copy on the cheapest store not already holding them; blocks that lost
+// their only copy are re-materialized on a fallback store (modeling
+// upstream re-generation). Both repairs are priced as store-to-store
+// traffic in the fault category. Attempts still transferring input from
+// the store are killed and re-executed.
+func (s *Sim) loseStore(st cluster.StoreID) {
+	s.Faults.StoresLost++
+	under, lost := s.P.DropStore(st)
+	for _, br := range under {
+		src := s.P.Primary(br.Object, br.Block)
+		dst := s.replicaTarget(br.Object, br.Block, st)
+		if dst == cluster.None {
+			continue // every store already holds a copy
+		}
+		s.P.AddReplica(br.Object, br.Block, dst)
+		mb := s.P.Object(br.Object).BlockSizeMB(br.Block)
+		s.Ledger.Charge(cost.CatFault, "", s.C.SSPerGB(src, dst).MulFloat(mb/1024))
+		s.Faults.BlocksReplicated++
+	}
+	for _, br := range lost {
+		obj := s.P.Object(br.Object)
+		dst := obj.Origin
+		if dst == st {
+			dst = s.fallbackStore(st)
+		}
+		if dst == cluster.None {
+			continue // single-store cluster: nowhere to recreate it
+		}
+		s.P.SetPrimary(br.Object, br.Block, dst)
+		mb := obj.BlockSizeMB(br.Block)
+		s.Ledger.Charge(cost.CatFault, "", s.C.SSPerGB(st, dst).MulFloat(mb/1024))
+		s.Faults.BlocksLost++
+		s.Faults.BlocksReplicated++
+	}
+	// Kill attempts whose input read from the lost store is still in
+	// progress; attempts past their transfer phase already hold the data.
+	for j := range s.tasks {
+		for t := range s.tasks[j] {
+			ti := &s.tasks[j][t]
+			if ti.specRunning && ti.specStore == st && s.clock < ti.specTransferEndAt-1e-9 {
+				s.cancelSpeculative(j, t, cost.CatFault, true)
+			}
+			if ti.state == Running && ti.store == st && s.inTransfer(ti) {
+				s.failAttempt(j, t, true)
+			}
+		}
+	}
+}
+
+// inTransfer reports whether a Running task's input read is unfinished.
+func (s *Sim) inTransfer(ti *taskInfo) bool {
+	return ti.flow != nil || s.clock < ti.transferEndAt-1e-9
+}
+
+// replicaTarget picks the cheapest-to-reach store (from the block's
+// current primary) that holds no copy of the block, excluding the store
+// that just lost its data. Ties break toward the lowest store ID.
+func (s *Sim) replicaTarget(obj hdfs.ObjectID, block int, exclude cluster.StoreID) cluster.StoreID {
+	src := s.P.Primary(obj, block)
+	best := cluster.StoreID(cluster.None)
+	var bestCost cost.Money
+	for _, cand := range s.C.Stores {
+		if cand.ID == exclude || s.P.HasReplicaOn(obj, block, cand.ID) {
+			continue
+		}
+		c := s.C.SSPerGB(src, cand.ID)
+		if best == cluster.None || c < bestCost {
+			best, bestCost = cand.ID, c
+		}
+	}
+	return best
+}
+
+// fallbackStore is the lowest-ID store other than the excluded one.
+func (s *Sim) fallbackStore(exclude cluster.StoreID) cluster.StoreID {
+	for _, st := range s.C.Stores {
+		if st.ID != exclude {
+			return st.ID
+		}
+	}
+	return cluster.None
+}
+
+// slowNode opens a straggler window on a node: attempts started on it
+// while the window is open run Factor times slower. Attempts already
+// running are unaffected (their completion events are scheduled).
+func (s *Sim) slowNode(n cluster.NodeID, factor, durationSec float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	ns := &s.nodes[n]
+	ns.slowFactor = factor
+	ns.slowUntil = s.clock + durationSec
+	s.Faults.Slowdowns++
+}
+
+// slowdownOf returns the runtime multiplier for attempts starting on n now.
+func (s *Sim) slowdownOf(n cluster.NodeID) float64 {
+	ns := &s.nodes[n]
+	if ns.slowFactor > 1 && s.clock < ns.slowUntil {
+		return ns.slowFactor
+	}
+	return 1
+}

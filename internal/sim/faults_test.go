@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+	"lips/internal/workload"
+)
+
+// threeNodeCluster builds a single-zone cluster of three identical nodes
+// (2 ECU, 2 slots, 1 mc/ECU·s) with co-located stores.
+func threeNodeCluster() *cluster.Cluster {
+	b := cluster.NewBuilder("za")
+	for i := 0; i < 3; i++ {
+		b.AddNode("za", "t", 2, 2, cost.Millicents(1), 1e6)
+	}
+	return b.Build()
+}
+
+func TestCrashKillsRunningAndRecovers(t *testing.T) {
+	// Both tasks start on node 0 at t=0 (transfer 0.64 s + 64 s run).
+	// Node 0 crashes at t=10; the greedy stub must re-run both on a
+	// surviving node, and the partial burn lands in the fault category.
+	c := threeNodeCluster()
+	w := twoTaskJob()
+	plan := &FaultPlan{Faults: []Fault{
+		{At: 10, Kind: FaultNodeDown, Node: 0},
+		{At: 100, Kind: FaultNodeUp, Node: 0},
+	}}
+	s := New(c, w, nil, greedyStub(), Options{Faults: plan})
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults.NodesCrashed != 1 || r.Faults.NodesRecovered != 1 {
+		t.Errorf("fault stats = %+v, want 1 crash + 1 recovery", r.Faults)
+	}
+	if r.Faults.TasksReexecuted != 2 {
+		t.Errorf("TasksReexecuted = %d, want 2", r.Faults.TasksReexecuted)
+	}
+	// Each attempt burned 10−0.64 = 9.36 ECU-sec before dying.
+	want := cost.CPUCost(cost.Millicents(1), 2*9.36)
+	if got := r.Cost.Category(cost.CatFault); got != want {
+		t.Errorf("fault cost = %v, want %v", got, want)
+	}
+	// Completed work still bills in full.
+	if got := r.Cost.Category(cost.CatCPU); got != cost.Millicents(128) {
+		t.Errorf("cpu cost = %v, want 128 mc", got)
+	}
+	// Re-run on a surviving node from t=10: zone-local read (64 MB at
+	// 62.5 MB/s = 1.024 s) plus the 64 s compute.
+	if math.Abs(r.Makespan-75.024) > 1e-6 {
+		t.Errorf("makespan = %g, want 75.024", r.Makespan)
+	}
+}
+
+func TestDownNodeRejectsWork(t *testing.T) {
+	c := threeNodeCluster()
+	w := twoTaskJob()
+	plan := &FaultPlan{Faults: []Fault{
+		{At: 10, Kind: FaultNodeDown, Node: 0},
+		{At: 20, Kind: FaultNodeUp, Node: 0},
+	}}
+	ss := &stubSched{}
+	ss.init = func(s *Sim) {
+		s.At(15, func() {
+			if s.NodeAlive(0) {
+				t.Error("NodeAlive(0) = true while down")
+			}
+			if s.FreeSlots(0) != 0 {
+				t.Errorf("down node has %d free slots", s.FreeSlots(0))
+			}
+			if err := s.Launch(0, 0, 0, 0); err == nil || !strings.Contains(err.Error(), "down") {
+				t.Errorf("Launch on down node: err = %v", err)
+			}
+			if err := s.Enqueue(0, 0, 0, 0, s.Now()); err == nil || !strings.Contains(err.Error(), "down") {
+				t.Errorf("Enqueue on down node: err = %v", err)
+			}
+			if s.LaunchSpeculative(0) {
+				t.Error("LaunchSpeculative succeeded on a down node")
+			}
+		})
+		s.At(25, func() {
+			if !s.NodeAlive(0) {
+				t.Fatal("node 0 not recovered at t=25")
+			}
+			for _, task := range s.PendingTasks(0) {
+				if err := s.Launch(0, task, 0, 0); err != nil {
+					t.Errorf("Launch after recovery: %v", err)
+				}
+			}
+		})
+	}
+	s := New(c, w, nil, ss, Options{Speculative: true, Faults: plan})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashDrainsPinnedQueue(t *testing.T) {
+	// Tasks queued on a node that crashes must return to Pending so the
+	// scheduler can place them elsewhere.
+	c := threeNodeCluster()
+	w := twoTaskJob()
+	plan := &FaultPlan{Faults: []Fault{{At: 5, Kind: FaultNodeDown, Node: 1}}}
+	ss := &stubSched{}
+	drained := false
+	ss.onArrival = func(s *Sim, _ int) {
+		// Pin both tasks to node 1 with a far-future readyAt so they sit
+		// in the queue when the crash hits.
+		for _, task := range s.PendingTasks(0) {
+			if err := s.Enqueue(0, task, 1, 0, 1e6); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ss.onSlotFree = func(s *Sim, n cluster.NodeID) {
+		if s.Now() < 5 {
+			return // wait for the crash
+		}
+		drained = true
+		for _, task := range s.PendingTasks(0) {
+			if err := s.Launch(0, task, n, 0); err != nil {
+				t.Errorf("relaunch after drain: %v", err)
+			}
+		}
+	}
+	s := New(c, w, nil, ss, Options{Faults: plan})
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drained {
+		t.Error("queue never drained to a surviving node")
+	}
+	// No attempt ever ran on node 1, so nothing was re-executed.
+	if r.Faults.TasksReexecuted != 0 {
+		t.Errorf("TasksReexecuted = %d, want 0", r.Faults.TasksReexecuted)
+	}
+}
+
+func TestStoreLossRereplicates(t *testing.T) {
+	// Blocks with surviving replicas get a fresh copy elsewhere and the
+	// survivor is promoted to primary.
+	c := threeNodeCluster()
+	w := twoTaskJob()
+	p := w.Placement()
+	obj := w.Jobs[0].Object
+	p.AddReplica(obj, 0, 1)
+	p.AddReplica(obj, 1, 1)
+	plan := &FaultPlan{Faults: []Fault{{At: 5, Kind: FaultStoreLoss, Store: 0}}}
+	s := New(c, w, p, greedyStub(), Options{Faults: plan})
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults.StoresLost != 1 || r.Faults.BlocksLost != 0 {
+		t.Errorf("fault stats = %+v, want 1 store lost, 0 blocks lost", r.Faults)
+	}
+	if r.Faults.BlocksReplicated != 2 {
+		t.Errorf("BlocksReplicated = %d, want 2", r.Faults.BlocksReplicated)
+	}
+	for b := 0; b < 2; b++ {
+		if got := p.Primary(obj, b); got != 1 {
+			t.Errorf("block %d primary = %d, want promoted survivor 1", b, got)
+		}
+		if !p.HasReplicaOn(obj, b, 2) {
+			t.Errorf("block %d not re-replicated onto store 2", b)
+		}
+		if p.HasReplicaOn(obj, b, 0) {
+			t.Errorf("block %d still has a replica on the lost store", b)
+		}
+	}
+}
+
+func TestStoreLossRematerializesLostBlocks(t *testing.T) {
+	// Replication factor 1: losing the store loses every copy; blocks are
+	// re-created on a fallback store and reads are redirected there.
+	c := threeNodeCluster()
+	w := twoTaskJob()
+	// Lose the store at t=0.3, mid-transfer (reads finish at 0.64): both
+	// running attempts die and re-execute against the re-created copies.
+	plan := &FaultPlan{Faults: []Fault{{At: 0.3, Kind: FaultStoreLoss, Store: 0}}}
+	s := New(c, w, nil, greedyStub(), Options{Faults: plan})
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults.BlocksLost != 2 || r.Faults.BlocksReplicated != 2 {
+		t.Errorf("fault stats = %+v, want 2 blocks lost and re-materialized", r.Faults)
+	}
+	if r.Faults.TasksReexecuted != 2 {
+		t.Errorf("TasksReexecuted = %d, want 2 (reads were mid-transfer)", r.Faults.TasksReexecuted)
+	}
+	obj := w.Jobs[0].Object
+	for b := 0; b < 2; b++ {
+		if got := s.P.Primary(obj, b); got == 0 {
+			t.Errorf("block %d still primary on the lost store", b)
+		}
+	}
+}
+
+func TestStoreLossSparesFinishedTransfers(t *testing.T) {
+	// After t=0.64 the inputs are fully read; losing the store must not
+	// kill the attempts.
+	c := threeNodeCluster()
+	w := twoTaskJob()
+	plan := &FaultPlan{Faults: []Fault{{At: 30, Kind: FaultStoreLoss, Store: 0}}}
+	s := New(c, w, nil, greedyStub(), Options{Faults: plan})
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults.TasksReexecuted != 0 {
+		t.Errorf("TasksReexecuted = %d, want 0 (transfers had finished)", r.Faults.TasksReexecuted)
+	}
+	if math.Abs(r.Makespan-64.64) > 1e-6 {
+		t.Errorf("makespan = %g, want undisturbed 64.64", r.Makespan)
+	}
+}
+
+func TestSlowdownStretchesNewAttempts(t *testing.T) {
+	c := oneNodeCluster()
+	w := twoTaskJob()
+	plan := &FaultPlan{Faults: []Fault{{At: 0, Kind: FaultSlowdown, Node: 0, Factor: 2, DurationSec: 1000}}}
+	s := New(c, w, nil, greedyStub(), Options{Faults: plan})
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Runtime doubles (64 → 128 s); transfer and billing are unchanged.
+	if math.Abs(r.Makespan-128.64) > 1e-6 {
+		t.Errorf("makespan = %g, want 128.64", r.Makespan)
+	}
+	if got := r.Cost.Category(cost.CatCPU); got != cost.Millicents(128) {
+		t.Errorf("cpu cost = %v, want 128 mc (slowdown bills CPU-seconds, not wall)", got)
+	}
+	if r.Faults.Slowdowns != 1 {
+		t.Errorf("Slowdowns = %d, want 1", r.Faults.Slowdowns)
+	}
+}
+
+func TestChurnDeterminism(t *testing.T) {
+	run := func() *Result {
+		c := threeNodeCluster()
+		wb := workload.NewBuilder()
+		arch := workload.Archetype{Name: "syn", Property: workload.Mixed, CPUSecPerBlock: 64}
+		wb.AddInputJob("j1", "u1", arch, 256, 0, 0)
+		wb.AddInputJob("j2", "u2", arch, 192, 1, 20)
+		w := wb.Build()
+		plan := RandomFaultPlan(7, c, FaultSpec{Crashes: 2, StoreLosses: 1, Slowdowns: 1, WindowSec: 60, DowntimeSec: 30})
+		s := New(c, w, nil, greedyStub(), Options{Faults: plan})
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan || a.TotalCost() != b.TotalCost() {
+		t.Errorf("churn runs diverge: makespan %g vs %g, cost %v vs %v",
+			a.Makespan, b.Makespan, a.TotalCost(), b.TotalCost())
+	}
+	if a.Faults != b.Faults {
+		t.Errorf("fault stats diverge: %+v vs %+v", a.Faults, b.Faults)
+	}
+	if !a.Faults.Any() {
+		t.Error("no faults injected — the scenario is vacuous")
+	}
+}
+
+func TestRandomFaultPlanDeterministic(t *testing.T) {
+	c := threeNodeCluster()
+	spec := FaultSpec{Crashes: 3, StoreLosses: 2, Slowdowns: 1}
+	a := RandomFaultPlan(99, c, spec)
+	b := RandomFaultPlan(99, c, spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different plans")
+	}
+	if len(a.Faults) != 3*2+2+1 {
+		t.Errorf("plan has %d faults, want 9", len(a.Faults))
+	}
+	for i := 1; i < len(a.Faults); i++ {
+		if a.Faults[i].At < a.Faults[i-1].At {
+			t.Error("plan not sorted by time")
+		}
+	}
+}
+
+func TestFaultPlanValidation(t *testing.T) {
+	c := oneNodeCluster()
+	w := twoTaskJob()
+	bad := []*FaultPlan{
+		{Faults: []Fault{{At: 1, Kind: FaultNodeDown, Node: 9}}},
+		{Faults: []Fault{{At: 1, Kind: FaultStoreLoss, Store: 9}}},
+		{Faults: []Fault{{At: -1, Kind: FaultNodeDown, Node: 0}}},
+		{Faults: []Fault{{At: 1, Kind: FaultSlowdown, Node: 0, Factor: 0.5, DurationSec: 10}}},
+		{Faults: []Fault{{At: 1, Kind: FaultKind(42), Node: 0}}},
+	}
+	for i, plan := range bad {
+		s := New(c, w, nil, greedyStub(), Options{Faults: plan})
+		if _, err := s.Run(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestPriceMultiplierSampledAtAttemptStart(t *testing.T) {
+	// The price steps 1 → 10 at t=50 while both tasks are running (they
+	// finish at 64.64). Billing must use the launch-time multiplier.
+	c := oneNodeCluster()
+	w := twoTaskJob()
+	mult := func(_ string, at float64) float64 {
+		if at < 50 {
+			return 1
+		}
+		return 10
+	}
+	s := New(c, w, nil, greedyStub(), Options{PriceMultiplier: mult})
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Cost.Category(cost.CatCPU); got != cost.Millicents(128) {
+		t.Errorf("cpu cost = %v, want 128 mc (start-time price), not 1280 mc (completion-time price)", got)
+	}
+}

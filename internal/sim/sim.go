@@ -41,7 +41,25 @@ type Scheduler interface {
 	OnSlotFree(s *Sim, n cluster.NodeID)
 	// OnTaskDone fires after a task completes.
 	OnTaskDone(s *Sim, job, task int)
+	// OnNodeDown fires after node n crashes: its running attempts are
+	// already killed, its pinned queue drained back to Pending, and its
+	// slots gone until OnNodeUp. Epoch planners should rebuild their view
+	// of the cluster; greedy schedulers can rely on the slot-free path.
+	OnNodeDown(s *Sim, n cluster.NodeID)
+	// OnNodeUp fires after node n rejoins with every slot free.
+	OnNodeUp(s *Sim, n cluster.NodeID)
 }
+
+// NopNodeEvents provides no-op fault hooks; embed it in schedulers that
+// do not track cluster membership (the simulator re-dispatches free slots
+// after churn, which is all a greedy scheduler needs).
+type NopNodeEvents struct{}
+
+// OnNodeDown implements Scheduler.
+func (NopNodeEvents) OnNodeDown(*Sim, cluster.NodeID) {}
+
+// OnNodeUp implements Scheduler.
+func (NopNodeEvents) OnNodeUp(*Sim, cluster.NodeID) {}
 
 // Options tunes the simulated Hadoop configuration.
 type Options struct {
@@ -78,10 +96,17 @@ type Options struct {
 	SharedLinks bool
 	// PriceMultiplier, when non-nil, scales a node's ECU-second price by
 	// a time-dependent factor keyed on its instance type — a spot-market
-	// model. Charges use the multiplier at task completion time.
-	// Schedulers that want to react must consult it themselves (the LiPS
-	// adapter re-prices its LP every epoch).
+	// model. Each attempt's CPU charge uses the multiplier sampled when
+	// the attempt starts, so an attempt straddling a price change keeps
+	// its launch-time price — the same convention the LiPS planner uses
+	// when it prices an epoch's LP at the epoch start. Schedulers that
+	// want to react must consult it themselves (the LiPS adapter
+	// re-prices its LP every epoch).
 	PriceMultiplier func(instanceType string, t float64) float64
+	// Faults injects deterministic node crashes, recoveries, store data
+	// losses and straggler slowdowns into the run (see FaultPlan). Nil
+	// disables fault injection.
+	Faults *FaultPlan
 }
 
 func (o Options) withDefaults() Options {
@@ -139,14 +164,25 @@ type taskInfo struct {
 	attempts int
 	gen      int // incremented to cancel in-flight attempts
 	node     cluster.NodeID
+	store    cluster.StoreID // input store of the running attempt
 	doneAt   float64
 	flow     *flow // in-flight shared-link transfer, if any
 
-	specRunning bool
-	specNode    cluster.NodeID
-	specStart   float64
-	specCPUSec  float64
-	specFlow    *flow
+	// transferEndAt is when the running attempt's dedicated-rate input
+	// read finishes (shared-link reads track ti.flow instead). price is
+	// the node's ECU-second price sampled at attempt start — the price
+	// the attempt is billed at even if the spot multiplier moves later.
+	transferEndAt float64
+	price         cost.Money
+
+	specRunning       bool
+	specNode          cluster.NodeID
+	specStore         cluster.StoreID
+	specStart         float64
+	specCPUSec        float64
+	specFlow          *flow
+	specTransferEndAt float64
+	specPrice         cost.Money
 }
 
 type jobState struct {
@@ -166,6 +202,10 @@ type queueEntry struct {
 type nodeState struct {
 	free  int
 	queue []queueEntry
+
+	down       bool    // crashed: no slots, no launches, no enqueues
+	slowFactor float64 // straggler runtime multiplier while slowUntil is ahead
+	slowUntil  float64
 }
 
 // Sim is one simulation run. Create with New, execute with Run.
@@ -178,6 +218,7 @@ type Sim struct {
 	Locality metrics.LocalityCounter
 	NodeCPU  *metrics.NodeCPU
 	UserCPU  map[string]float64
+	Faults   metrics.FaultStats
 
 	opts  Options
 	sched Scheduler
@@ -195,6 +236,17 @@ type Sim struct {
 	busySlotSec float64
 	remaining   int // incomplete jobs
 	net         *netEngine
+
+	// movingBlocks counts in-flight MoveBlock transfers per (object,
+	// block), so planners can avoid racing a relocation they (or a
+	// previous epoch) already issued.
+	movingBlocks map[[2]int]blockMove
+}
+
+type blockMove struct {
+	moves  int
+	dst    cluster.StoreID // destination of the latest move
+	doneAt float64         // when the latest move lands
 }
 
 // New builds a simulation of workload w on cluster c under the given
@@ -225,6 +277,7 @@ func New(c *cluster.Cluster, w *workload.Workload, p *hdfs.Placement, sched Sche
 	}
 	s.remaining = len(w.Jobs)
 	s.net = newNetEngine(s)
+	s.movingBlocks = make(map[[2]int]blockMove)
 	return s
 }
 
@@ -242,6 +295,15 @@ func (s *Sim) At(t float64, fn func()) {
 
 // Run executes the simulation to completion and returns the result.
 func (s *Sim) Run() (*Result, error) {
+	if s.opts.Faults != nil {
+		if err := s.opts.Faults.validate(s.C); err != nil {
+			return nil, err
+		}
+		for _, f := range s.opts.Faults.Faults {
+			f := f
+			s.At(f.At, func() { s.inject(f) })
+		}
+	}
 	s.sched.Init(s)
 	for j, deps := range s.opts.Deps {
 		if j >= len(s.jobs) {
@@ -314,11 +376,12 @@ func (s *Sim) FreeSlots(n cluster.NodeID) int { return s.nodes[n].free }
 // JobRemaining returns how many tasks of the job are not Done.
 func (s *Sim) JobRemaining(job int) int { return s.jobs[job].remaining }
 
-// KickIdleNodes invokes OnSlotFree for every node that has free slots and
-// no dispatchable queue entry — how built-in schedulers react to arrivals.
+// KickIdleNodes invokes OnSlotFree for every live node that has free
+// slots and no dispatchable queue entry — how built-in schedulers react
+// to arrivals (and how they pick up work orphaned by a crash).
 func (s *Sim) KickIdleNodes() {
 	for n := range s.nodes {
-		if s.nodes[n].free > 0 {
+		if !s.nodes[n].down && s.nodes[n].free > 0 {
 			s.dispatch(cluster.NodeID(n))
 		}
 	}
@@ -333,6 +396,7 @@ func (s *Sim) result() *Result {
 		NodeCPU:   s.NodeCPU,
 		JobDone:   make([]float64, len(s.jobs)),
 		UserCPU:   s.UserCPU,
+		Faults:    s.Faults,
 	}
 	totalSlots := 0
 	for _, n := range s.C.Nodes {
@@ -371,6 +435,7 @@ type Result struct {
 	NodeCPU  *metrics.NodeCPU
 	JobDone  []float64
 	UserCPU  map[string]float64
+	Faults   metrics.FaultStats
 
 	Utilization float64
 	Fairness    float64 // Jain index over per-user CPU shares

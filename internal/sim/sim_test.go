@@ -11,6 +11,7 @@ import (
 
 // stubSched adapts closures to the Scheduler interface.
 type stubSched struct {
+	NopNodeEvents
 	name       string
 	init       func(*Sim)
 	onArrival  func(*Sim, int)

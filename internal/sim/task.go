@@ -57,6 +57,9 @@ func (s *Sim) Launch(job, task int, n cluster.NodeID, store cluster.StoreID) err
 	if ti.state == Running || ti.state == Done {
 		return fmt.Errorf("sim: task %d/%d launched twice", job, task)
 	}
+	if s.nodes[n].down {
+		return fmt.Errorf("sim: node %d is down", n)
+	}
 	if s.nodes[n].free <= 0 {
 		return fmt.Errorf("sim: no free slot on node %d", n)
 	}
@@ -88,18 +91,27 @@ func (s *Sim) startAttempt(job, task int, n cluster.NodeID, store cluster.StoreI
 	if mb > 0 {
 		transferSec = mb / s.C.BandwidthStoreNode(store, n)
 	}
-	runSec := cpuSec / slotECU
+	runSec := cpuSec / slotECU * s.slowdownOf(n)
 
+	// The attempt is billed at the node's price when it starts, so spot
+	// moves after launch do not reprice work already underway.
+	price := s.priceOf(node)
 	if speculative {
 		ti.specRunning = true
 		ti.specNode = n
+		ti.specStore = store
 		ti.specStart = s.clock
 		ti.specCPUSec = cpuSec
+		ti.specTransferEndAt = s.clock + transferSec
+		ti.specPrice = price
 	} else {
 		ti.state = Running
 		ti.node = n
+		ti.store = store
 		ti.attempts++
 		ti.doneAt = s.clock + transferSec + runSec // expected finish
+		ti.transferEndAt = s.clock + transferSec
+		ti.price = price
 	}
 	s.observeLocality(n, store, j.HasInput())
 
@@ -151,8 +163,10 @@ func (s *Sim) startSharedAttempt(job, task int, n cluster.NodeID, store cluster.
 		}
 		if speculative {
 			ti.specFlow = nil
+			ti.specTransferEndAt = s.clock
 		} else {
 			ti.flow = nil
+			ti.transferEndAt = s.clock
 		}
 		s.At(s.clock+runSec, func() {
 			if s.tasks[job][task].gen != gen {
@@ -196,7 +210,11 @@ func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.Sto
 	if s.opts.BillOccupancy {
 		billedCPUSec = wallSec * node.ECU / float64(node.Slots)
 	}
-	s.Ledger.Charge(cost.CatCPU, j.Name, cost.CPUCost(s.priceOf(node), billedCPUSec))
+	price := ti.price
+	if speculative {
+		price = ti.specPrice
+	}
+	s.Ledger.Charge(cost.CatCPU, j.Name, cost.CPUCost(price, billedCPUSec))
 	if mb > 0 {
 		s.Ledger.Charge(cost.CatTransfer, j.Name, s.C.MSPerGB(n, store).MulFloat(mb/1024))
 	}
@@ -244,13 +262,20 @@ func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.Sto
 // killSpeculative cancels a running speculative copy, billing the CPU it
 // burned so far to the speculative-waste category.
 func (s *Sim) killSpeculative(job, task int) {
+	s.cancelSpeculative(job, task, cost.CatSpeculative, true)
+}
+
+// cancelSpeculative cancels a running speculative copy, billing its burn
+// to the given category. freeSlot is false when the copy's node crashed
+// and took the slot with it.
+func (s *Sim) cancelSpeculative(job, task int, cat cost.Category, freeSlot bool) {
 	ti := &s.tasks[job][task]
 	if !ti.specRunning {
 		return
 	}
 	if ti.specFlow != nil {
 		// Free the link; the aborted copy's partial bytes are folded
-		// into the speculative-waste CPU charge below.
+		// into the wasted-CPU charge below.
 		s.net.cancel(ti.specFlow)
 		ti.specFlow = nil
 	}
@@ -262,24 +287,26 @@ func (s *Sim) killSpeculative(job, task int) {
 	if burned > ti.specCPUSec {
 		burned = ti.specCPUSec
 	}
-	s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, cost.CPUCost(s.priceOf(node), burned))
+	s.Ledger.Charge(cat, s.W.Jobs[job].Name, cost.CPUCost(ti.specPrice, burned))
 	s.busySlotSec += elapsed
 	ti.specRunning = false
-	s.nodes[n].free++
-	s.dispatch(n)
+	if freeSlot {
+		s.nodes[n].free++
+		s.dispatch(n)
+	}
 }
 
 // killAttempt cancels the primary attempt after a speculative win.
 func (s *Sim) killAttempt(job, task int, n cluster.NodeID, _ float64) {
-	if fl := s.tasks[job][task].flow; fl != nil {
+	ti := &s.tasks[job][task]
+	if fl := ti.flow; fl != nil {
 		s.net.cancel(fl)
-		s.tasks[job][task].flow = nil
+		ti.flow = nil
 	}
-	node := &s.C.Nodes[n]
 	// We do not track the primary's start separately; bill half its
 	// demand as a conservative estimate of the wasted burn.
 	cpuSec, _ := s.taskDemand(job, task)
-	s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, cost.CPUCost(s.priceOf(node), cpuSec/2))
+	s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, cost.CPUCost(ti.price, cpuSec/2))
 	s.nodes[n].free++
 	s.dispatch(n)
 }
@@ -289,7 +316,7 @@ func (s *Sim) killAttempt(job, task int, n cluster.NodeID, _ float64) {
 // returns false if no running task qualifies. Hadoop launches such copies
 // when slots idle near the end of a job; the first finisher wins.
 func (s *Sim) LaunchSpeculative(n cluster.NodeID) bool {
-	if !s.opts.Speculative || s.nodes[n].free <= 0 {
+	if !s.opts.Speculative || s.nodes[n].down || s.nodes[n].free <= 0 {
 		return false
 	}
 	bestJob, bestTask := -1, -1
@@ -372,7 +399,7 @@ func (s *Sim) KillTask(job, task int) error {
 		if burned > cpuSec {
 			burned = cpuSec
 		}
-		s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, cost.CPUCost(s.priceOf(node), burned))
+		s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, cost.CPUCost(ti.price, burned))
 		if ti.flow != nil {
 			s.net.cancel(ti.flow)
 			ti.flow = nil
@@ -425,6 +452,9 @@ func (s *Sim) Enqueue(job, task int, n cluster.NodeID, store cluster.StoreID, re
 	if ti.state != Pending {
 		return fmt.Errorf("sim: task %d/%d enqueued in state %d", job, task, ti.state)
 	}
+	if s.nodes[n].down {
+		return fmt.Errorf("sim: task %d/%d enqueued on down node %d", job, task, n)
+	}
 	ti.state = Queued
 	s.nodes[n].queue = append(s.nodes[n].queue, queueEntry{job: job, task: task, store: store, readyAt: readyAt})
 	if readyAt > s.clock {
@@ -455,6 +485,9 @@ func (s *Sim) UnqueueAll(job int) {
 // idle with an empty queue it hands the slot to the scheduler.
 func (s *Sim) dispatch(nid cluster.NodeID) {
 	ns := &s.nodes[nid]
+	if ns.down {
+		return
+	}
 	for ns.free > 0 {
 		idx := -1
 		for i := range ns.queue {
@@ -498,8 +531,32 @@ func (s *Sim) MoveBlock(obj int, block int, dst cluster.StoreID) float64 {
 	mb := j.BlockSizeMB(block)
 	s.Ledger.Charge(cost.CatPlacement, "", s.C.SSPerGB(src, dst).MulFloat(mb/1024))
 	doneAt := s.clock + mb/s.C.BandwidthStoreStore(src, dst)
+	key := [2]int{obj, block}
+	mv := s.movingBlocks[key]
+	mv.moves++
+	mv.dst, mv.doneAt = dst, doneAt
+	s.movingBlocks[key] = mv
 	s.At(doneAt, func() {
 		s.P.SetPrimary(j.ID, block, dst)
+		mv := s.movingBlocks[key]
+		mv.moves--
+		if mv.moves <= 0 {
+			delete(s.movingBlocks, key)
+		} else {
+			s.movingBlocks[key] = mv
+		}
 	})
 	return doneAt
+}
+
+// BlockMove reports whether a MoveBlock transfer for (obj, block) is
+// still in flight, and if so the destination store and landing time of
+// the most recently issued move. Planners consult it to avoid racing a
+// relocation that an earlier epoch already paid for.
+func (s *Sim) BlockMove(obj, block int) (dst cluster.StoreID, doneAt float64, inFlight bool) {
+	mv, ok := s.movingBlocks[[2]int{obj, block}]
+	if !ok {
+		return NoStore, 0, false
+	}
+	return mv.dst, mv.doneAt, true
 }
