@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench perfsmoke faultsmoke
+.PHONY: all build test race vet bench perfsmoke faultsmoke tracesmoke
 
 all: vet build test
 
@@ -28,3 +28,8 @@ perfsmoke:
 # every scheduler, requiring bit-identical repeats.
 faultsmoke:
 	scripts/faultsmoke.sh
+
+# Runs a traced lips-sim, schema-validates the JSONL, renders the
+# lips-trace report and checks the Chrome export and reproducibility.
+tracesmoke:
+	scripts/tracesmoke.sh

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	lips-balance [-cluster paper20|paper100] [-tasks 600] [-threshold 0.1] [-seed 1]
+//	             [-trace FILE]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"lips/internal/cluster"
 	"lips/internal/cost"
 	"lips/internal/hdfs"
+	"lips/internal/trace"
 	"lips/internal/workload"
 )
 
@@ -25,14 +27,15 @@ func main() {
 	tasks := flag.Int("tasks", 3000, "map tasks of synthetic data to place")
 	threshold := flag.Float64("threshold", 0.02, "target utilization band around the mean")
 	seed := flag.Int64("seed", 1, "random seed")
+	tracePath := flag.String("trace", "", "write the planned moves as JSONL trace events to this file")
 	flag.Parse()
-	if err := run(os.Stdout, *clusterKind, *tasks, *threshold, *seed); err != nil {
+	if err := run(os.Stdout, *clusterKind, *tasks, *threshold, *seed, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "lips-balance:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out *os.File, clusterKind string, tasks int, threshold float64, seed int64) error {
+func run(out *os.File, clusterKind string, tasks int, threshold float64, seed int64, tracePath string) error {
 	var c *cluster.Cluster
 	switch clusterKind {
 	case "paper20":
@@ -80,5 +83,16 @@ func run(out *os.File, clusterKind string, tasks int, threshold float64, seed in
 	}
 	fmt.Fprintf(out, "\nbalancer: %d block moves, transfer bill %v\n\n", len(moves), bill)
 	show("after balancing")
+	if tracePath != "" {
+		sink, err := trace.NewSink(tracePath, "jsonl")
+		if err != nil {
+			return err
+		}
+		hdfs.EmitMoves(sink, 0, p, moves, "balance")
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntrace: %d move events written to %s\n", sink.Events(), tracePath)
+	}
 	return nil
 }

@@ -3,15 +3,41 @@ package main
 import (
 	"os"
 	"testing"
+
+	"lips/internal/trace"
 )
 
 func TestRunBalance(t *testing.T) {
 	for _, kind := range []string{"paper20", "paper100"} {
-		if err := run(os.Stdout, kind, 600, 0.005, 1); err != nil {
+		if err := run(os.Stdout, kind, 600, 0.005, 1, ""); err != nil {
 			t.Errorf("%s: %v", kind, err)
 		}
 	}
-	if err := run(os.Stdout, "nope", 10, 0.1, 1); err == nil {
+	if err := run(os.Stdout, "nope", 10, 0.1, 1, ""); err == nil {
 		t.Error("unknown cluster accepted")
+	}
+}
+
+func TestRunBalanceTrace(t *testing.T) {
+	path := t.TempDir() + "/moves.jsonl"
+	if err := run(os.Stdout, "paper20", 600, 0.005, 1, path); err != nil {
+		t.Fatalf("run with trace: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	events, err := trace.ReadAll(f)
+	if err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no move events written")
+	}
+	for _, e := range events {
+		if e.Kind != trace.KindMove || e.Move.Reason != "balance" {
+			t.Fatalf("unexpected event %+v", e)
+		}
 	}
 }

@@ -6,6 +6,7 @@
 //	           [-full] [-seed N] [-trials N] [-lp-workers N] [-cold-start]
 //	           [-presolve on|off] [-factor lu|dense]
 //	           [-faults N] [-fault-seed N]
+//	           [-trace FILE] [-trace-format jsonl|chrome] [-sample-interval 60]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // By default experiments run at Quick scale (seconds); -full selects the
@@ -21,6 +22,7 @@ import (
 	"runtime/pprof"
 
 	"lips/internal/experiments"
+	"lips/internal/trace"
 )
 
 func main() {
@@ -34,6 +36,9 @@ func main() {
 	factor := flag.String("factor", "lu", "LP basis factorization: lu (sparse) or dense")
 	faults := flag.Int("faults", 0, "node crashes in the churn ablation's fault plan (0 = 2)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault-plan seed for the churn ablation (0 = -seed)")
+	tracePath := flag.String("trace", "", "write a structured trace of every simulated run to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (Perfetto)")
+	sampleEvery := flag.Float64("sample-interval", 60, "simulated seconds between time-series samples (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -42,6 +47,17 @@ func main() {
 		Seed: *seed, Trials: *trials, Quick: !*full,
 		LPWorkers: *lpWorkers, ColdStart: *coldStart,
 		FaultCrashes: *faults, FaultSeed: *faultSeed,
+	}
+	var sink trace.Sink
+	if *tracePath != "" {
+		var terr error
+		sink, terr = trace.NewSink(*tracePath, *traceFormat)
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "lips-bench:", terr)
+			os.Exit(1)
+		}
+		cfg.Tracer = sink
+		cfg.SampleIntervalSec = *sampleEvery
 	}
 	switch *presolve {
 	case "on":
@@ -73,6 +89,12 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	err := run(*experiment, cfg)
+	if sink != nil {
+		if cerr := sink.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: %w", cerr)
+		}
+		fmt.Printf("trace: %d events written to %s\n", sink.Events(), *tracePath)
+	}
 	if *memprofile != "" {
 		f, merr := os.Create(*memprofile)
 		if merr != nil {

@@ -8,11 +8,15 @@
 //	         [-scheduler fifo|delay|fair|lips] [-epoch 600]
 //	         [-speculative] [-bill-occupancy] [-seed 1] [-v]
 //	         [-faults 0] [-fault-stores 0] [-fault-slowdowns 0] [-fault-seed 0]
+//	         [-trace FILE] [-trace-format jsonl|chrome] [-sample-interval 60]
+//	         [-trace-timings]
 //
 // Examples:
 //
 //	lips-sim -cluster paper20 -frac-c1 0.5 -workload paper -scheduler lips
 //	lips-sim -cluster paper100 -workload swim -jobs 400 -scheduler delay
+//	lips-sim -scheduler lips -trace run.jsonl            # inspect with lips-trace
+//	lips-sim -scheduler lips -trace run.json -trace-format chrome  # open in Perfetto
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"lips/internal/metrics"
 	"lips/internal/sched"
 	"lips/internal/sim"
+	"lips/internal/trace"
 	"lips/internal/workload"
 )
 
@@ -52,6 +57,11 @@ func main() {
 		faultSt   = flag.Int("fault-stores", 0, "inject this many store data losses")
 		faultSlow = flag.Int("fault-slowdowns", 0, "inject this many straggler slowdown windows")
 		faultSeed = flag.Int64("fault-seed", 0, "fault-plan seed (0 = the -seed value)")
+
+		tracePath    = flag.String("trace", "", "write a structured run trace to this file")
+		traceFormat  = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (Perfetto)")
+		sampleEvery  = flag.Float64("sample-interval", 60, "simulated seconds between time-series samples (0 disables)")
+		traceTimings = flag.Bool("trace-timings", false, "include wall-clock LP timings in epoch events (machine-dependent)")
 	)
 	flag.Parse()
 	cfg := config{
@@ -63,6 +73,8 @@ func main() {
 		Seed: *seed, Verbose: *verbose,
 		FaultCrashes: *faults, FaultStores: *faultSt, FaultSlowdowns: *faultSlow,
 		FaultSeed: *faultSeed,
+		TracePath: *tracePath, TraceFormat: *traceFormat,
+		SampleInterval: *sampleEvery, TraceTimings: *traceTimings,
 	}
 	if err := runCfg(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lips-sim:", err)
@@ -93,6 +105,11 @@ type config struct {
 	FaultStores    int
 	FaultSlowdowns int
 	FaultSeed      int64
+
+	TracePath      string
+	TraceFormat    string
+	SampleInterval float64
+	TraceTimings   bool
 }
 
 // run keeps the old positional signature for the tests.
@@ -139,16 +156,32 @@ func runCfg(cfg config) error {
 	default:
 		return fmt.Errorf("unknown workload %q", wlKind)
 	}
+	var sink trace.Sink
+	if cfg.TracePath != "" {
+		var terr error
+		sink, terr = trace.NewSink(cfg.TracePath, cfg.TraceFormat)
+		if terr != nil {
+			return terr
+		}
+	}
+
 	placement := w.Placement()
 	placement.Shuffle(rng, stores)
 	if cfg.Balance {
 		moves := hdfs.Balance(c, placement, 0.1)
+		if sink != nil {
+			hdfs.EmitMoves(sink, 0, placement, moves, "balance")
+		}
 		fmt.Printf("balancer: %d blocks relocated before scheduling\n", len(moves))
 	}
 
 	opts := sim.Options{
 		Speculative: speculative, BillOccupancy: occupancy,
 		SharedLinks: cfg.SharedLinks,
+	}
+	if sink != nil {
+		opts.Tracer = sink
+		opts.SampleIntervalSec = cfg.SampleInterval
 	}
 	if cfg.FaultCrashes > 0 || cfg.FaultStores > 0 || cfg.FaultSlowdowns > 0 {
 		fseed := cfg.FaultSeed
@@ -168,7 +201,9 @@ func runCfg(cfg config) error {
 	case "fair":
 		s = sched.NewFair()
 	case "lips":
-		s = sched.NewLiPS(epoch)
+		l := sched.NewLiPS(epoch)
+		l.TraceTimings = cfg.TraceTimings
+		s = l
 		opts.TaskTimeoutSec = 1200
 	default:
 		return fmt.Errorf("unknown scheduler %q", scheduler)
@@ -180,6 +215,12 @@ func runCfg(cfg config) error {
 		wlKind, len(w.Jobs), w.TotalTasks(), w.TotalInputMB()/1024, w.TotalCPUSec())
 
 	result, err := sim.New(c, w, placement, s, opts).Run()
+	if sink != nil {
+		if cerr := sink.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: %w", cerr)
+		}
+		fmt.Printf("trace: %d events written to %s\n", sink.Events(), cfg.TracePath)
+	}
 	if err != nil {
 		return err
 	}

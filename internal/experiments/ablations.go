@@ -190,7 +190,8 @@ func AblationBilling(cfg Config) (*AblationBillingResult, error) {
 			p := shuffledPlacement(cfg, c, w)
 			opts := m.opts
 			opts.BillOccupancy = occupancy
-			r, err := sim.New(c, w, p, m.make(), opts).Run()
+			label := fmt.Sprintf("billing %s occupancy=%v", m.label, occupancy)
+			r, err := sim.New(c, w, p, m.make(), cfg.simOptions(opts, label)).Run()
 			if err != nil {
 				return nil, fmt.Errorf("billing %s: %w", m.label, err)
 			}

@@ -47,7 +47,7 @@ func Baselines(cfg Config) (*BaselinesResult, error) {
 		w := fig6Workload(cfg, c)
 		p := shuffledPlacement(cfg, c, w)
 		scheduler := m.make()
-		r, err := sim.New(c, w, p, scheduler, m.opts).Run()
+		r, err := sim.New(c, w, p, scheduler, cfg.simOptions(m.opts, "baselines "+m.label)).Run()
 		if err != nil {
 			return nil, fmt.Errorf("baselines %s: %w", m.label, err)
 		}

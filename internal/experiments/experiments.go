@@ -14,6 +14,8 @@ import (
 
 	"lips/internal/lp"
 	"lips/internal/sched"
+	"lips/internal/sim"
+	"lips/internal/trace"
 )
 
 // Config sizes and seeds an experiment run.
@@ -49,6 +51,25 @@ type Config struct {
 	// so the same churn can be replayed over different workloads. 0 means
 	// Seed.
 	FaultSeed int64
+	// Tracer, when non-nil and enabled, receives structured run events
+	// from every simulation the experiments execute; runs are labeled
+	// with the experiment name so multi-run traces stay readable. Nil
+	// disables tracing.
+	Tracer trace.Tracer
+	// SampleIntervalSec sets the time-series sampling interval of traced
+	// runs (sim.Options.SampleIntervalSec). 0 disables sampling.
+	SampleIntervalSec float64
+}
+
+// simOptions decorates a run's simulator options with the suite's
+// tracing configuration, labeling the run for multi-run traces.
+func (c Config) simOptions(o sim.Options, label string) sim.Options {
+	if c.Tracer != nil && c.Tracer.Enabled() {
+		o.Tracer = c.Tracer
+		o.SampleIntervalSec = c.SampleIntervalSec
+		o.TraceLabel = label
+	}
+	return o
 }
 
 // newLiPS builds a LiPS scheduler carrying the run's LP knobs.

@@ -49,7 +49,8 @@ func AblationContention(cfg Config) (*AblationContentionResult, error) {
 			opts := m.opts
 			opts.SharedLinks = shared
 			scheduler := m.make()
-			r, err := sim.New(c, w, p, scheduler, opts).Run()
+			label := fmt.Sprintf("contention %s shared=%v", m.label, shared)
+			r, err := sim.New(c, w, p, scheduler, cfg.simOptions(opts, label)).Run()
 			if err != nil {
 				return nil, fmt.Errorf("contention %s shared=%v: %w", m.label, shared, err)
 			}
@@ -159,7 +160,7 @@ func SpotMarket(cfg Config) (*SpotMarketResult, error) {
 			}
 			p := shuffledPlacement(cfg, c, w)
 			scheduler, opts := m.make(spot)
-			r, err := sim.New(c, w, p, scheduler, opts).Run()
+			r, err := sim.New(c, w, p, scheduler, cfg.simOptions(opts, "spot "+m.label)).Run()
 			if err != nil {
 				return nil, fmt.Errorf("spot %s: %w", m.label, err)
 			}

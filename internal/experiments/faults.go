@@ -71,7 +71,8 @@ func AblationFaults(cfg Config) (*AblationFaultsResult, error) {
 			if churn {
 				opts.Faults = plan
 			}
-			r, err := sim.New(c, w, p, m.make(), opts).Run()
+			label := fmt.Sprintf("faults %s churn=%v", m.label, churn)
+			r, err := sim.New(c, w, p, m.make(), cfg.simOptions(opts, label)).Run()
 			if err != nil {
 				return nil, fmt.Errorf("faults %s (churn=%v): %w", m.label, churn, err)
 			}

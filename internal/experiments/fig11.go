@@ -34,7 +34,8 @@ func Fig11(cfg Config) (*Fig11Result, error) {
 		w := fig6Workload(cfg, c)
 		p := shuffledPlacement(cfg, c, w)
 		l := cfg.newLiPS(epoch)
-		r, err := sim.New(c, w, p, l, sim.Options{TaskTimeoutSec: 1200}).Run()
+		opts := cfg.simOptions(sim.Options{TaskTimeoutSec: 1200}, fmt.Sprintf("fig11 e=%g", epoch))
+		r, err := sim.New(c, w, p, l, opts).Run()
 		if err != nil {
 			return nil, fmt.Errorf("fig11 e=%g: %w", epoch, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"lips/internal/cluster"
 	"lips/internal/cost"
 	"lips/internal/hdfs"
+	"lips/internal/metrics"
 	"lips/internal/sched"
 	"lips/internal/sim"
 	"lips/internal/workload"
@@ -32,6 +33,10 @@ type Fig6Row struct {
 // Fig6Result covers Fig. 6 (cost reduction) and Fig. 7 (execution time).
 type Fig6Result struct {
 	Rows []Fig6Row
+	// Solver aggregates the LiPS rows' per-epoch LP statistics across
+	// the three cluster settings (warm-start accept rate, iteration
+	// counts, where the solve wall-clock went).
+	Solver metrics.SolverStats
 }
 
 // fig6Settings are the paper's three 20-node compositions.
@@ -63,11 +68,12 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Fig6Result{}
 	for _, setting := range fig6Settings {
-		rows, err := fig6Setting(cfg, setting.name, setting.fracC1)
+		rows, solver, err := fig6Setting(cfg, setting.name, setting.fracC1)
 		if err != nil {
 			return nil, fmt.Errorf("fig6 %s: %w", setting.name, err)
 		}
 		res.Rows = append(res.Rows, rows...)
+		res.Solver.Merge(solver)
 	}
 	return res, nil
 }
@@ -132,7 +138,7 @@ func uniformPlacement(cfg Config, c *cluster.Cluster, w *workload.Workload) *hdf
 	return p
 }
 
-func fig6Setting(cfg Config, name string, fracC1 float64) ([]Fig6Row, error) {
+func fig6Setting(cfg Config, name string, fracC1 float64) ([]Fig6Row, metrics.SolverStats, error) {
 	type runner struct {
 		label string
 		make  func() sim.Scheduler
@@ -144,17 +150,21 @@ func fig6Setting(cfg Config, name string, fracC1 float64) ([]Fig6Row, error) {
 		{"lips", func() sim.Scheduler { return cfg.newLiPS(Fig6Epoch) }, sim.Options{TaskTimeoutSec: 1200}},
 	}
 	rows := make([]Fig6Row, 0, len(runners))
+	var solver metrics.SolverStats
 	for _, r := range runners {
 		c := cluster.Paper20(fracC1)
 		w := fig6Workload(cfg, c)
 		p := shuffledPlacement(cfg, c, w)
 		scheduler := r.make()
-		result, err := sim.New(c, w, p, scheduler, r.opts).Run()
+		result, err := sim.New(c, w, p, scheduler, cfg.simOptions(r.opts, "fig6 "+r.label)).Run()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", r.label, err)
+			return nil, solver, fmt.Errorf("%s: %w", r.label, err)
 		}
-		if l, ok := scheduler.(*sched.LiPS); ok && l.Err != nil {
-			return nil, fmt.Errorf("lips: %w", l.Err)
+		if l, ok := scheduler.(*sched.LiPS); ok {
+			if l.Err != nil {
+				return nil, solver, fmt.Errorf("lips: %w", l.Err)
+			}
+			solver.Merge(l.Solver)
 		}
 		rows = append(rows, Fig6Row{
 			Setting: name, FracC1: fracC1, Scheduler: r.label,
@@ -167,7 +177,7 @@ func fig6Setting(cfg Config, name string, fracC1 float64) ([]Fig6Row, error) {
 	lips := &rows[2]
 	lips.ReductionVsDefault = 1 - float64(lips.Cost)/float64(rows[0].Cost)
 	lips.ReductionVsDelay = 1 - float64(lips.Cost)/float64(rows[1].Cost)
-	return rows, nil
+	return rows, solver, nil
 }
 
 // Render formats Fig. 6 (cost) and Fig. 7 (time) as one table.
@@ -186,5 +196,9 @@ func (r *Fig6Result) Render() string {
 			red,
 		})
 	}
-	return renderTable([]string{"setting", "scheduler", "cost", "makespan", "node-local", "lips cost reduction"}, rows)
+	out := renderTable([]string{"setting", "scheduler", "cost", "makespan", "node-local", "lips cost reduction"}, rows)
+	if r.Solver.Solves > 0 {
+		out += "lips solver: " + r.Solver.String() + "\n"
+	}
+	return out
 }

@@ -40,7 +40,8 @@ func Fig8(cfg Config) (*Fig8Result, error) {
 		w := fig6Workload(cfg, c)
 		p := shuffledPlacement(cfg, c, w)
 		l := cfg.newLiPS(e)
-		r, err := sim.New(c, w, p, l, sim.Options{TaskTimeoutSec: 1200}).Run()
+		opts := cfg.simOptions(sim.Options{TaskTimeoutSec: 1200}, fmt.Sprintf("fig8 e=%g", e))
+		r, err := sim.New(c, w, p, l, opts).Run()
 		if err != nil {
 			return nil, fmt.Errorf("fig8 e=%g: %w", e, err)
 		}

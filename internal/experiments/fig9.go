@@ -6,6 +6,7 @@ import (
 
 	"lips/internal/cluster"
 	"lips/internal/cost"
+	"lips/internal/metrics"
 	"lips/internal/sched"
 	"lips/internal/sim"
 	"lips/internal/workload"
@@ -29,6 +30,8 @@ type Fig9Row struct {
 type Fig9Result struct {
 	Rows []Fig9Row
 	Jobs int
+	// Solver holds the LiPS row's per-epoch LP statistics.
+	Solver metrics.SolverStats
 }
 
 // Fig9Epoch is the LiPS epoch for the 100-node runs.
@@ -67,12 +70,15 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 		c, w := build()
 		p := uniformPlacement(cfg, c, w)
 		scheduler := r.make()
-		result, err := sim.New(c, w, p, scheduler, r.opts).Run()
+		result, err := sim.New(c, w, p, scheduler, cfg.simOptions(r.opts, "fig9 "+r.label)).Run()
 		if err != nil {
 			return nil, fmt.Errorf("fig9 %s: %w", r.label, err)
 		}
-		if l, ok := scheduler.(*sched.LiPS); ok && l.Err != nil {
-			return nil, fmt.Errorf("fig9 lips: %w", l.Err)
+		if l, ok := scheduler.(*sched.LiPS); ok {
+			if l.Err != nil {
+				return nil, fmt.Errorf("fig9 lips: %w", l.Err)
+			}
+			res.Solver.Merge(l.Solver)
 		}
 		res.Rows = append(res.Rows, Fig9Row{
 			Scheduler: r.label, Cost: result.TotalCost(),
@@ -103,5 +109,9 @@ func (r *Fig9Result) Render() string {
 			red,
 		})
 	}
-	return renderTable([]string{"scheduler", "cost", "makespan", "Σ job time", "node-local", "lips cost reduction"}, rows)
+	out := renderTable([]string{"scheduler", "cost", "makespan", "Σ job time", "node-local", "lips cost reduction"}, rows)
+	if r.Solver.Solves > 0 {
+		out += "lips solver: " + r.Solver.String() + "\n"
+	}
+	return out
 }

@@ -1,0 +1,19 @@
+package hdfs
+
+import "lips/internal/trace"
+
+// EmitMoves records a batch of planned block relocations (e.g. the
+// balancer's output) as trace move events at simulated time t. The
+// tracer's disabled path is respected, and a nil tracer is a no-op.
+func EmitMoves(tr trace.Tracer, t float64, p *Placement, moves []BalanceMove, reason string) {
+	if tr == nil || !tr.Enabled() {
+		return
+	}
+	for _, m := range moves {
+		tr.Emit(trace.Event{T: t, Kind: trace.KindMove, Move: &trace.MoveInfo{
+			Object: int(m.Object), Block: m.Block,
+			Src: int(m.From), Dst: int(m.To),
+			MB: p.Object(m.Object).BlockSizeMB(m.Block), Reason: reason,
+		}})
+	}
+}

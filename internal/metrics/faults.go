@@ -18,9 +18,14 @@ type FaultStats struct {
 	BlocksLost       int // blocks whose every replica was lost (re-materialized)
 }
 
-// Any reports whether any fault was injected.
+// Any reports whether any fault was injected or absorbed. The damage
+// counters matter on their own: a store loss replayed against a cheap
+// placement can re-execute tasks and re-replicate blocks even when the
+// injection counters alone would look quiet to a caller that only
+// checks one side.
 func (fs FaultStats) Any() bool {
-	return fs.NodesCrashed+fs.NodesRecovered+fs.StoresLost+fs.Slowdowns > 0
+	return fs.NodesCrashed+fs.NodesRecovered+fs.StoresLost+fs.Slowdowns+
+		fs.TasksReexecuted+fs.BlocksReplicated+fs.BlocksLost > 0
 }
 
 // String summarises the stats on one line.

@@ -96,15 +96,57 @@ func (ss *SolverStats) AcceptRate() float64 {
 	return float64(ss.WarmAccepted) / float64(ss.WarmAttempted)
 }
 
-// String summarises the stats on one line.
+// Merge folds another accumulation into ss, so a benchmark suite can
+// aggregate solver statistics across its runs. FactorNNZ, a last-solve
+// snapshot rather than a sum, takes the other side's value when it ran
+// any solves.
+func (ss *SolverStats) Merge(o SolverStats) {
+	ss.Solves += o.Solves
+	ss.WarmAttempted += o.WarmAttempted
+	ss.WarmAccepted += o.WarmAccepted
+	ss.Iters += o.Iters
+	ss.Phase1Iters += o.Phase1Iters
+	ss.WarmIters += o.WarmIters
+	ss.ColdIters += o.ColdIters
+	ss.SolveTime += o.SolveTime
+	ss.PricingTime += o.PricingTime
+	ss.FactorTime += o.FactorTime
+	ss.FtranTime += o.FtranTime
+	ss.BtranTime += o.BtranTime
+	ss.PresolveTime += o.PresolveTime
+	ss.Refactorizations += o.Refactorizations
+	if o.Solves > 0 {
+		ss.FactorNNZ = o.FactorNNZ
+	}
+	ss.PresolveRows += o.PresolveRows
+	ss.PresolveCols += o.PresolveCols
+}
+
+// PricingShare is the fraction of solve wall-clock spent pricing.
+func (ss *SolverStats) PricingShare() float64 {
+	if ss.SolveTime == 0 {
+		return 0
+	}
+	return float64(ss.PricingTime) / float64(ss.SolveTime)
+}
+
+// AvgIters is the mean simplex iteration count per solve.
+func (ss *SolverStats) AvgIters() float64 {
+	if ss.Solves == 0 {
+		return 0
+	}
+	return float64(ss.Iters) / float64(ss.Solves)
+}
+
+// String summarises the stats on one line: the warm-start accept rate,
+// iteration economics, and where the solve wall-clock went.
 func (ss *SolverStats) String() string {
 	return fmt.Sprintf(
-		"%d solves (%d/%d warm), %d iters (%d phase1, ~%d saved), solve %v (pricing %v, factor %v, ftran %v, btran %v, presolve %v), %d refactor, %d fill nnz, presolved %d rows/%d cols",
-		ss.Solves, ss.WarmAccepted, ss.WarmAttempted,
-		ss.Iters, ss.Phase1Iters, ss.IterationsSaved(),
-		ss.SolveTime.Round(time.Millisecond), ss.PricingTime.Round(time.Millisecond),
-		ss.FactorTime.Round(time.Millisecond), ss.FtranTime.Round(time.Millisecond),
-		ss.BtranTime.Round(time.Millisecond), ss.PresolveTime.Round(time.Millisecond),
-		ss.Refactorizations, ss.FactorNNZ, ss.PresolveRows, ss.PresolveCols,
+		"%d solves (%d/%d warm, %.0f%% accepted), %d iters (%.1f avg/solve, %d phase1, ~%d saved), solve %v (pricing %.0f%%, factor %v, presolve %v), %d refactor, presolved %d rows/%d cols",
+		ss.Solves, ss.WarmAccepted, ss.WarmAttempted, 100*ss.AcceptRate(),
+		ss.Iters, ss.AvgIters(), ss.Phase1Iters, ss.IterationsSaved(),
+		ss.SolveTime.Round(time.Millisecond), 100*ss.PricingShare(),
+		ss.FactorTime.Round(time.Millisecond), ss.PresolveTime.Round(time.Millisecond),
+		ss.Refactorizations, ss.PresolveRows, ss.PresolveCols,
 	)
 }

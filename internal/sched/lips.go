@@ -12,6 +12,7 @@ import (
 	"lips/internal/lp"
 	"lips/internal/metrics"
 	"lips/internal/sim"
+	"lips/internal/trace"
 	"lips/internal/workload"
 )
 
@@ -48,6 +49,10 @@ type LiPS struct {
 	// boundary; planner and biller diverge only by the sub-epoch drift
 	// between the epoch start and the attempt's actual launch.
 	PriceMultiplier func(instanceType string, t float64) float64
+	// TraceTimings includes the wall-clock LP solve timings in the epoch
+	// trace events. Off by default: wall-clock is machine-dependent, and
+	// same-seed traces are byte-identical only without it.
+	TraceTimings bool
 
 	// Stats, readable after a run.
 	Epochs      int
@@ -247,7 +252,31 @@ func (l *LiPS) planEpoch(s *sim.Sim, queued []int) int {
 	if l.WarmStart {
 		l.prevBasis = plan.Basis
 	}
-	return l.apply(s, in, plan.Round(), queued, pendingOf)
+	blocksBefore := l.BlocksMoved
+	launched := l.apply(s, in, plan.Round(), queued, pendingOf)
+	if tr := s.Tracer(); tr.Enabled() {
+		pending := 0
+		for _, p := range pendingOf {
+			pending += len(p)
+		}
+		info := &trace.EpochInfo{
+			Scheduler: l.Name(), Epoch: l.Epochs,
+			Jobs: len(queued), Pending: pending,
+			Warm: opts.WarmStart != nil, WarmAccepted: plan.WarmStarted,
+			Iters: plan.Iters, Phase1: plan.Phase1,
+			PresolveRows: plan.PresolveRows, PresolveCols: plan.PresolveCols,
+			Launched: launched, Deferred: pending - launched,
+			BlocksMoved: l.BlocksMoved - blocksBefore,
+		}
+		if l.TraceTimings {
+			info.SolveMS = float64(elapsed.Microseconds()) / 1e3
+			info.PricingMS = float64(plan.PricingTime.Microseconds()) / 1e3
+			info.FactorMS = float64(plan.FactorTime.Microseconds()) / 1e3
+			info.PresolveMS = float64(plan.PresolveTime.Microseconds()) / 1e3
+		}
+		tr.Emit(trace.Event{T: s.Now(), Kind: trace.KindEpoch, Epoch: info})
+	}
+	return launched
 }
 
 // buildInstance constructs the core.Instance for the sub-workload, mapping

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lips/internal/sim"
+	"lips/internal/trace"
+)
+
+// traceRun executes one seeded LiPS run under churn with a JSONL sink
+// and returns the raw trace bytes.
+func traceRun(t *testing.T, seed int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := trace.NewJSONL(&buf)
+	c := mixedCluster()
+	w := smallJobSet(rand.New(rand.NewSource(seed)), 3)
+	// Faults land after the first epoch (t=200) so attempts are running
+	// when the crash hits and kill events appear in the stream.
+	plan := &sim.FaultPlan{Faults: []sim.Fault{
+		{At: 210, Kind: sim.FaultNodeDown, Node: 0},
+		{At: 230, Kind: sim.FaultStoreLoss, Store: 1},
+		{At: 250, Kind: sim.FaultSlowdown, Node: 2, Factor: 2, DurationSec: 100},
+		{At: 400, Kind: sim.FaultNodeUp, Node: 0},
+	}}
+	opts := sim.Options{
+		TaskTimeoutSec: 1200, Faults: plan,
+		Tracer: sink, SampleIntervalSec: 50, TraceLabel: "determinism",
+	}
+	runSched(t, c, w, nil, NewLiPS(200), opts)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Events() == 0 {
+		t.Fatal("run produced no trace events")
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterministic is the reproducibility contract: two runs of
+// the same seeded simulation — LP epochs, injected faults and all —
+// write byte-identical JSONL traces.
+func TestTraceDeterministic(t *testing.T) {
+	a := traceRun(t, 3)
+	b := traceRun(t, 3)
+	if !bytes.Equal(a, b) {
+		la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+		for i := range la {
+			if i >= len(lb) || !bytes.Equal(la[i], lb[i]) {
+				t.Fatalf("traces diverge at line %d:\n  run A: %s\n  run B: %s", i+1, la[i], safeLine(lb, i))
+			}
+		}
+		t.Fatalf("traces differ in length: %d vs %d bytes", len(a), len(b))
+	}
+	if c := traceRun(t, 4); bytes.Equal(a, c) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func safeLine(lines [][]byte, i int) []byte {
+	if i < len(lines) {
+		return lines[i]
+	}
+	return []byte("<missing>")
+}
+
+// TestTraceEventStream checks the emitted stream is schema-valid and
+// covers the expected kinds for a faulted LiPS run.
+func TestTraceEventStream(t *testing.T) {
+	events, err := trace.ReadAll(bytes.NewReader(traceRun(t, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	census := map[trace.Kind]int{}
+	for _, e := range events {
+		census[e.Kind]++
+	}
+	if census[trace.KindRun] != 1 {
+		t.Errorf("run headers = %d, want 1", census[trace.KindRun])
+	}
+	for _, k := range []trace.Kind{trace.KindEnqueue, trace.KindLaunch, trace.KindDone,
+		trace.KindEpoch, trace.KindFault, trace.KindSample, trace.KindKill} {
+		if census[k] == 0 {
+			t.Errorf("no %s events in faulted LiPS run (census %v)", k, census)
+		}
+	}
+	// The run header leads and describes the scenario.
+	if r := events[0]; r.Kind != trace.KindRun || r.Run.Label != "determinism" {
+		t.Errorf("first event = %+v, want labelled run header", events[0])
+	}
+	// Every launch matches a prior enqueue count-wise; every done/kill a launch.
+	if census[trace.KindLaunch] < census[trace.KindDone] {
+		t.Errorf("launches (%d) < dones (%d)", census[trace.KindLaunch], census[trace.KindDone])
+	}
+	// Epoch events carry no wall-clock timings unless opted in.
+	for _, e := range events {
+		if e.Kind == trace.KindEpoch && (e.Epoch.SolveMS != 0 || e.Epoch.PricingMS != 0) {
+			t.Errorf("epoch %d leaked wall-clock timings without TraceTimings", e.Epoch.Epoch)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 
 	"lips/internal/cluster"
+	"lips/internal/trace"
 	"lips/internal/workload"
 )
 
@@ -37,6 +39,30 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(w.TotalTasks()), "tasks/run")
+}
+
+// BenchmarkSimulatorTracing measures the same run with a JSONL tracer
+// and sampler enabled, to quantify the tracing overhead against
+// BenchmarkSimulatorThroughput's disabled (nop-tracer) path.
+func BenchmarkSimulatorTracing(b *testing.B) {
+	c, w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := w.Placement()
+		p.Shuffle(rand.New(rand.NewSource(2)), allStores(c))
+		sink := trace.NewJSONL(io.Discard)
+		s := New(c, w, p, greedyStub(), Options{Tracer: sink, SampleIntervalSec: 60})
+		b.StartTimer()
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := sink.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
 }
 
 // BenchmarkSimulatorSharedLinks measures the processor-sharing network

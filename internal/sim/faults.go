@@ -166,6 +166,7 @@ func RandomFaultPlan(seed int64, c *cluster.Cluster, spec FaultSpec) *FaultPlan 
 
 // inject dispatches one fault at its scheduled time.
 func (s *Sim) inject(f Fault) {
+	s.traceFault(f)
 	switch f.Kind {
 	case FaultNodeDown:
 		s.crashNode(f.Node)
@@ -199,16 +200,16 @@ func (s *Sim) crashNode(n cluster.NodeID) {
 		for t := range s.tasks[j] {
 			ti := &s.tasks[j][t]
 			if ti.specRunning && ti.specNode == n {
-				s.cancelSpeculative(j, t, cost.CatFault, false)
+				s.cancelSpeculative(j, t, cost.CatFault, false, "node-crash")
 			}
 			if ti.state == Running && ti.node == n {
 				if ti.specRunning {
 					// The surviving speculative copy could in principle be
 					// promoted; Hadoop instead re-runs the task, and so do
 					// we — both copies die with the primary's node.
-					s.cancelSpeculative(j, t, cost.CatFault, true)
+					s.cancelSpeculative(j, t, cost.CatFault, true, "node-crash")
 				}
-				s.failAttempt(j, t, false)
+				s.failAttempt(j, t, false, "node-crash")
 			}
 		}
 	}
@@ -238,8 +239,8 @@ func (s *Sim) recoverNode(n cluster.NodeID) {
 // failAttempt kills the primary attempt of a Running task after a fault,
 // billing the CPU it burned to the fault category and returning the task
 // to Pending for re-execution. freeSlot is false when the slot died with
-// its node.
-func (s *Sim) failAttempt(job, task int, freeSlot bool) {
+// its node; reason labels the kill in the trace.
+func (s *Sim) failAttempt(job, task int, freeSlot bool, reason string) {
 	ti := &s.tasks[job][task]
 	n := ti.node
 	node := &s.C.Nodes[n]
@@ -253,12 +254,15 @@ func (s *Sim) failAttempt(job, task int, freeSlot bool) {
 	if burned > cpuSec {
 		burned = cpuSec
 	}
+	var billed cost.Money
 	if burned > 0 {
-		s.Ledger.Charge(cost.CatFault, s.W.Jobs[job].Name, cost.CPUCost(ti.price, burned))
+		billed = cost.CPUCost(ti.price, burned)
+		s.Ledger.Charge(cost.CatFault, s.W.Jobs[job].Name, billed)
 	}
 	ti.gen++
 	ti.state = Pending
 	s.Faults.TasksReexecuted++
+	s.traceKill(job, task, n, reason, billed, false)
 	if freeSlot {
 		s.nodes[n].free++
 		s.dispatch(n)
@@ -283,8 +287,10 @@ func (s *Sim) loseStore(st cluster.StoreID) {
 		}
 		s.P.AddReplica(br.Object, br.Block, dst)
 		mb := s.P.Object(br.Object).BlockSizeMB(br.Block)
-		s.Ledger.Charge(cost.CatFault, "", s.C.SSPerGB(src, dst).MulFloat(mb/1024))
+		billed := s.C.SSPerGB(src, dst).MulFloat(mb / 1024)
+		s.Ledger.Charge(cost.CatFault, "", billed)
 		s.Faults.BlocksReplicated++
+		s.traceMove(int(br.Object), br.Block, src, dst, mb, 0, billed, "re-replicate")
 	}
 	for _, br := range lost {
 		obj := s.P.Object(br.Object)
@@ -297,9 +303,11 @@ func (s *Sim) loseStore(st cluster.StoreID) {
 		}
 		s.P.SetPrimary(br.Object, br.Block, dst)
 		mb := obj.BlockSizeMB(br.Block)
-		s.Ledger.Charge(cost.CatFault, "", s.C.SSPerGB(st, dst).MulFloat(mb/1024))
+		billed := s.C.SSPerGB(st, dst).MulFloat(mb / 1024)
+		s.Ledger.Charge(cost.CatFault, "", billed)
 		s.Faults.BlocksLost++
 		s.Faults.BlocksReplicated++
+		s.traceMove(int(br.Object), br.Block, st, dst, mb, 0, billed, "re-materialize")
 	}
 	// Kill attempts whose input read from the lost store is still in
 	// progress; attempts past their transfer phase already hold the data.
@@ -307,10 +315,10 @@ func (s *Sim) loseStore(st cluster.StoreID) {
 		for t := range s.tasks[j] {
 			ti := &s.tasks[j][t]
 			if ti.specRunning && ti.specStore == st && s.clock < ti.specTransferEndAt-1e-9 {
-				s.cancelSpeculative(j, t, cost.CatFault, true)
+				s.cancelSpeculative(j, t, cost.CatFault, true, "store-loss")
 			}
 			if ti.state == Running && ti.store == st && s.inTransfer(ti) {
-				s.failAttempt(j, t, true)
+				s.failAttempt(j, t, true, "store-loss")
 			}
 		}
 	}

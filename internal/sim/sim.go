@@ -23,6 +23,7 @@ import (
 	"lips/internal/cost"
 	"lips/internal/hdfs"
 	"lips/internal/metrics"
+	"lips/internal/trace"
 	"lips/internal/workload"
 )
 
@@ -107,6 +108,19 @@ type Options struct {
 	// losses and straggler slowdowns into the run (see FaultPlan). Nil
 	// disables fault injection.
 	Faults *FaultPlan
+	// Tracer receives structured run events (task lifecycle, block moves,
+	// faults, epoch solves via Sim.Tracer). Nil or trace.Nop disables
+	// tracing; the disabled path is one branch per call site and
+	// allocation-free.
+	Tracer trace.Tracer
+	// SampleIntervalSec emits a periodic time-series sample event
+	// (cumulative cost by category, queue depth, slot utilization,
+	// locality mix) every interval of simulated time while tracing is
+	// enabled. 0 disables sampling.
+	SampleIntervalSec float64
+	// TraceLabel names this run in multi-run traces (e.g. the experiment
+	// name when a benchmark suite traces every run into one file).
+	TraceLabel string
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +132,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxEvents == 0 {
 		o.MaxEvents = 50_000_000
+	}
+	if o.Tracer == nil {
+		o.Tracer = trace.Nop{}
 	}
 	return o
 }
@@ -223,6 +240,11 @@ type Sim struct {
 	opts  Options
 	sched Scheduler
 
+	// tr is the event sink; traceOn caches Enabled so the disabled path
+	// costs one boolean load per call site.
+	tr      trace.Tracer
+	traceOn bool
+
 	clock  float64
 	seq    int64
 	events eventHeap
@@ -265,6 +287,8 @@ func New(c *cluster.Cluster, w *workload.Workload, p *hdfs.Placement, sched Sche
 		opts:    opts.withDefaults(),
 		sched:   sched,
 	}
+	s.tr = s.opts.Tracer
+	s.traceOn = s.tr.Enabled()
 	s.nodes = make([]nodeState, len(c.Nodes))
 	for i, n := range c.Nodes {
 		s.nodes[i].free = n.Slots
@@ -303,6 +327,11 @@ func (s *Sim) Run() (*Result, error) {
 			f := f
 			s.At(f.At, func() { s.inject(f) })
 		}
+	}
+	s.traceRun()
+	if s.traceOn && s.opts.SampleIntervalSec > 0 {
+		s.emitSample()
+		s.scheduleSample(s.opts.SampleIntervalSec)
 	}
 	s.sched.Init(s)
 	for j, deps := range s.opts.Deps {

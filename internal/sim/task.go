@@ -33,18 +33,22 @@ func (s *Sim) taskDemand(job, task int) (cpuSec, mb float64) {
 	return mb * j.CPUSecPerMB, mb
 }
 
-// observeLocality classifies and records where a launched task reads from.
-func (s *Sim) observeLocality(n cluster.NodeID, store cluster.StoreID, hasInput bool) {
+// observeLocality classifies and records where a launched task reads
+// from, returning the classification.
+func (s *Sim) observeLocality(n cluster.NodeID, store cluster.StoreID, hasInput bool) metrics.Locality {
+	var l metrics.Locality
 	switch {
 	case !hasInput:
-		s.Locality.Observe(metrics.NoInput)
+		l = metrics.NoInput
 	case s.C.Nodes[n].Store == store:
-		s.Locality.Observe(metrics.NodeLocal)
+		l = metrics.NodeLocal
 	case s.C.Nodes[n].Zone == s.C.Stores[store].Zone:
-		s.Locality.Observe(metrics.ZoneLocal)
+		l = metrics.ZoneLocal
 	default:
-		s.Locality.Observe(metrics.Remote)
+		l = metrics.Remote
 	}
+	s.Locality.Observe(l)
+	return l
 }
 
 // Launch starts task (job, task) immediately on node n, reading its input
@@ -113,7 +117,8 @@ func (s *Sim) startAttempt(job, task int, n cluster.NodeID, store cluster.StoreI
 		ti.transferEndAt = s.clock + transferSec
 		ti.price = price
 	}
-	s.observeLocality(n, store, j.HasInput())
+	loc := s.observeLocality(n, store, j.HasInput())
+	s.traceLaunch(job, task, ti.attempts, n, store, loc, speculative)
 
 	gen := ti.gen
 	if s.opts.SharedLinks && mb > 0 && node.Store != store {
@@ -129,12 +134,13 @@ func (s *Sim) startAttempt(job, task int, n cluster.NodeID, store cluster.StoreI
 				return
 			}
 			movedMB := s.opts.TaskTimeoutSec * s.C.BandwidthStoreNode(store, n)
-			s.Ledger.Charge(cost.CatTransfer, j.Name,
-				s.C.MSPerGB(n, store).MulFloat(movedMB/1024))
+			billed := s.C.MSPerGB(n, store).MulFloat(movedMB / 1024)
+			s.Ledger.Charge(cost.CatTransfer, j.Name, billed)
 			s.busySlotSec += s.opts.TaskTimeoutSec
 			ti := &s.tasks[job][task]
 			ti.gen++
 			ti.state = Pending
+			s.traceKill(job, task, n, "timeout", billed, false)
 			s.nodes[n].free++
 			s.dispatch(n)
 		})
@@ -172,7 +178,7 @@ func (s *Sim) startSharedAttempt(job, task int, n cluster.NodeID, store cluster.
 			if s.tasks[job][task].gen != gen {
 				return
 			}
-			s.completeAttempt(job, task, n, store, cpuSec, mb, s.clock+runSec-start, speculative)
+			s.completeAttempt(job, task, n, store, cpuSec, mb, s.clock-start, speculative)
 		})
 	})
 	if speculative {
@@ -189,10 +195,12 @@ func (s *Sim) startSharedAttempt(job, task int, n cluster.NodeID, store cluster.
 			}
 			moved := s.net.cancel(ti.flow)
 			ti.flow = nil
-			s.Ledger.Charge(cost.CatTransfer, j.Name, s.C.MSPerGB(n, store).MulFloat(moved/1024))
+			billed := s.C.MSPerGB(n, store).MulFloat(moved / 1024)
+			s.Ledger.Charge(cost.CatTransfer, j.Name, billed)
 			s.busySlotSec += s.opts.TaskTimeoutSec
 			ti.gen++
 			ti.state = Pending
+			s.traceKill(job, task, n, "timeout", billed, false)
 			s.nodes[n].free++
 			s.dispatch(n)
 		})
@@ -214,14 +222,31 @@ func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.Sto
 	if speculative {
 		price = ti.specPrice
 	}
-	s.Ledger.Charge(cost.CatCPU, j.Name, cost.CPUCost(price, billedCPUSec))
+	billed := cost.CPUCost(price, billedCPUSec)
+	s.Ledger.Charge(cost.CatCPU, j.Name, billed)
 	if mb > 0 {
-		s.Ledger.Charge(cost.CatTransfer, j.Name, s.C.MSPerGB(n, store).MulFloat(mb/1024))
+		xfer := s.C.MSPerGB(n, store).MulFloat(mb / 1024)
+		s.Ledger.Charge(cost.CatTransfer, j.Name, xfer)
+		billed += xfer
 	}
 	s.NodeCPU.Add(int(n), cpuSec)
 	s.UserCPU[j.User] += cpuSec
 	s.busySlotSec += wallSec
 	s.nodes[n].free++
+
+	if s.traceOn {
+		transferEnd := ti.transferEndAt
+		if speculative {
+			transferEnd = ti.specTransferEndAt
+		}
+		xferSec := transferEnd - (s.clock - wallSec)
+		if xferSec < 0 {
+			xferSec = 0
+		} else if xferSec > wallSec {
+			xferSec = wallSec
+		}
+		s.traceDone(job, task, ti.attempts, n, store, wallSec, xferSec, billedCPUSec, billed, speculative)
+	}
 
 	// Settle the twin attempt, if any.
 	if speculative {
@@ -262,13 +287,13 @@ func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.Sto
 // killSpeculative cancels a running speculative copy, billing the CPU it
 // burned so far to the speculative-waste category.
 func (s *Sim) killSpeculative(job, task int) {
-	s.cancelSpeculative(job, task, cost.CatSpeculative, true)
+	s.cancelSpeculative(job, task, cost.CatSpeculative, true, "speculative")
 }
 
 // cancelSpeculative cancels a running speculative copy, billing its burn
 // to the given category. freeSlot is false when the copy's node crashed
-// and took the slot with it.
-func (s *Sim) cancelSpeculative(job, task int, cat cost.Category, freeSlot bool) {
+// and took the slot with it; reason labels the kill in the trace.
+func (s *Sim) cancelSpeculative(job, task int, cat cost.Category, freeSlot bool, reason string) {
 	ti := &s.tasks[job][task]
 	if !ti.specRunning {
 		return
@@ -287,9 +312,11 @@ func (s *Sim) cancelSpeculative(job, task int, cat cost.Category, freeSlot bool)
 	if burned > ti.specCPUSec {
 		burned = ti.specCPUSec
 	}
-	s.Ledger.Charge(cat, s.W.Jobs[job].Name, cost.CPUCost(ti.specPrice, burned))
+	billed := cost.CPUCost(ti.specPrice, burned)
+	s.Ledger.Charge(cat, s.W.Jobs[job].Name, billed)
 	s.busySlotSec += elapsed
 	ti.specRunning = false
+	s.traceKill(job, task, n, reason, billed, true)
 	if freeSlot {
 		s.nodes[n].free++
 		s.dispatch(n)
@@ -306,7 +333,9 @@ func (s *Sim) killAttempt(job, task int, n cluster.NodeID, _ float64) {
 	// We do not track the primary's start separately; bill half its
 	// demand as a conservative estimate of the wasted burn.
 	cpuSec, _ := s.taskDemand(job, task)
-	s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, cost.CPUCost(ti.price, cpuSec/2))
+	billed := cost.CPUCost(ti.price, cpuSec/2)
+	s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, billed)
+	s.traceKill(job, task, n, "speculative", billed, false)
 	s.nodes[n].free++
 	s.dispatch(n)
 }
@@ -399,7 +428,8 @@ func (s *Sim) KillTask(job, task int) error {
 		if burned > cpuSec {
 			burned = cpuSec
 		}
-		s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, cost.CPUCost(ti.price, burned))
+		billed := cost.CPUCost(ti.price, burned)
+		s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, billed)
 		if ti.flow != nil {
 			s.net.cancel(ti.flow)
 			ti.flow = nil
@@ -409,6 +439,7 @@ func (s *Sim) KillTask(job, task int) error {
 		}
 		ti.gen++
 		ti.state = Pending
+		s.traceKill(job, task, n, "preempt", billed, false)
 		s.nodes[n].free++
 		s.dispatch(n)
 		return nil
@@ -424,6 +455,7 @@ func (s *Sim) KillTask(job, task int) error {
 			s.nodes[ni].queue = q
 		}
 		ti.state = Pending
+		s.traceKill(job, task, cluster.NodeID(-1), "dequeue", 0, false)
 		return nil
 	default:
 		return fmt.Errorf("sim: cannot kill task %d/%d in state %d", job, task, ti.state)
@@ -457,6 +489,7 @@ func (s *Sim) Enqueue(job, task int, n cluster.NodeID, store cluster.StoreID, re
 	}
 	ti.state = Queued
 	s.nodes[n].queue = append(s.nodes[n].queue, queueEntry{job: job, task: task, store: store, readyAt: readyAt})
+	s.traceEnqueue(job, task, n, store, readyAt)
 	if readyAt > s.clock {
 		s.At(readyAt, func() { s.dispatch(n) })
 	}
@@ -529,8 +562,10 @@ func (s *Sim) MoveBlock(obj int, block int, dst cluster.StoreID) float64 {
 		return s.clock
 	}
 	mb := j.BlockSizeMB(block)
-	s.Ledger.Charge(cost.CatPlacement, "", s.C.SSPerGB(src, dst).MulFloat(mb/1024))
+	billed := s.C.SSPerGB(src, dst).MulFloat(mb / 1024)
+	s.Ledger.Charge(cost.CatPlacement, "", billed)
 	doneAt := s.clock + mb/s.C.BandwidthStoreStore(src, dst)
+	s.traceMove(obj, block, src, dst, mb, doneAt-s.clock, billed, "plan")
 	key := [2]int{obj, block}
 	mv := s.movingBlocks[key]
 	mv.moves++

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"lips/internal/cluster"
+	"lips/internal/cost"
+	"lips/internal/metrics"
+	"lips/internal/trace"
+)
+
+// Tracing call sites. Every helper is guarded by s.traceOn — a plain
+// boolean load — so the disabled path costs one branch and allocates
+// nothing (TestNopTracerNoAllocs in internal/trace, plus the simulator
+// throughput gate in scripts/perfsmoke.sh). Event payloads are built
+// only once the guard passes.
+
+// Tracer returns the run's tracer (trace.Nop when tracing is disabled),
+// for schedulers that emit their own spans (e.g. LiPS epoch solves).
+func (s *Sim) Tracer() trace.Tracer { return s.tr }
+
+// traceRun opens the run in the event stream with the cluster and
+// workload shape, so trace tools can interpret node ids without the
+// cluster object.
+func (s *Sim) traceRun() {
+	if !s.traceOn {
+		return
+	}
+	slots := make([]int, len(s.C.Nodes))
+	types := make([]string, len(s.C.Nodes))
+	zones := make([]string, len(s.C.Nodes))
+	for i, n := range s.C.Nodes {
+		slots[i] = n.Slots
+		types[i] = n.Type
+		zones[i] = string(n.Zone)
+	}
+	s.tr.Emit(trace.Event{T: s.clock, Kind: trace.KindRun, Run: &trace.RunInfo{
+		Scheduler: s.sched.Name(),
+		Nodes:     len(s.C.Nodes), Stores: len(s.C.Stores),
+		Jobs: len(s.W.Jobs), Tasks: s.W.TotalTasks(),
+		Slots: slots, Types: types, Zones: zones,
+		Label: s.opts.TraceLabel,
+	}})
+}
+
+func (s *Sim) traceEnqueue(job, task int, n cluster.NodeID, store cluster.StoreID, readyAt float64) {
+	if !s.traceOn {
+		return
+	}
+	s.tr.Emit(trace.Event{T: s.clock, Kind: trace.KindEnqueue, Task: &trace.TaskInfo{
+		Job: job, Task: task, Node: int(n), Store: int(store), ReadyAt: readyAt,
+	}})
+}
+
+func (s *Sim) traceLaunch(job, task, attempt int, n cluster.NodeID, store cluster.StoreID, loc metrics.Locality, speculative bool) {
+	if !s.traceOn {
+		return
+	}
+	s.tr.Emit(trace.Event{T: s.clock, Kind: trace.KindLaunch, Task: &trace.TaskInfo{
+		Job: job, Task: task, Attempt: attempt, Node: int(n), Store: int(store),
+		Locality: loc.String(), Speculative: speculative,
+	}})
+}
+
+func (s *Sim) traceDone(job, task, attempt int, n cluster.NodeID, store cluster.StoreID,
+	wallSec, xferSec, cpuSec float64, billed cost.Money, speculative bool) {
+	if !s.traceOn {
+		return
+	}
+	s.tr.Emit(trace.Event{T: s.clock, Kind: trace.KindDone, Task: &trace.TaskInfo{
+		Job: job, Task: task, Attempt: attempt, Node: int(n), Store: int(store),
+		DurSec: wallSec, XferSec: xferSec, CPUSec: cpuSec,
+		CostUC: int64(billed), Speculative: speculative,
+	}})
+}
+
+func (s *Sim) traceKill(job, task int, n cluster.NodeID, reason string, billed cost.Money, speculative bool) {
+	if !s.traceOn {
+		return
+	}
+	s.tr.Emit(trace.Event{T: s.clock, Kind: trace.KindKill, Task: &trace.TaskInfo{
+		Job: job, Task: task, Node: int(n), Store: -1,
+		Reason: reason, CostUC: int64(billed), Speculative: speculative,
+	}})
+}
+
+func (s *Sim) traceMove(obj, block int, src, dst cluster.StoreID, mb, durSec float64, billed cost.Money, reason string) {
+	if !s.traceOn {
+		return
+	}
+	s.tr.Emit(trace.Event{T: s.clock, Kind: trace.KindMove, Move: &trace.MoveInfo{
+		Object: obj, Block: block, Src: int(src), Dst: int(dst),
+		MB: mb, DurSec: durSec, CostUC: int64(billed), Reason: reason,
+	}})
+}
+
+func (s *Sim) traceFault(f Fault) {
+	if !s.traceOn {
+		return
+	}
+	node, store := -1, -1
+	switch f.Kind {
+	case FaultStoreLoss:
+		store = int(f.Store)
+	default:
+		node = int(f.Node)
+	}
+	s.tr.Emit(trace.Event{T: s.clock, Kind: trace.KindFault, Fault: &trace.FaultInfo{
+		Kind: f.Kind.String(), Node: node, Store: store,
+		Factor: f.Factor, DurationSec: f.DurationSec,
+	}})
+}
+
+// emitSample snapshots the run's time series: cumulative dollars by
+// ledger category, task-state counts, slot availability and the
+// locality mix so far.
+func (s *Sim) emitSample() {
+	if !s.traceOn {
+		return
+	}
+	info := &trace.SampleInfo{
+		BusySlotSec:   s.busySlotSec,
+		TotalUC:       int64(s.Ledger.Total()),
+		CPUUC:         int64(s.Ledger.Category(cost.CatCPU)),
+		TransferUC:    int64(s.Ledger.Category(cost.CatTransfer)),
+		PlacementUC:   int64(s.Ledger.Category(cost.CatPlacement)),
+		SpeculativeUC: int64(s.Ledger.Category(cost.CatSpeculative)),
+		FaultUC:       int64(s.Ledger.Category(cost.CatFault)),
+		NodeLocal:     s.Locality.Count(metrics.NodeLocal),
+		ZoneLocal:     s.Locality.Count(metrics.ZoneLocal),
+		Remote:        s.Locality.Count(metrics.Remote),
+		NoInput:       s.Locality.Count(metrics.NoInput),
+	}
+	for j := range s.tasks {
+		if !s.jobs[j].arrived {
+			continue
+		}
+		for t := range s.tasks[j] {
+			switch s.tasks[j][t].state {
+			case Pending:
+				info.Pending++
+			case Queued:
+				info.Queued++
+			case Running:
+				info.Running++
+			case Done:
+				info.Done++
+			}
+		}
+	}
+	for n := range s.nodes {
+		if s.nodes[n].down {
+			continue
+		}
+		info.FreeSlots += s.nodes[n].free
+		info.LiveSlots += s.C.Nodes[n].Slots
+	}
+	s.tr.Emit(trace.Event{T: s.clock, Kind: trace.KindSample, Sample: info})
+}
+
+// scheduleSample arms the next periodic snapshot; the chain stops once
+// every job has completed (the final state is visible in the run's
+// end-of-run metrics).
+func (s *Sim) scheduleSample(intervalSec float64) {
+	s.At(s.clock+intervalSec, func() {
+		s.emitSample()
+		if s.remaining > 0 {
+			s.scheduleSample(intervalSec)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Sampler collects the periodic time-series snapshots (sample events)
+// into memory, ignoring every other kind. It backs programmatic access
+// to cost-over-time / queue-depth / utilization series and CSV export
+// (cmd/lips-trace's cost-over-time output uses the same writer).
+type Sampler struct {
+	Rows []SampleRow
+}
+
+// SampleRow is one snapshot with its simulated timestamp.
+type SampleRow struct {
+	T float64
+	S SampleInfo
+}
+
+// NewSampler returns an empty sampler sink.
+func NewSampler() *Sampler { return &Sampler{} }
+
+// Enabled implements Tracer.
+func (s *Sampler) Enabled() bool { return true }
+
+// Emit implements Tracer, keeping sample events only.
+func (s *Sampler) Emit(e Event) {
+	if e.Kind == KindSample && e.Sample != nil {
+		s.Rows = append(s.Rows, SampleRow{T: e.T, S: *e.Sample})
+	}
+}
+
+// csvHeader is the column contract of WriteCSV.
+const csvHeader = "t_sec,total_usd,cpu_usd,transfer_usd,placement_usd,speculative_usd,fault_usd," +
+	"running,queued,pending,done,free_slots,live_slots,busy_slot_sec," +
+	"node_local,zone_local,remote,no_input"
+
+// WriteCSV renders the collected series as CSV: one row per sample,
+// dollar columns converted from exact microcents.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+	usd := func(uc int64) string { return fmt.Sprintf("%.6f", float64(uc)/1e8) }
+	for _, r := range s.Rows {
+		_, err := fmt.Fprintf(w, "%g,%s,%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%g,%d,%d,%d,%d\n",
+			r.T, usd(r.S.TotalUC), usd(r.S.CPUUC), usd(r.S.TransferUC),
+			usd(r.S.PlacementUC), usd(r.S.SpeculativeUC), usd(r.S.FaultUC),
+			r.S.Running, r.S.Queued, r.S.Pending, r.S.Done,
+			r.S.FreeSlots, r.S.LiveSlots, r.S.BusySlotSec,
+			r.S.NodeLocal, r.S.ZoneLocal, r.S.Remote, r.S.NoInput)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+// Package trace is the structured run-tracing layer of the simulator: a
+// Tracer interface threaded through the scheduling hot paths, a typed
+// event model covering task lifecycles, epoch LP solves, block moves,
+// fault injections and periodic time-series samples, and three sinks —
+// a JSONL structured log, a Chrome trace-event (Perfetto-loadable)
+// exporter, and an in-memory time-series Sampler with CSV output.
+//
+// Tracing is off by default. The disabled path is a single boolean check
+// at each call site and allocates nothing (guarded by
+// TestNopTracerNoAllocs and the sim throughput gate in
+// scripts/perfsmoke.sh). Traces contain only simulated-time and
+// count-valued fields unless the producer opts into wall-clock timings,
+// so two runs with the same seed produce byte-identical JSONL output.
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind labels one trace event. Kinds are stable strings: they are the
+// JSONL schema's discriminator and the contract of cmd/lips-trace.
+type Kind string
+
+// Event kinds.
+const (
+	KindRun     Kind = "run"     // run metadata: scheduler, cluster and workload shape
+	KindEnqueue Kind = "enqueue" // task pinned to a node's queue
+	KindLaunch  Kind = "launch"  // attempt started on a node
+	KindDone    Kind = "done"    // attempt completed (task finished)
+	KindKill    Kind = "kill"    // attempt cancelled (timeout, speculation, preemption, fault)
+	KindEpoch   Kind = "epoch"   // one epoch LP solve of an epoch scheduler
+	KindMove    Kind = "move"    // block relocation (planned, balancer or fault repair)
+	KindFault   Kind = "fault"   // injected fault event
+	KindSample  Kind = "sample"  // periodic time-series snapshot
+)
+
+// Event is one trace record. T is the simulated time in seconds; exactly
+// one of the payload pointers matching Kind is set.
+type Event struct {
+	T    float64 `json:"t"`
+	Kind Kind    `json:"kind"`
+
+	Run    *RunInfo    `json:"run,omitempty"`
+	Task   *TaskInfo   `json:"task,omitempty"`
+	Epoch  *EpochInfo  `json:"epoch,omitempty"`
+	Move   *MoveInfo   `json:"move,omitempty"`
+	Fault  *FaultInfo  `json:"fault,omitempty"`
+	Sample *SampleInfo `json:"sample,omitempty"`
+}
+
+// RunInfo opens one simulation run in the event stream; sinks use it as
+// a run boundary (the Chrome exporter starts a new process group).
+type RunInfo struct {
+	Scheduler string `json:"scheduler"`
+	Nodes     int    `json:"nodes"`
+	Stores    int    `json:"stores"`
+	Jobs      int    `json:"jobs"`
+	Tasks     int    `json:"tasks"`
+	// Slots, Types and Zones describe each node (index = node id), so
+	// tools can compute per-node utilization without the cluster object.
+	Slots []int    `json:"slots,omitempty"`
+	Types []string `json:"types,omitempty"`
+	Zones []string `json:"zones,omitempty"`
+	// Label distinguishes runs in multi-run traces (e.g. the experiment
+	// name when lips-bench traces a whole suite).
+	Label string `json:"label,omitempty"`
+}
+
+// TaskInfo is the payload of task lifecycle events. Node and Store are
+// -1 when not applicable (no-input tasks, tasks killed while queued).
+// CostUC amounts are exact integer microcents (cost.Money's unit).
+type TaskInfo struct {
+	Job     int `json:"job"`
+	Task    int `json:"task"`
+	Node    int `json:"node"`
+	Store   int `json:"store"`
+	Attempt int `json:"attempt,omitempty"`
+
+	Speculative bool    `json:"speculative,omitempty"`
+	Locality    string  `json:"locality,omitempty"` // launch: node-local/zone-local/remote/no-input
+	ReadyAt     float64 `json:"ready_at,omitempty"` // enqueue: earliest dispatch time
+	DurSec      float64 `json:"dur_sec,omitempty"`  // done: attempt wall-clock (sim seconds)
+	XferSec     float64 `json:"xfer_sec,omitempty"` // done: input transfer portion of DurSec
+	CPUSec      float64 `json:"cpu_sec,omitempty"`  // done: billed ECU-seconds
+	CostUC      int64   `json:"cost_uc,omitempty"`  // microcents billed at this event
+	Reason      string  `json:"reason,omitempty"`   // kill: timeout/speculative/preempt/dequeue/node-crash/store-loss
+}
+
+// EpochInfo is the payload of one epoch LP solve. The wall-clock *MS
+// fields are zero unless the producer opted into timings (they make
+// traces machine-dependent; see sched.LiPS.TraceTimings).
+type EpochInfo struct {
+	Scheduler string `json:"scheduler"`
+	Epoch     int    `json:"epoch"`
+	Jobs      int    `json:"jobs"`    // queued jobs planned this epoch
+	Pending   int    `json:"pending"` // pending tasks offered to the LP
+
+	Warm         bool `json:"warm,omitempty"`          // a warm-start basis was offered
+	WarmAccepted bool `json:"warm_accepted,omitempty"` // ... and the solver used it
+	Iters        int  `json:"iters"`
+	Phase1       int  `json:"phase1,omitempty"`
+	PresolveRows int  `json:"presolve_rows,omitempty"`
+	PresolveCols int  `json:"presolve_cols,omitempty"`
+
+	Launched    int `json:"launched"` // tasks enqueued by this epoch's plan
+	Deferred    int `json:"deferred"` // fake-node overflow: pending work left for the next epoch
+	BlocksMoved int `json:"blocks_moved,omitempty"`
+
+	SolveMS    float64 `json:"solve_ms,omitempty"`
+	PricingMS  float64 `json:"pricing_ms,omitempty"`
+	FactorMS   float64 `json:"factor_ms,omitempty"`
+	PresolveMS float64 `json:"presolve_ms,omitempty"`
+}
+
+// MoveInfo is the payload of a block relocation span.
+type MoveInfo struct {
+	Object int     `json:"object"`
+	Block  int     `json:"block"`
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	MB     float64 `json:"mb"`
+	DurSec float64 `json:"dur_sec,omitempty"`
+	CostUC int64   `json:"cost_uc,omitempty"`
+	Reason string  `json:"reason,omitempty"` // plan/balance/re-replicate/re-materialize
+}
+
+// FaultInfo is the payload of an injected fault. Node and Store are -1
+// when the fault targets the other resource type.
+type FaultInfo struct {
+	Kind        string  `json:"kind"` // node-down/node-up/store-loss/slowdown
+	Node        int     `json:"node"`
+	Store       int     `json:"store"`
+	Factor      float64 `json:"factor,omitempty"`
+	DurationSec float64 `json:"duration_sec,omitempty"`
+}
+
+// SampleInfo is one time-series snapshot: cumulative ledger totals by
+// category (exact microcents), task-state counts, slot availability and
+// the cumulative locality mix at the sample instant.
+type SampleInfo struct {
+	Running   int `json:"running"`
+	Queued    int `json:"queued"`
+	Pending   int `json:"pending"` // arrived jobs' unassigned tasks
+	Done      int `json:"done"`
+	FreeSlots int `json:"free_slots"`
+	LiveSlots int `json:"live_slots"` // slots on nodes currently up
+
+	BusySlotSec float64 `json:"busy_slot_sec"` // cumulative billed slot occupancy
+
+	TotalUC       int64 `json:"total_uc"`
+	CPUUC         int64 `json:"cpu_uc"`
+	TransferUC    int64 `json:"transfer_uc"`
+	PlacementUC   int64 `json:"placement_uc"`
+	SpeculativeUC int64 `json:"speculative_uc"`
+	FaultUC       int64 `json:"fault_uc"`
+
+	NodeLocal int `json:"node_local"`
+	ZoneLocal int `json:"zone_local"`
+	Remote    int `json:"remote"`
+	NoInput   int `json:"no_input"`
+}
+
+// Tracer receives trace events. Implementations need not be safe for
+// concurrent use: the simulator is single-threaded and emits events in
+// deterministic order.
+//
+// Hot paths must guard event construction with Enabled so the disabled
+// tracer costs one predictable branch and zero allocations.
+type Tracer interface {
+	// Enabled reports whether Emit does anything; callers skip building
+	// events when false.
+	Enabled() bool
+	// Emit records one event.
+	Emit(e Event)
+}
+
+// Nop is the disabled tracer; its zero value is ready to use.
+type Nop struct{}
+
+// Enabled implements Tracer.
+func (Nop) Enabled() bool { return false }
+
+// Emit implements Tracer.
+func (Nop) Emit(Event) {}
+
+// Multi fans events out to every enabled sink. With no enabled sinks it
+// returns Nop{} so the disabled fast path is preserved.
+func Multi(sinks ...Tracer) Tracer {
+	var on []Tracer
+	for _, s := range sinks {
+		if s != nil && s.Enabled() {
+			on = append(on, s)
+		}
+	}
+	switch len(on) {
+	case 0:
+		return Nop{}
+	case 1:
+		return on[0]
+	default:
+		return multi(on)
+	}
+}
+
+type multi []Tracer
+
+func (m multi) Enabled() bool { return true }
+func (m multi) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}
+
+// Validate checks one event against the schema: a known kind, a
+// finite non-negative timestamp, the payload matching the kind (and no
+// other), and resource ids that are -1 or natural numbers.
+func Validate(e Event) error {
+	if math.IsNaN(e.T) || math.IsInf(e.T, 0) || e.T < 0 {
+		return fmt.Errorf("trace: bad timestamp %v", e.T)
+	}
+	payloads := 0
+	for _, set := range []bool{e.Run != nil, e.Task != nil, e.Epoch != nil, e.Move != nil, e.Fault != nil, e.Sample != nil} {
+		if set {
+			payloads++
+		}
+	}
+	if payloads > 1 {
+		return fmt.Errorf("trace: %s event carries %d payloads", e.Kind, payloads)
+	}
+	checkID := func(what string, v int) error {
+		if v < -1 {
+			return fmt.Errorf("trace: %s event has invalid %s %d", e.Kind, what, v)
+		}
+		return nil
+	}
+	switch e.Kind {
+	case KindRun:
+		if e.Run == nil {
+			return fmt.Errorf("trace: run event without run payload")
+		}
+		if e.Run.Scheduler == "" {
+			return fmt.Errorf("trace: run event without scheduler")
+		}
+	case KindEnqueue, KindLaunch, KindDone, KindKill:
+		if e.Task == nil {
+			return fmt.Errorf("trace: %s event without task payload", e.Kind)
+		}
+		if e.Task.Job < 0 || e.Task.Task < 0 {
+			return fmt.Errorf("trace: %s event for task %d/%d", e.Kind, e.Task.Job, e.Task.Task)
+		}
+		if err := checkID("node", e.Task.Node); err != nil {
+			return err
+		}
+		if err := checkID("store", e.Task.Store); err != nil {
+			return err
+		}
+	case KindEpoch:
+		if e.Epoch == nil {
+			return fmt.Errorf("trace: epoch event without epoch payload")
+		}
+		if e.Epoch.Scheduler == "" || e.Epoch.Epoch <= 0 {
+			return fmt.Errorf("trace: epoch event missing scheduler/number")
+		}
+	case KindMove:
+		if e.Move == nil {
+			return fmt.Errorf("trace: move event without move payload")
+		}
+		if e.Move.Object < 0 || e.Move.Block < 0 {
+			return fmt.Errorf("trace: move event for block %d/%d", e.Move.Object, e.Move.Block)
+		}
+		if err := checkID("src", e.Move.Src); err != nil {
+			return err
+		}
+		if err := checkID("dst", e.Move.Dst); err != nil {
+			return err
+		}
+	case KindFault:
+		if e.Fault == nil {
+			return fmt.Errorf("trace: fault event without fault payload")
+		}
+		if e.Fault.Kind == "" {
+			return fmt.Errorf("trace: fault event without kind")
+		}
+	case KindSample:
+		if e.Sample == nil {
+			return fmt.Errorf("trace: sample event without sample payload")
+		}
+		if e.Sample.Running < 0 || e.Sample.Queued < 0 || e.Sample.Pending < 0 || e.Sample.Done < 0 {
+			return fmt.Errorf("trace: sample event with negative counts")
+		}
+	default:
+		return fmt.Errorf("trace: unknown event kind %q", e.Kind)
+	}
+	return nil
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Benchmark regression harness: runs the internal/lp benchmarks (the
-# epoch-scale cold/warm pair plus the solver size sweep) and writes
-# BENCH_lp.json so future changes have a perf trajectory to compare
-# against. Each run records the git SHA it measured; prior results are
+# epoch-scale cold/warm pair plus the solver size sweep) and the
+# internal/sim simulator-throughput benchmarks (nop-tracer, traced and
+# shared-links paths) and writes BENCH_lp.json so future changes have a
+# perf trajectory to compare against. Each run records the git SHA it measured; prior results are
 # preserved in the file's "history" array (newest first, capped at 50)
 # instead of being overwritten. Usage: scripts/bench.sh [output.json];
 # BENCHTIME=10x to rerun with more samples.
@@ -18,7 +19,9 @@ if [ "$SHA" != unknown ] && ! git diff --quiet HEAD -- 2>/dev/null; then
 fi
 
 RAW=$(go test ./internal/lp -run '^$' -bench 'BenchmarkSolve|BenchmarkEpoch' \
-	-benchtime "$BENCHTIME" -timeout 30m)
+	-benchtime "$BENCHTIME" -timeout 30m
+	go test ./internal/sim -run '^$' -bench 'BenchmarkSimulator' \
+		-benchtime "$BENCHTIME" -timeout 30m)
 printf '%s\n' "$RAW"
 
 TMP=$(mktemp)

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Perf regression smoke: runs BenchmarkEpoch and fails when the measured
-# ns/op exceeds the committed BENCH_lp.json baseline by more than the
-# allowed factor (default 3×, absorbing CI machine noise while still
-# catching order-of-magnitude regressions like losing the sparse
-# factorization or the warm-start path).
+# Perf regression smoke: runs BenchmarkEpoch and the simulator
+# throughput benchmark (whose Options{} path exercises the disabled nop
+# tracer) and fails when the measured ns/op exceeds the committed
+# BENCH_lp.json baseline by more than the allowed factor (default 3×,
+# absorbing CI machine noise while still catching order-of-magnitude
+# regressions like losing the sparse factorization, the warm-start path,
+# or an allocation leak onto the tracing-disabled hot path).
 #
 # Usage: scripts/perfsmoke.sh [baseline.json]
 #   BENCHTIME=3x  samples per benchmark (default 3x)
@@ -24,11 +26,13 @@ if ! command -v jq >/dev/null 2>&1; then
 	exit 0
 fi
 
-RAW=$(go test ./internal/lp -run '^$' -bench BenchmarkEpoch -benchtime "$BENCHTIME" -timeout 30m)
+RAW=$(go test ./internal/lp -run '^$' -bench BenchmarkEpoch -benchtime "$BENCHTIME" -timeout 30m
+	go test ./internal/sim -run '^$' -bench 'BenchmarkSimulatorThroughput$' \
+		-benchtime "$BENCHTIME" -timeout 30m)
 printf '%s\n' "$RAW"
 
 fail=0
-for name in BenchmarkEpoch/cold BenchmarkEpoch/warm; do
+for name in BenchmarkEpoch/cold BenchmarkEpoch/warm BenchmarkSimulatorThroughput; do
 	base=$(jq -r --arg n "$name" \
 		'.benchmarks[] | select(.name == $n) | .ns_per_op' "$BASELINE")
 	if [ -z "$base" ] || [ "$base" = null ]; then
