@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench perfsmoke faultsmoke tracesmoke
+.PHONY: all build test race vet bench perfsmoke faultsmoke tracesmoke obssmoke
 
 all: vet build test
 
@@ -33,3 +33,8 @@ faultsmoke:
 # lips-trace report and checks the Chrome export and reproducibility.
 tracesmoke:
 	scripts/tracesmoke.sh
+
+# Starts a live lips-sim -listen run and scrapes /metrics, /progress and
+# /debug/pprof mid-run, validating the exposition and required families.
+obssmoke:
+	scripts/obssmoke.sh

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	lips-balance [-cluster paper20|paper100] [-tasks 600] [-threshold 0.1] [-seed 1]
-//	             [-trace FILE]
+//	             [-trace FILE] [-listen :8080]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"lips/internal/cluster"
 	"lips/internal/cost"
 	"lips/internal/hdfs"
+	"lips/internal/obs"
 	"lips/internal/trace"
 	"lips/internal/workload"
 )
@@ -28,14 +29,25 @@ func main() {
 	threshold := flag.Float64("threshold", 0.02, "target utilization band around the mean")
 	seed := flag.Int64("seed", 1, "random seed")
 	tracePath := flag.String("trace", "", "write the planned moves as JSONL trace events to this file")
+	listen := flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	flag.Parse()
-	if err := run(os.Stdout, *clusterKind, *tasks, *threshold, *seed, *tracePath); err != nil {
+	if err := run(os.Stdout, *clusterKind, *tasks, *threshold, *seed, *tracePath, *listen); err != nil {
 		fmt.Fprintln(os.Stderr, "lips-balance:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out *os.File, clusterKind string, tasks int, threshold float64, seed int64, tracePath string) error {
+func run(out *os.File, clusterKind string, tasks int, threshold float64, seed int64, tracePath, listen string) error {
+	var reg *obs.Registry
+	if listen != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(listen, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics: serving %s/metrics\n", srv.URL())
+	}
 	var c *cluster.Cluster
 	switch clusterKind {
 	case "paper20":
@@ -82,6 +94,15 @@ func run(out *os.File, clusterKind string, tasks int, threshold float64, seed in
 		bill += c.SSPerGB(m.From, m.To).MulFloat(mb / 1024)
 	}
 	fmt.Fprintf(out, "\nbalancer: %d block moves, transfer bill %v\n\n", len(moves), bill)
+	if reg != nil {
+		movedMB := 0.0
+		for _, m := range moves {
+			movedMB += p.Object(m.Object).BlockSizeMB(m.Block)
+		}
+		reg.Counter("lips_balance_moves_total", "Block moves the balancer planned.").Add(float64(len(moves)))
+		reg.Counter("lips_balance_moved_megabytes_total", "Megabytes the planned moves relocate.").Add(movedMB)
+		reg.Counter("lips_balance_bill_microcents_total", "Transfer bill of the planned moves, in microcents.").Add(float64(bill))
+	}
 	show("after balancing")
 	if tracePath != "" {
 		sink, err := trace.NewSink(tracePath, "jsonl")

@@ -9,18 +9,18 @@ import (
 
 func TestRunBalance(t *testing.T) {
 	for _, kind := range []string{"paper20", "paper100"} {
-		if err := run(os.Stdout, kind, 600, 0.005, 1, ""); err != nil {
+		if err := run(os.Stdout, kind, 600, 0.005, 1, "", ""); err != nil {
 			t.Errorf("%s: %v", kind, err)
 		}
 	}
-	if err := run(os.Stdout, "nope", 10, 0.1, 1, ""); err == nil {
+	if err := run(os.Stdout, "nope", 10, 0.1, 1, "", ""); err == nil {
 		t.Error("unknown cluster accepted")
 	}
 }
 
 func TestRunBalanceTrace(t *testing.T) {
 	path := t.TempDir() + "/moves.jsonl"
-	if err := run(os.Stdout, "paper20", 600, 0.005, 1, path); err != nil {
+	if err := run(os.Stdout, "paper20", 600, 0.005, 1, path, ""); err != nil {
 		t.Fatalf("run with trace: %v", err)
 	}
 	f, err := os.Open(path)

@@ -7,7 +7,7 @@
 //	           [-presolve on|off] [-factor lu|dense]
 //	           [-faults N] [-fault-seed N]
 //	           [-trace FILE] [-trace-format jsonl|chrome] [-sample-interval 60]
-//	           [-cpuprofile FILE] [-memprofile FILE]
+//	           [-listen :8080] [-cpuprofile FILE] [-memprofile FILE]
 //
 // By default experiments run at Quick scale (seconds); -full selects the
 // paper-scale configurations (the 1608-task Table IV job set, the 400-job
@@ -18,10 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"lips/internal/experiments"
+	"lips/internal/obs"
 	"lips/internal/trace"
 )
 
@@ -39,6 +38,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a structured trace of every simulated run to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (Perfetto)")
 	sampleEvery := flag.Float64("sample-interval", 60, "simulated seconds between time-series samples (0 disables)")
+	listen := flag.String("listen", "", "serve /metrics, /progress, /healthz and /debug/pprof on this address")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -75,45 +75,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lips-bench: -factor must be lu or dense, got %q\n", *factor)
 		os.Exit(1)
 	}
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lips-bench:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "lips-bench:", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	prof, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lips-bench:", err)
+		os.Exit(1)
 	}
-	err := run(*experiment, cfg)
+	if *listen != "" {
+		reg := obs.NewRegistry()
+		srv, serr := obs.Serve(*listen, reg)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "lips-bench:", serr)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: serving %s/metrics\n", srv.URL())
+		cfg.Metrics = reg
+	}
+	err = run(*experiment, cfg)
 	if sink != nil {
 		if cerr := sink.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("trace: %w", cerr)
 		}
 		fmt.Printf("trace: %d events written to %s\n", sink.Events(), *tracePath)
 	}
-	if *memprofile != "" {
-		f, merr := os.Create(*memprofile)
-		if merr != nil {
-			fmt.Fprintln(os.Stderr, "lips-bench:", merr)
-			os.Exit(1)
-		}
-		runtime.GC()
-		if merr := pprof.WriteHeapProfile(f); merr != nil {
-			fmt.Fprintln(os.Stderr, "lips-bench:", merr)
-			os.Exit(1)
-		}
-		f.Close()
+	if perr := prof.Stop(); perr != nil && err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lips-bench:", err)
-		// Let the CPU-profile deferred writer flush before exiting.
-		if *cpuprofile != "" {
-			pprof.StopCPUProfile()
-		}
 		os.Exit(1)
 	}
 }

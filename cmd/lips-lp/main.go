@@ -21,10 +21,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"lips/internal/lp"
+	"lips/internal/obs"
 )
 
 // cliOpts carries the command-line knobs into run.
@@ -57,33 +56,17 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lips-lp:", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "lips-lp:", err)
-			os.Exit(1)
-		}
+	prof, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lips-lp:", err)
+		os.Exit(1)
 	}
 	code, err := run(in, os.Stdout, o)
-	if *cpuprofile != "" {
-		pprof.StopCPUProfile()
-	}
-	if *memprofile != "" {
-		f, merr := os.Create(*memprofile)
-		if merr != nil {
-			fmt.Fprintln(os.Stderr, "lips-lp:", merr)
-			os.Exit(1)
+	if perr := prof.Stop(); perr != nil {
+		fmt.Fprintln(os.Stderr, "lips-lp:", perr)
+		if code == 0 {
+			code = 1
 		}
-		runtime.GC()
-		if merr := pprof.WriteHeapProfile(f); merr != nil {
-			fmt.Fprintln(os.Stderr, "lips-lp:", merr)
-			os.Exit(1)
-		}
-		f.Close()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lips-lp:", err)

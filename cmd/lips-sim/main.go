@@ -9,7 +9,8 @@
 //	         [-speculative] [-bill-occupancy] [-seed 1] [-v]
 //	         [-faults 0] [-fault-stores 0] [-fault-slowdowns 0] [-fault-seed 0]
 //	         [-trace FILE] [-trace-format jsonl|chrome] [-sample-interval 60]
-//	         [-trace-timings]
+//	         [-trace-timings] [-listen :8080]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Examples:
 //
@@ -17,6 +18,7 @@
 //	lips-sim -cluster paper100 -workload swim -jobs 400 -scheduler delay
 //	lips-sim -scheduler lips -trace run.jsonl            # inspect with lips-trace
 //	lips-sim -scheduler lips -trace run.json -trace-format chrome  # open in Perfetto
+//	lips-sim -scheduler lips -workload swim -listen :8080  # scrape /metrics live
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"lips/internal/cost"
 	"lips/internal/hdfs"
 	"lips/internal/metrics"
+	"lips/internal/obs"
 	"lips/internal/sched"
 	"lips/internal/sim"
 	"lips/internal/trace"
@@ -62,8 +65,17 @@ func main() {
 		traceFormat  = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (Perfetto)")
 		sampleEvery  = flag.Float64("sample-interval", 60, "simulated seconds between time-series samples (0 disables)")
 		traceTimings = flag.Bool("trace-timings", false, "include wall-clock LP timings in epoch events (machine-dependent)")
+
+		listen     = flag.String("listen", "", "serve /metrics, /progress, /healthz and /debug/pprof on this address (e.g. :8080)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	prof, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lips-sim:", err)
+		os.Exit(1)
+	}
 	cfg := config{
 		Cluster: *clusterKind, FracC1: *fracC1, Nodes: *nodes,
 		Workload: *wlKind, Jobs: *jobs, Tasks: *tasks,
@@ -75,8 +87,13 @@ func main() {
 		FaultSeed: *faultSeed,
 		TracePath: *tracePath, TraceFormat: *traceFormat,
 		SampleInterval: *sampleEvery, TraceTimings: *traceTimings,
+		Listen: *listen,
 	}
-	if err := runCfg(cfg); err != nil {
+	err = runCfg(cfg)
+	if perr := prof.Stop(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lips-sim:", err)
 		os.Exit(1)
 	}
@@ -110,6 +127,8 @@ type config struct {
 	TraceFormat    string
 	SampleInterval float64
 	TraceTimings   bool
+
+	Listen string
 }
 
 // run keeps the old positional signature for the tests.
@@ -182,6 +201,17 @@ func runCfg(cfg config) error {
 	if sink != nil {
 		opts.Tracer = sink
 		opts.SampleIntervalSec = cfg.SampleInterval
+	}
+	if cfg.Listen != "" {
+		reg := obs.NewRegistry()
+		srv, serr := obs.Serve(cfg.Listen, reg)
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: serving %s/metrics\n", srv.URL())
+		opts.Metrics = reg
+		opts.MetricsSampleSec = cfg.SampleInterval
 	}
 	if cfg.FaultCrashes > 0 || cfg.FaultStores > 0 || cfg.FaultSlowdowns > 0 {
 		fseed := cfg.FaultSeed

@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	lips-trace [-top 10] [-csv FILE] [-validate] trace.jsonl
+//	lips-trace [-top 10] [-csv FILE] [-validate] [-metrics] trace.jsonl
 //
-// -csv exports the sampled time series (cost by category, queue depth,
-// slot counts, locality mix) as CSV; -validate only schema-checks the
-// file and reports the event census.
+// -csv exports the sampled time series (cost by category in microcents,
+// queue depth, slot counts, locality mix) as CSV; -validate only
+// schema-checks the file and reports the event census; -metrics replays
+// the trace into the live metrics registry and prints the resulting
+// Prometheus text exposition — the same families a lips-sim -listen
+// scrape of that run would show.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"text/tabwriter"
 
 	"lips/internal/cost"
+	"lips/internal/obs"
 	"lips/internal/trace"
 )
 
@@ -29,18 +33,19 @@ func main() {
 	top := flag.Int("top", 10, "how many slowest tasks to list per run")
 	csvPath := flag.String("csv", "", "write the sampled time series as CSV to this file")
 	validate := flag.Bool("validate", false, "schema-check the trace and print the event census only")
+	metrics := flag.Bool("metrics", false, "replay the trace into the metrics registry and print the Prometheus exposition")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lips-trace [-top N] [-csv FILE] [-validate] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: lips-trace [-top N] [-csv FILE] [-validate] [-metrics] trace.jsonl")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, flag.Arg(0), *top, *csvPath, *validate); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), *top, *csvPath, *validate, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "lips-trace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, path string, top int, csvPath string, validateOnly bool) error {
+func run(out io.Writer, path string, top int, csvPath string, validateOnly, metricsOnly bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -52,6 +57,15 @@ func run(out io.Writer, path string, top int, csvPath string, validateOnly bool)
 	}
 	if len(events) == 0 {
 		return fmt.Errorf("%s: empty trace", path)
+	}
+
+	if metricsOnly {
+		reg := obs.NewRegistry()
+		sink := obs.NewTraceSink(reg)
+		for _, e := range events {
+			sink.Emit(e)
+		}
+		return reg.WriteProm(out)
 	}
 
 	if validateOnly {

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"strings"
 	"testing"
 
 	"lips/internal/trace"
 )
+
+// updateGolden rewrites testdata/metrics.golden from the current output:
+// go test ./cmd/lips-trace -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 // writeTrace writes a small synthetic run trace and returns its path.
 func writeTrace(t *testing.T) string {
@@ -50,7 +55,7 @@ func writeTrace(t *testing.T) string {
 func TestRunReport(t *testing.T) {
 	path := writeTrace(t)
 	var out strings.Builder
-	if err := run(&out, path, 5, "", false); err != nil {
+	if err := run(&out, path, 5, "", false, false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -80,7 +85,7 @@ func TestRunReport(t *testing.T) {
 func TestRunValidate(t *testing.T) {
 	path := writeTrace(t)
 	var out strings.Builder
-	if err := run(&out, path, 5, "", true); err != nil {
+	if err := run(&out, path, 5, "", true, false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -98,7 +103,7 @@ func TestRunCSV(t *testing.T) {
 	path := writeTrace(t)
 	csvPath := t.TempDir() + "/series.csv"
 	var out strings.Builder
-	if err := run(&out, path, 5, csvPath, false); err != nil {
+	if err := run(&out, path, 5, csvPath, false, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csvPath)
@@ -109,30 +114,55 @@ func TestRunCSV(t *testing.T) {
 	if len(lines) != 3 { // header + 2 samples
 		t.Fatalf("want 3 CSV lines, got %d:\n%s", len(lines), data)
 	}
-	if !strings.HasPrefix(lines[0], "t_sec,total_usd,") {
+	if !strings.HasPrefix(lines[0], "t_sec,total_uc,") {
 		t.Errorf("bad CSV header %q", lines[0])
 	}
-	if !strings.HasPrefix(lines[2], "800,0.002500,") {
+	if !strings.HasPrefix(lines[2], "800,250000,") {
 		t.Errorf("bad CSV row %q", lines[2])
 	}
 }
 
+// TestRunMetricsGolden pins the -metrics exposition byte-for-byte: the
+// replay sink pre-registers every family with its label children at zero,
+// and the exposition writer sorts families and series, so the output for a
+// fixed trace is fully deterministic.
+func TestRunMetricsGolden(t *testing.T) {
+	path := writeTrace(t)
+	var out strings.Builder
+	if err := run(&out, path, 5, "", false, true); err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.WriteFile("testdata/metrics.golden", []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile("testdata/metrics.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("-metrics exposition diverges from testdata/metrics.golden:\n got:\n%s\nwant:\n%s",
+			out.String(), golden)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(&strings.Builder{}, t.TempDir()+"/nope.jsonl", 5, "", false); err == nil {
+	if err := run(&strings.Builder{}, t.TempDir()+"/nope.jsonl", 5, "", false, false); err == nil {
 		t.Error("missing file accepted")
 	}
 	empty := t.TempDir() + "/empty.jsonl"
 	if err := os.WriteFile(empty, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&strings.Builder{}, empty, 5, "", false); err == nil {
+	if err := run(&strings.Builder{}, empty, 5, "", false, false); err == nil {
 		t.Error("empty trace accepted")
 	}
 	bad := t.TempDir() + "/bad.jsonl"
 	if err := os.WriteFile(bad, []byte("{\"t\":-1,\"kind\":\"done\"}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&strings.Builder{}, bad, 5, "", false); err == nil {
+	if err := run(&strings.Builder{}, bad, 5, "", false, false); err == nil {
 		t.Error("invalid event accepted")
 	}
 }

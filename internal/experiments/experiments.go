@@ -13,6 +13,7 @@ import (
 	"text/tabwriter"
 
 	"lips/internal/lp"
+	"lips/internal/obs"
 	"lips/internal/sched"
 	"lips/internal/sim"
 	"lips/internal/trace"
@@ -59,6 +60,10 @@ type Config struct {
 	// SampleIntervalSec sets the time-series sampling interval of traced
 	// runs (sim.Options.SampleIntervalSec). 0 disables sampling.
 	SampleIntervalSec float64
+	// Metrics, when non-nil, receives live metrics from every simulation
+	// the experiments execute (sim.Options.Metrics) — typically the
+	// registry behind a lips-bench -listen server. Nil disables metrics.
+	Metrics *obs.Registry
 }
 
 // simOptions decorates a run's simulator options with the suite's
@@ -69,6 +74,7 @@ func (c Config) simOptions(o sim.Options, label string) sim.Options {
 		o.SampleIntervalSec = c.SampleIntervalSec
 		o.TraceLabel = label
 	}
+	o.Metrics = c.Metrics
 	return o
 }
 

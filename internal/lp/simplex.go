@@ -10,8 +10,9 @@ import (
 // debugSimplex enables iteration tracing via LIPS_LP_DEBUG=1.
 var debugSimplex = os.Getenv("LIPS_LP_DEBUG") == "1"
 
-// Solve runs the two-phase bounded-variable revised simplex method and
-// returns the solution. The receiver is not modified and may be reused.
+// solve is the uninstrumented core of Solve (obs.go): the two-phase
+// bounded-variable revised simplex method. The receiver is not modified
+// and may be reused.
 //
 // The method maintains a sparse LU factorization of the basis (Markowitz
 // pivot ordering, product-form eta updates, periodic refactorisation from
@@ -22,7 +23,7 @@ var debugSimplex = os.Getenv("LIPS_LP_DEBUG") == "1"
 // pivoting rule — including bound flips — so no extra rows are created for
 // them. Infeasibility of the initial slack basis is repaired by per-row
 // artificial variables minimised in phase 1.
-func (p *Problem) Solve(opts Options) (*Solution, error) {
+func (p *Problem) solve(opts Options) (*Solution, error) {
 	m := len(p.cons)
 	n := len(p.vars)
 	opts = opts.withDefaults(m, n)

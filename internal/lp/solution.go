@@ -3,6 +3,8 @@ package lp
 import (
 	"fmt"
 	"time"
+
+	"lips/internal/obs"
 )
 
 // Status reports the outcome of a solve.
@@ -150,6 +152,11 @@ type Options struct {
 	// unreduced problem cannot seed the reduced one. PresolveOff disables
 	// it entirely.
 	Presolve PresolveMode
+	// Metrics, when non-nil, publishes per-solve statistics (iteration,
+	// refactorization and presolve counters, wall-clock phase timings)
+	// into the registry's lips_lp_* families. Nil costs nothing: the
+	// solver takes the instrumented path only when set.
+	Metrics *obs.Registry
 }
 
 // FactorMode selects the representation of the basis inverse.

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WriteProm renders every family in the Prometheus text exposition
+// format (version 0.0.4): a # HELP and # TYPE line per family, then one
+// sample line per child, families and label values in sorted order so
+// the output is deterministic for a given registry state.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.kids))
+		for k := range f.kids {
+			keys = append(keys, k)
+		}
+		kids := make([]interface{}, len(keys))
+		sort.Strings(keys)
+		for i, k := range keys {
+			kids[i] = f.kids[k]
+		}
+		f.mu.Unlock()
+		for i, k := range keys {
+			if err := writeChild(w, f, k, kids[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeChild renders one child's sample lines.
+func writeChild(w io.Writer, f *family, labelValue string, m interface{}) error {
+	switch v := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f, labelValue, ""), formatVal(v.Value()))
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f, labelValue, ""), formatVal(v.Value()))
+		return err
+	case *Histogram:
+		cum := uint64(0)
+		for i, upper := range v.upper {
+			cum += v.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(f, labelValue, formatVal(upper)), cum); err != nil {
+				return err
+			}
+		}
+		cum += v.counts[len(v.upper)].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(f, labelValue, "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", f.name, formatVal(v.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count %d\n", f.name, v.Count())
+		return err
+	}
+	return nil
+}
+
+// seriesName builds `name{label="value"}`, `name_bucket{le="..."}` and
+// the combined forms for labeled histograms.
+func seriesName(f *family, labelValue, le string) string {
+	name := f.name
+	var labels []string
+	if le != "" {
+		name += "_bucket"
+		labels = append(labels, `le="`+le+`"`)
+	}
+	if f.labelKey != "" {
+		labels = append([]string{f.labelKey + `="` + escapeLabel.Replace(labelValue) + `"`}, labels...)
+	}
+	if len(labels) == 0 {
+		return name
+	}
+	out := name + "{" + labels[0]
+	for _, l := range labels[1:] {
+		out += "," + l
+	}
+	return out + "}"
+}
+
+// formatVal renders a sample value: integers without an exponent, +Inf
+// as Prometheus spells it.
+func formatVal(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteProm pins the exposition format byte-for-byte: HELP/TYPE
+// preamble, sorted families, sorted label values, cumulative histogram
+// buckets with the implicit +Inf, and _sum/_count trailers.
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("b_gauge", "A gauge.").Set(2.5)
+	r.Counter("a_total", "A counter.").Add(3)
+	v := r.CounterVec("c_total", "A labeled counter.", "kind")
+	v.With("y").Add(2)
+	v.With("x").Inc()
+	v.With(`q"uo\te` + "\n").Inc()
+	h := r.Histogram("d_seconds", "A histogram.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_total A counter.
+# TYPE a_total counter
+a_total 3
+# HELP b_gauge A gauge.
+# TYPE b_gauge gauge
+b_gauge 2.5
+# HELP c_total A labeled counter.
+# TYPE c_total counter
+c_total{kind="q\"uo\\te\n"} 1
+c_total{kind="x"} 1
+c_total{kind="y"} 2
+# HELP d_seconds A histogram.
+# TYPE d_seconds histogram
+d_seconds_bucket{le="0.1"} 1
+d_seconds_bucket{le="1"} 2
+d_seconds_bucket{le="+Inf"} 3
+d_seconds_sum 10.55
+d_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	RegisterSim(reg)
+	reg.Gauge(MSchedEpochNumber, "help").Set(3)
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.Contains(srv.URL(), "http://127.0.0.1:") {
+		t.Fatalf("unexpected URL %q", srv.URL())
+	}
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	if code, body, _ := get("/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != 200 {
+		t.Errorf("/metrics = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ctype)
+	}
+	for _, fam := range []string{
+		"# TYPE " + MSimDone + " counter",
+		MSimCost + `{category="cpu"} 0`,
+		MSimTasks + `{state="running"} 0`,
+	} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("/metrics missing %q:\n%s", fam, body)
+		}
+	}
+
+	code, body, ctype = get("/progress")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/progress = %d, Content-Type %q", code, ctype)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/progress JSON: %v\n%s", err, body)
+	}
+	if p.Epoch != 3 {
+		t.Errorf("/progress epoch = %d, want 3", p.Epoch)
+	}
+
+	if code, body, _ := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d, %d bytes", code, len(body))
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", NewRegistry()); err == nil {
+		t.Error("bad address accepted")
+	}
+}

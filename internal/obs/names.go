@@ -1,0 +1,173 @@
+package obs
+
+// Metric families, one vocabulary for the live instrumentation
+// (internal/sim, internal/sched, internal/lp) and the offline trace
+// replay sink (TraceSink), so a Prometheus scrape of a running
+// simulation and `lips-trace -metrics` over its JSONL trace line up.
+// Naming scheme (documented in DESIGN.md par.10): lips_<layer>_<what>,
+// base units (seconds, microcents, megabytes), counters suffixed _total.
+const (
+	// Simulator layer: task lifecycle counters, sampled state gauges,
+	// per-category cost counters.
+	MSimClockSeconds    = "lips_sim_clock_seconds"
+	MSimTasks           = "lips_sim_tasks"
+	MSimFreeSlots       = "lips_sim_free_slots"
+	MSimLiveSlots       = "lips_sim_live_slots"
+	MSimBusySlotSeconds = "lips_sim_busy_slot_seconds"
+	MSimCost            = "lips_sim_cost_microcents_total"
+	MSimEnqueued        = "lips_sim_tasks_enqueued_total"
+	MSimLaunched        = "lips_sim_tasks_launched_total"
+	MSimDone            = "lips_sim_tasks_done_total"
+	MSimKilled          = "lips_sim_tasks_killed_total"
+	MSimMoves           = "lips_sim_blocks_moved_total"
+	MSimMovedMB         = "lips_sim_moved_megabytes_total"
+	MSimFaults          = "lips_sim_faults_injected_total"
+
+	// Scheduler layer (LiPS epochs).
+	MSchedEpochs       = "lips_sched_epochs_total"
+	MSchedEpochNumber  = "lips_sched_epoch_number"
+	MSchedDeferred     = "lips_sched_deferred_tasks"
+	MSchedWarmOffers   = "lips_sched_warm_start_offers_total"
+	MSchedWarmHits     = "lips_sched_warm_start_hits_total"
+	MSchedLaunched     = "lips_sched_tasks_launched_total"
+	MSchedIters        = "lips_sched_epoch_iterations"
+	MSchedSolveSeconds = "lips_sched_epoch_solve_seconds"
+
+	// LP solver layer.
+	MLPSolves          = "lips_lp_solves_total"
+	MLPIters           = "lips_lp_iterations_total"
+	MLPPhase1          = "lips_lp_phase1_iterations_total"
+	MLPWarmStarts      = "lips_lp_warm_starts_total"
+	MLPRefactor        = "lips_lp_refactorizations_total"
+	MLPPresolveRows    = "lips_lp_presolve_rows_removed_total"
+	MLPPresolveCols    = "lips_lp_presolve_cols_removed_total"
+	MLPSolveSeconds    = "lips_lp_solve_seconds_total"
+	MLPPricingSeconds  = "lips_lp_pricing_seconds_total"
+	MLPFactorSeconds   = "lips_lp_factor_seconds_total"
+	MLPPresolveSeconds = "lips_lp_presolve_seconds_total"
+	MLPPricingWorkers  = "lips_lp_pricing_workers"
+)
+
+// Label vocabularies, pre-registered so expositions show every series
+// at zero from the first scrape (and so the trace replay registers the
+// identical family shapes).
+var (
+	// CostCategories mirrors internal/cost's Category values.
+	CostCategories = []string{"cpu", "transfer", "placement", "speculative", "fault"}
+	// Localities mirrors internal/metrics Locality.String values.
+	Localities = []string{"node-local", "zone-local", "remote", "no-input"}
+	// TaskStates mirrors internal/sim's TaskState lifecycle.
+	TaskStates = []string{"pending", "queued", "running", "done"}
+	// KillReasons are the simulator's traceKill reason strings.
+	KillReasons = []string{"timeout", "speculative", "preempt", "dequeue", "node-crash", "store-loss"}
+	// MoveReasons are the simulator's block-relocation reasons.
+	MoveReasons = []string{"plan", "re-replicate", "re-materialize"}
+	// FaultKinds mirrors internal/sim FaultKind.String values.
+	FaultKinds = []string{"node-down", "node-up", "store-loss", "slowdown"}
+)
+
+// SimMetrics bundles the simulator's metric handles. Counters are exact
+// (bumped at the same chokepoints that emit trace events and ledger
+// charges); the gauges are refreshed on the simulated-time sampling
+// cadence and so lag by at most one interval.
+type SimMetrics struct {
+	Clock, BusySlot, FreeSlots, LiveSlots *Gauge
+	Tasks                                 *GaugeVec // by state
+	Enqueued, Done, MovedMB               *Counter
+	Cost                                  map[string]*Counter // by category
+	Launched                              map[string]*Counter // by locality
+	Killed, Moves, Faults                 *CounterVec         // by reason / reason / kind
+}
+
+// RegisterSim registers (or fetches) the simulator families.
+func RegisterSim(r *Registry) *SimMetrics {
+	m := &SimMetrics{
+		Clock:     r.Gauge(MSimClockSeconds, "Simulated clock at the last gauge refresh, in seconds."),
+		BusySlot:  r.Gauge(MSimBusySlotSeconds, "Cumulative busy slot-seconds at the last gauge refresh."),
+		FreeSlots: r.Gauge(MSimFreeSlots, "Free task slots on live nodes at the last gauge refresh."),
+		LiveSlots: r.Gauge(MSimLiveSlots, "Total task slots on live nodes at the last gauge refresh."),
+		Tasks:     r.GaugeVec(MSimTasks, "Tasks of arrived jobs by lifecycle state at the last gauge refresh.", "state"),
+		Enqueued:  r.Counter(MSimEnqueued, "Tasks pinned to a node queue."),
+		Done:      r.Counter(MSimDone, "Task completions."),
+		MovedMB:   r.Counter(MSimMovedMB, "Megabytes relocated between stores."),
+		Cost:      make(map[string]*Counter, len(CostCategories)),
+		Launched:  make(map[string]*Counter, len(Localities)),
+		Killed:    r.CounterVec(MSimKilled, "Attempts killed, by reason.", "reason"),
+		Moves:     r.CounterVec(MSimMoves, "Blocks relocated between stores, by reason.", "reason"),
+		Faults:    r.CounterVec(MSimFaults, "Injected faults, by kind.", "kind"),
+	}
+	costVec := r.CounterVec(MSimCost, "Ledger charges in exact microcents, by category.", "category")
+	for _, c := range CostCategories {
+		m.Cost[c] = costVec.With(c)
+	}
+	launchVec := r.CounterVec(MSimLaunched, "Attempt launches, by input locality.", "locality")
+	for _, l := range Localities {
+		m.Launched[l] = launchVec.With(l)
+	}
+	for _, s := range TaskStates {
+		m.Tasks.With(s)
+	}
+	for _, k := range KillReasons {
+		m.Killed.With(k)
+	}
+	for _, k := range MoveReasons {
+		m.Moves.With(k)
+	}
+	for _, k := range FaultKinds {
+		m.Faults.With(k)
+	}
+	return m
+}
+
+// SchedMetrics bundles the LiPS epoch-loop handles.
+type SchedMetrics struct {
+	Epochs, WarmOffers, WarmHits, Launched *Counter
+	EpochNumber, Deferred                  *Gauge
+	Iterations, SolveSeconds               *Histogram
+}
+
+// RegisterSched registers (or fetches) the scheduler families.
+func RegisterSched(r *Registry) *SchedMetrics {
+	return &SchedMetrics{
+		Epochs:      r.Counter(MSchedEpochs, "Scheduling epochs with queued work (LP solves attempted)."),
+		WarmOffers:  r.Counter(MSchedWarmOffers, "Epoch solves offered the previous epoch's basis."),
+		WarmHits:    r.Counter(MSchedWarmHits, "Epoch solves that accepted the warm-start basis."),
+		Launched:    r.Counter(MSchedLaunched, "Tasks enqueued by epoch plans."),
+		EpochNumber: r.Gauge(MSchedEpochNumber, "Number of the most recent scheduling epoch."),
+		Deferred:    r.Gauge(MSchedDeferred, "Tasks the last epoch's LP parked on the fake overflow node."),
+		Iterations: r.Histogram(MSchedIters, "Simplex iterations per epoch solve.",
+			[]float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}),
+		SolveSeconds: r.Histogram(MSchedSolveSeconds, "Wall-clock seconds per epoch LP solve (machine-dependent).",
+			// 100µs … 10s in half-decade steps.
+			[]float64{1e-4, 3.16e-4, 1e-3, 3.16e-3, 0.01, 0.0316, 0.1, 0.316, 1, 3.16, 10}),
+	}
+}
+
+// LPMetrics bundles the simplex-solver handles. Pricing-worker
+// utilization is derivable as
+// lips_lp_pricing_seconds_total / (lips_lp_solve_seconds_total · lips_lp_pricing_workers).
+type LPMetrics struct {
+	Solves, Iterations, Phase1, WarmStarts       *Counter
+	Refactorizations, PresolveRows, PresolveCols *Counter
+	SolveSeconds, PricingSeconds, FactorSeconds  *Counter
+	PresolveSeconds                              *Counter
+	PricingWorkers                               *Gauge
+}
+
+// RegisterLP registers (or fetches) the LP solver families.
+func RegisterLP(r *Registry) *LPMetrics {
+	return &LPMetrics{
+		Solves:           r.Counter(MLPSolves, "LP solves."),
+		Iterations:       r.Counter(MLPIters, "Simplex iterations across all solves (both phases)."),
+		Phase1:           r.Counter(MLPPhase1, "Phase-1 simplex iterations across all solves."),
+		WarmStarts:       r.Counter(MLPWarmStarts, "Solves that accepted a warm-start basis."),
+		Refactorizations: r.Counter(MLPRefactor, "From-scratch basis factorizations."),
+		PresolveRows:     r.Counter(MLPPresolveRows, "Constraint rows removed by presolve."),
+		PresolveCols:     r.Counter(MLPPresolveCols, "Columns removed by presolve."),
+		SolveSeconds:     r.Counter(MLPSolveSeconds, "Wall-clock seconds inside Problem.Solve."),
+		PricingSeconds:   r.Counter(MLPPricingSeconds, "Wall-clock seconds in the pricing step."),
+		FactorSeconds:    r.Counter(MLPFactorSeconds, "Wall-clock seconds factorizing and solving with the basis (FTRAN/BTRAN included)."),
+		PresolveSeconds:  r.Counter(MLPPresolveSeconds, "Wall-clock seconds in presolve and postsolve."),
+		PricingWorkers:   r.Gauge(MLPPricingWorkers, "Configured parallel pricing workers of the last solve (1 = sequential)."),
+	}
+}

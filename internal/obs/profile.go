@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles owns a command's -cpuprofile/-memprofile lifecycle: start the
+// CPU profile up front, write the heap profile at Stop. One shared
+// implementation for lips-sim, lips-bench and lips-lp.
+type Profiles struct {
+	cpu     *os.File
+	memPath string
+}
+
+// StartProfiles begins a CPU profile to cpuPath (when non-empty) and
+// remembers memPath for Stop. Empty paths disable the respective
+// profile; StartProfiles("", "") returns a no-op handle.
+func StartProfiles(cpuPath, memPath string) (*Profiles, error) {
+	p := &Profiles{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// Stop flushes the CPU profile and writes the heap profile (after a GC,
+// so the numbers reflect live memory). Call it before os.Exit — deferred
+// calls do not run past Exit.
+func (p *Profiles) Stop() error {
+	var first error
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			first = err
+		}
+		p.cpu = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			return first
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+			first = fmt.Errorf("heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.memPath = ""
+	}
+	return first
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"lips/internal/trace"
+)
+
+// TestProgressMatchesSamplerCSV pins the field-name and unit agreement
+// between the /progress JSON snapshot and the trace Sampler's CSV export:
+// the first len(CSVHeader) json tags of Progress must be exactly the CSV
+// columns, in order. A divergence means a dashboard reading one would
+// misread the other.
+func TestProgressMatchesSamplerCSV(t *testing.T) {
+	cols := strings.Split(trace.CSVHeader, ",")
+	typ := reflect.TypeOf(Progress{})
+	if typ.NumField() < len(cols) {
+		t.Fatalf("Progress has %d fields, CSV has %d columns", typ.NumField(), len(cols))
+	}
+	for i, col := range cols {
+		if tag := typ.Field(i).Tag.Get("json"); tag != col {
+			t.Errorf("Progress field %d json tag = %q, want CSV column %q", i, tag, col)
+		}
+	}
+}
+
+func TestSnapshotReadsRegistry(t *testing.T) {
+	reg := NewRegistry()
+	m := RegisterSim(reg)
+	m.Clock.Set(120)
+	m.Cost["cpu"].Add(1e8)
+	m.Cost["transfer"].Add(5e7)
+	m.Tasks.With("running").Set(4)
+	m.FreeSlots.Set(2)
+	m.LiveSlots.Set(8)
+	m.BusySlot.Set(90)
+	m.Launched["node-local"].Add(6)
+	m.Faults.With("node-down").Inc()
+	sched := RegisterSched(reg)
+	sched.EpochNumber.Set(2)
+	sched.Deferred.Set(5)
+
+	p := Snapshot(reg)
+	want := Progress{
+		TSec: 120, TotalUC: 150000000, CPUUC: 100000000, TransferUC: 50000000,
+		Running: 4, FreeSlots: 2, LiveSlots: 8, BusySlotSec: 90,
+		NodeLocal: 6, Epoch: 2, DeferredTasks: 5, FaultsInjected: 1,
+	}
+	if p != want {
+		t.Errorf("Snapshot = %+v, want %+v", p, want)
+	}
+}
+
+func TestSnapshotEmptyRegistry(t *testing.T) {
+	if p := Snapshot(NewRegistry()); p != (Progress{}) {
+		t.Errorf("empty registry snapshot = %+v, want zero", p)
+	}
+}

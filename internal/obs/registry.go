@@ -1,0 +1,341 @@
+// Package obs is the live-observability layer: a concurrency-safe metrics
+// registry (counters, gauges, fixed-bucket histograms, single-label
+// families) with a Prometheus text-format exposition writer, an
+// embeddable HTTP server (/metrics, /healthz, /progress, /debug/pprof/*)
+// and a trace-replay sink that rebuilds the same metric families from an
+// offline JSONL trace, so live scrapes and post-hoc traces share one
+// vocabulary.
+//
+// All metric values are atomics: the simulator (single goroutine) mutates
+// them while HTTP scrapes read concurrently, without locks on the hot
+// path. Family registration takes the registry lock, so register handles
+// once (at run setup) and mutate through the returned pointers.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 with atomic add/set via its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) add(v float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) set(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat) load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ f atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.f.add(1) }
+
+// Add increases the counter. Negative deltas are a programmer error and
+// panic: counters only go up.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic(fmt.Sprintf("obs: counter decreased by %g", v))
+	}
+	c.f.add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.f.load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ f atomicFloat }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.f.set(v) }
+
+// Add shifts the value.
+func (g *Gauge) Add(v float64) { g.f.add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.f.load() }
+
+// Histogram counts observations into fixed cumulative buckets. Buckets
+// are upper bounds (le), ascending; an implicit +Inf bucket catches the
+// overflow. Observations are lock-free; concurrent readers may see a
+// momentarily torn (sum, count) pair, which is acceptable for scraping.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Uint64 // len(upper)+1; last is the +Inf overflow
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// linear interpolation inside the containing bucket — the same estimate
+// Prometheus's histogram_quantile computes. Observations in the +Inf
+// overflow bucket clamp to the highest finite bound. Returns NaN when
+// empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.upper) { // overflow bucket
+				if len(h.upper) == 0 {
+					return math.NaN()
+				}
+				return h.upper[len(h.upper)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			hi := h.upper[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// ExpBuckets returns n bucket bounds starting at start, each factor times
+// the previous — the usual latency-histogram shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// metricType is the exposition TYPE of a family.
+type metricType int
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	case histogramType:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one named metric with zero or one label dimension.
+type family struct {
+	name, help string
+	typ        metricType
+	labelKey   string // "" for a plain (single-child) metric
+	buckets    []float64
+
+	mu   sync.Mutex
+	kids map[string]interface{} // label value ("" when plain) → metric
+}
+
+// child returns (creating on first use) the metric for one label value.
+func (f *family) child(labelValue string) interface{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.kids[labelValue]
+	if m == nil {
+		switch f.typ {
+		case counterType:
+			m = &Counter{}
+		case gaugeType:
+			m = &Gauge{}
+		case histogramType:
+			h := &Histogram{upper: f.buckets}
+			h.counts = make([]atomic.Uint64, len(f.buckets)+1)
+			m = h
+		}
+		f.kids[labelValue] = m
+	}
+	return m
+}
+
+// CounterVec is a counter family keyed by one label.
+type CounterVec struct{ f *family }
+
+// With returns the counter for one label value, creating it on first use.
+// Cache the result on hot paths: With takes the family lock.
+func (v *CounterVec) With(labelValue string) *Counter {
+	return v.f.child(labelValue).(*Counter)
+}
+
+// GaugeVec is a gauge family keyed by one label.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for one label value, creating it on first use.
+func (v *GaugeVec) With(labelValue string) *Gauge {
+	return v.f.child(labelValue).(*Gauge)
+}
+
+// Registry holds metric families. Safe for concurrent registration,
+// mutation and scraping.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+// family registers (or fetches) a family, panicking on a name reuse with
+// a different shape — a programmer error, not a runtime condition.
+func (r *Registry) family(name, help string, typ metricType, labelKey string, buckets []float64) *family {
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		f = r.fams[name]
+		if f == nil {
+			f = &family{
+				name: name, help: help, typ: typ, labelKey: labelKey,
+				buckets: buckets, kids: make(map[string]interface{}),
+			}
+			r.fams[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ || f.labelKey != labelKey {
+		panic(fmt.Sprintf("obs: %s re-registered as %v label=%q (was %v label=%q)",
+			name, typ, labelKey, f.typ, f.labelKey))
+	}
+	return f
+}
+
+// Counter registers (or fetches) a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, counterType, "", nil).child("").(*Counter)
+}
+
+// CounterVec registers (or fetches) a one-label counter family.
+func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {
+	return &CounterVec{r.family(name, help, counterType, labelKey, nil)}
+}
+
+// Gauge registers (or fetches) a plain gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, gaugeType, "", nil).child("").(*Gauge)
+}
+
+// GaugeVec registers (or fetches) a one-label gauge family.
+func (r *Registry) GaugeVec(name, help, labelKey string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, gaugeType, labelKey, nil)}
+}
+
+// Histogram registers (or fetches) a plain histogram with the given
+// ascending bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("obs: %s: buckets not ascending", name))
+	}
+	return r.family(name, help, histogramType, "", buckets).child("").(*Histogram)
+}
+
+// Value reads one metric's current value: counters and gauges return
+// their value, histograms their observation count. labelValue selects the
+// child of a labeled family (omit for plain metrics). The second result
+// is false when the family or child does not exist.
+func (r *Registry) Value(name string, labelValue ...string) (float64, bool) {
+	lv := ""
+	if len(labelValue) > 0 {
+		lv = labelValue[0]
+	}
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return 0, false
+	}
+	f.mu.Lock()
+	m := f.kids[lv]
+	f.mu.Unlock()
+	if m == nil {
+		return 0, false
+	}
+	return metricValue(m), true
+}
+
+// Sum totals every child of a family — e.g. the total of a by-category
+// cost counter. Missing families sum to zero.
+func (r *Registry) Sum(name string) float64 {
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := 0.0
+	for _, m := range f.kids {
+		total += metricValue(m)
+	}
+	return total
+}
+
+func metricValue(m interface{}) float64 {
+	switch v := m.(type) {
+	case *Counter:
+		return v.Value()
+	case *Gauge:
+		return v.Value()
+	case *Histogram:
+		return float64(v.Count())
+	}
+	return 0
+}
+
+// escapeLabel escapes a label value for the exposition format.
+var escapeLabel = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)

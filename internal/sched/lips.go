@@ -11,6 +11,7 @@ import (
 	"lips/internal/hdfs"
 	"lips/internal/lp"
 	"lips/internal/metrics"
+	"lips/internal/obs"
 	"lips/internal/sim"
 	"lips/internal/trace"
 	"lips/internal/workload"
@@ -68,6 +69,9 @@ type LiPS struct {
 	rrStore     map[int]int
 	prevBasis   *lp.Basis // last epoch's optimal basis (warm-start seed)
 	topoChanged bool      // a node went down or up since the last solve
+
+	om    *obs.SchedMetrics // live epoch metrics; nil when metrics are off
+	lpReg *obs.Registry     // passed to each solve via lp.Options.Metrics
 }
 
 // NewLiPS returns a LiPS scheduler with the given epoch length (0 selects
@@ -99,6 +103,15 @@ func (l *LiPS) Init(s *sim.Sim) {
 	l.topoChanged = false
 	l.rrNode = make(map[int]int)
 	l.rrStore = make(map[int]int)
+	if reg := s.Registry(); reg != nil {
+		// Register the LP families too, so the first scrape lists them
+		// even before the first epoch solves.
+		l.om = obs.RegisterSched(reg)
+		l.lpReg = reg
+		obs.RegisterLP(reg)
+	} else {
+		l.om, l.lpReg = nil, nil
+	}
 	s.At(0, func() { l.tick(s) })
 }
 
@@ -226,6 +239,7 @@ func (l *LiPS) planEpoch(s *sim.Sim, queued []int) int {
 		return 0
 	}
 	opts := l.LPOpts
+	opts.Metrics = l.lpReg
 	if l.topoChanged {
 		// Nodes came or went since the basis was saved; its columns no
 		// longer line up with this epoch's LP.
@@ -252,13 +266,27 @@ func (l *LiPS) planEpoch(s *sim.Sim, queued []int) int {
 	if l.WarmStart {
 		l.prevBasis = plan.Basis
 	}
+	pending := 0
+	for _, p := range pendingOf {
+		pending += len(p)
+	}
 	blocksBefore := l.BlocksMoved
 	launched := l.apply(s, in, plan.Round(), queued, pendingOf)
-	if tr := s.Tracer(); tr.Enabled() {
-		pending := 0
-		for _, p := range pendingOf {
-			pending += len(p)
+	if l.om != nil {
+		l.om.Epochs.Inc()
+		l.om.EpochNumber.Set(float64(l.Epochs))
+		l.om.SolveSeconds.Observe(elapsed.Seconds())
+		l.om.Iterations.Observe(float64(plan.Iters))
+		if opts.WarmStart != nil {
+			l.om.WarmOffers.Inc()
+			if plan.WarmStarted {
+				l.om.WarmHits.Inc()
+			}
 		}
+		l.om.Launched.Add(float64(launched))
+		l.om.Deferred.Set(float64(pending - launched))
+	}
+	if tr := s.Tracer(); tr.Enabled() {
 		info := &trace.EpochInfo{
 			Scheduler: l.Name(), Epoch: l.Epochs,
 			Jobs: len(queued), Pending: pending,

@@ -166,7 +166,7 @@ func RandomFaultPlan(seed int64, c *cluster.Cluster, spec FaultSpec) *FaultPlan 
 
 // inject dispatches one fault at its scheduled time.
 func (s *Sim) inject(f Fault) {
-	s.traceFault(f)
+	s.noteFault(f)
 	switch f.Kind {
 	case FaultNodeDown:
 		s.crashNode(f.Node)
@@ -257,12 +257,12 @@ func (s *Sim) failAttempt(job, task int, freeSlot bool, reason string) {
 	var billed cost.Money
 	if burned > 0 {
 		billed = cost.CPUCost(ti.price, burned)
-		s.Ledger.Charge(cost.CatFault, s.W.Jobs[job].Name, billed)
+		s.charge(cost.CatFault, s.W.Jobs[job].Name, billed)
 	}
 	ti.gen++
 	ti.state = Pending
 	s.Faults.TasksReexecuted++
-	s.traceKill(job, task, n, reason, billed, false)
+	s.noteKill(job, task, n, reason, billed, false)
 	if freeSlot {
 		s.nodes[n].free++
 		s.dispatch(n)
@@ -288,9 +288,9 @@ func (s *Sim) loseStore(st cluster.StoreID) {
 		s.P.AddReplica(br.Object, br.Block, dst)
 		mb := s.P.Object(br.Object).BlockSizeMB(br.Block)
 		billed := s.C.SSPerGB(src, dst).MulFloat(mb / 1024)
-		s.Ledger.Charge(cost.CatFault, "", billed)
+		s.charge(cost.CatFault, "", billed)
 		s.Faults.BlocksReplicated++
-		s.traceMove(int(br.Object), br.Block, src, dst, mb, 0, billed, "re-replicate")
+		s.noteMove(int(br.Object), br.Block, src, dst, mb, 0, billed, "re-replicate")
 	}
 	for _, br := range lost {
 		obj := s.P.Object(br.Object)
@@ -304,10 +304,10 @@ func (s *Sim) loseStore(st cluster.StoreID) {
 		s.P.SetPrimary(br.Object, br.Block, dst)
 		mb := obj.BlockSizeMB(br.Block)
 		billed := s.C.SSPerGB(st, dst).MulFloat(mb / 1024)
-		s.Ledger.Charge(cost.CatFault, "", billed)
+		s.charge(cost.CatFault, "", billed)
 		s.Faults.BlocksLost++
 		s.Faults.BlocksReplicated++
-		s.traceMove(int(br.Object), br.Block, st, dst, mb, 0, billed, "re-materialize")
+		s.noteMove(int(br.Object), br.Block, st, dst, mb, 0, billed, "re-materialize")
 	}
 	// Kill attempts whose input read from the lost store is still in
 	// progress; attempts past their transfer phase already hold the data.

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"lips/internal/cost"
+	"lips/internal/metrics"
+	"lips/internal/obs"
+	"lips/internal/trace"
+)
+
+// Live metrics plumbing. Mirrors the tracing discipline in trace.go:
+// s.om is nil when Options.Metrics is unset, every helper starts with
+// that single pointer check, and no payload is built before the guard
+// passes — so the disabled path costs one branch per call site and
+// allocates nothing (TestNoObsNoAllocs, plus the simulator throughput
+// gate in scripts/perfsmoke.sh).
+
+// simMetrics caches the metric handles the hot path bumps, with the
+// label children resolved up front (obs vec lookups take a lock).
+type simMetrics struct {
+	m        *obs.SimMetrics
+	launched [4]*obs.Counter // by metrics.Locality
+	cost     map[cost.Category]*obs.Counter
+	states   [4]*obs.Gauge // by TaskState
+}
+
+func newSimMetrics(reg *obs.Registry) *simMetrics {
+	om := &simMetrics{m: obs.RegisterSim(reg), cost: make(map[cost.Category]*obs.Counter)}
+	for loc := metrics.NodeLocal; loc <= metrics.NoInput; loc++ {
+		om.launched[loc] = om.m.Launched[loc.String()]
+	}
+	for _, cat := range []cost.Category{cost.CatCPU, cost.CatTransfer,
+		cost.CatPlacement, cost.CatSpeculative, cost.CatFault} {
+		om.cost[cat] = om.m.Cost[string(cat)]
+	}
+	for i, st := range []string{"pending", "queued", "running", "done"} {
+		om.states[i] = om.m.Tasks.With(st)
+	}
+	return om
+}
+
+// Registry returns the run's live metrics registry, nil when metrics are
+// disabled — schedulers register their own families through it (e.g.
+// LiPS epoch histograms in Init).
+func (s *Sim) Registry() *obs.Registry { return s.opts.Metrics }
+
+// charge bills the ledger and mirrors the amount into the live
+// per-category cost counters, keeping the two in exact agreement.
+func (s *Sim) charge(cat cost.Category, job string, amount cost.Money) {
+	s.Ledger.Charge(cat, job, amount)
+	if s.om != nil {
+		s.om.cost[cat].Add(float64(amount))
+	}
+}
+
+// setSampleGauges publishes one snapshot's task-state and slot numbers.
+// emitSample calls it with the scan it just traced (so a sample event
+// and the gauges at the same timestamp agree exactly); obsRefresh calls
+// it when the run samples on a different cadence or not at all.
+func (s *Sim) setSampleGauges(info *trace.SampleInfo) {
+	if s.om == nil {
+		return
+	}
+	s.om.m.Clock.Set(s.clock)
+	s.om.m.BusySlot.Set(s.busySlotSec)
+	s.om.m.FreeSlots.Set(float64(info.FreeSlots))
+	s.om.m.LiveSlots.Set(float64(info.LiveSlots))
+	s.om.states[Pending].Set(float64(info.Pending))
+	s.om.states[Queued].Set(float64(info.Queued))
+	s.om.states[Running].Set(float64(info.Running))
+	s.om.states[Done].Set(float64(info.Done))
+}
+
+// obsRefresh re-derives the sampled gauges from simulator state.
+func (s *Sim) obsRefresh() {
+	if s.om == nil {
+		return
+	}
+	var info trace.SampleInfo
+	s.scanSample(&info)
+	s.setSampleGauges(&info)
+}
+
+// scheduleObsRefresh arms the periodic gauge refresh on the same
+// simulated-time cadence (and stopping rule) as scheduleSample.
+func (s *Sim) scheduleObsRefresh(intervalSec float64) {
+	s.At(s.clock+intervalSec, func() {
+		s.obsRefresh()
+		if s.remaining > 0 {
+			s.scheduleObsRefresh(intervalSec)
+		}
+	})
+}

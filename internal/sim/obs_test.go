@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+
+	"lips/internal/cost"
+	"lips/internal/metrics"
+	"lips/internal/obs"
+)
+
+// TestNoObsNoAllocs pins the disabled-path contract, mirroring
+// TestNopTracerNoAllocs in internal/trace: with Options.Metrics unset,
+// every lifecycle chokepoint is a nil check plus the trace guard and
+// allocates nothing.
+func TestNoObsNoAllocs(t *testing.T) {
+	s := New(oneNodeCluster(), twoTaskJob(), nil, greedyStub(), Options{})
+	if s.om != nil {
+		t.Fatal("om set without Options.Metrics")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.noteEnqueue(0, 0, 0, 0, 0)
+		s.noteLaunch(0, 0, 1, 0, 0, metrics.NodeLocal, false)
+		s.noteDone(0, 0, 1, 0, 0, 1, 0, 1, 0, false)
+		s.noteKill(0, 0, 0, "timeout", 0, false)
+		s.noteMove(0, 0, 0, 0, 64, 1, 0, "plan")
+		s.charge(cost.CatCPU, "j", 0)
+		s.obsRefresh()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled obs path allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestLiveMetricsMatchRun runs a workload with a live registry and checks
+// the scraped values against the run's own result: lifecycle counters and
+// cost counters are exact, final gauges land on the end-of-run state.
+func TestLiveMetricsMatchRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := oneNodeCluster()
+	w := twoTaskJob()
+	r, err := New(c, w, nil, greedyStub(), Options{Metrics: reg, MetricsSampleSec: 10}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	val := func(name string, label ...string) float64 {
+		t.Helper()
+		v, ok := reg.Value(name, label...)
+		if !ok {
+			t.Fatalf("metric %s %v not registered", name, label)
+		}
+		return v
+	}
+
+	if got := val(obs.MSimDone); got != float64(w.TotalTasks()) {
+		t.Errorf("done counter = %g, want %d", got, w.TotalTasks())
+	}
+	// The greedy stub launches directly without pinning to node queues,
+	// so the enqueue counter stays zero (it counts Enqueue calls, the
+	// LiPS path).
+	if got := val(obs.MSimEnqueued); got != 0 {
+		t.Errorf("enqueued counter = %g, want 0", got)
+	}
+	for cat, label := range map[cost.Category]string{
+		cost.CatCPU: "cpu", cost.CatTransfer: "transfer", cost.CatPlacement: "placement",
+		cost.CatSpeculative: "speculative", cost.CatFault: "fault",
+	} {
+		want := float64(r.Cost.Category(cat))
+		if got := val(obs.MSimCost, label); got != want {
+			t.Errorf("cost[%s] = %g, want %g (ledger)", label, got, want)
+		}
+	}
+	if got, want := reg.Sum(obs.MSimCost), float64(r.Cost.Total()); got != want {
+		t.Errorf("cost sum = %g, want %g", got, want)
+	}
+	for loc, label := range map[metrics.Locality]string{
+		metrics.NodeLocal: "node-local", metrics.ZoneLocal: "zone-local",
+		metrics.Remote: "remote", metrics.NoInput: "no-input",
+	} {
+		if got := val(obs.MSimLaunched, label); got != float64(r.Locality.Count(loc)) {
+			t.Errorf("launched[%s] = %g, want %d", label, got, r.Locality.Count(loc))
+		}
+	}
+
+	// The gauge refresh chain stops with the last completion, so the
+	// final snapshot shows every task done and all slots free.
+	if got := val(obs.MSimTasks, "done"); got != float64(w.TotalTasks()) {
+		t.Errorf("tasks{done} gauge = %g, want %d", got, w.TotalTasks())
+	}
+	if got := val(obs.MSimFreeSlots); got != float64(c.Nodes[0].Slots) {
+		t.Errorf("free slots gauge = %g, want %d", got, c.Nodes[0].Slots)
+	}
+	// Both tasks ran to completion, so slot-seconds accumulated.
+	if got := val(obs.MSimBusySlotSeconds); got <= 0 {
+		t.Errorf("busy slot gauge = %g, want > 0", got)
+	}
+	// The last refresh tick fires within one interval after the final
+	// completion, so the clock gauge lands in [makespan, makespan+10].
+	if got := val(obs.MSimClockSeconds); got < r.Makespan || got > r.Makespan+10 {
+		t.Errorf("clock gauge = %g, want within [%g, %g]", got, r.Makespan, r.Makespan+10)
+	}
+
+	// /progress reads the same registry.
+	p := obs.Snapshot(reg)
+	if p.Done != int64(w.TotalTasks()) || p.TotalUC != int64(r.Cost.Total()) {
+		t.Errorf("progress = %+v", p)
+	}
+}

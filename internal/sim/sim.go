@@ -23,6 +23,7 @@ import (
 	"lips/internal/cost"
 	"lips/internal/hdfs"
 	"lips/internal/metrics"
+	"lips/internal/obs"
 	"lips/internal/trace"
 	"lips/internal/workload"
 )
@@ -121,6 +122,16 @@ type Options struct {
 	// TraceLabel names this run in multi-run traces (e.g. the experiment
 	// name when a benchmark suite traces every run into one file).
 	TraceLabel string
+	// Metrics mirrors the run into a live obs.Registry (lifecycle and
+	// cost counters exact at their chokepoints, state gauges refreshed
+	// every MetricsSampleSec) for HTTP scraping while the simulation
+	// runs. Nil disables; the disabled path is one pointer check per
+	// call site and allocation-free.
+	Metrics *obs.Registry
+	// MetricsSampleSec is the simulated-time interval between refreshes
+	// of the sampled gauges (task states, slots, clock) while Metrics is
+	// set. 0 means SampleIntervalSec when sampling is on, else 60.
+	MetricsSampleSec float64
 }
 
 func (o Options) withDefaults() Options {
@@ -135,6 +146,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Tracer == nil {
 		o.Tracer = trace.Nop{}
+	}
+	if o.MetricsSampleSec == 0 {
+		if o.SampleIntervalSec > 0 {
+			o.MetricsSampleSec = o.SampleIntervalSec
+		} else {
+			o.MetricsSampleSec = 60
+		}
 	}
 	return o
 }
@@ -241,9 +259,11 @@ type Sim struct {
 	sched Scheduler
 
 	// tr is the event sink; traceOn caches Enabled so the disabled path
-	// costs one boolean load per call site.
+	// costs one boolean load per call site. om is nil when live metrics
+	// are disabled — the same cached-guard discipline (see obs.go).
 	tr      trace.Tracer
 	traceOn bool
+	om      *simMetrics
 
 	clock  float64
 	seq    int64
@@ -289,6 +309,9 @@ func New(c *cluster.Cluster, w *workload.Workload, p *hdfs.Placement, sched Sche
 	}
 	s.tr = s.opts.Tracer
 	s.traceOn = s.tr.Enabled()
+	if s.opts.Metrics != nil {
+		s.om = newSimMetrics(s.opts.Metrics)
+	}
 	s.nodes = make([]nodeState, len(c.Nodes))
 	for i, n := range c.Nodes {
 		s.nodes[i].free = n.Slots
@@ -328,10 +351,18 @@ func (s *Sim) Run() (*Result, error) {
 			s.At(f.At, func() { s.inject(f) })
 		}
 	}
-	s.traceRun()
-	if s.traceOn && s.opts.SampleIntervalSec > 0 {
+	s.noteRun()
+	sampling := s.traceOn && s.opts.SampleIntervalSec > 0
+	if sampling {
 		s.emitSample()
 		s.scheduleSample(s.opts.SampleIntervalSec)
+	}
+	// When trace sampling already refreshes the gauges on the same
+	// cadence, a second refresh chain would only race it at coincident
+	// ticks; run one only when the cadences differ.
+	if s.om != nil && !(sampling && s.opts.SampleIntervalSec == s.opts.MetricsSampleSec) {
+		s.obsRefresh()
+		s.scheduleObsRefresh(s.opts.MetricsSampleSec)
 	}
 	s.sched.Init(s)
 	for j, deps := range s.opts.Deps {

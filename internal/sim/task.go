@@ -118,7 +118,7 @@ func (s *Sim) startAttempt(job, task int, n cluster.NodeID, store cluster.StoreI
 		ti.price = price
 	}
 	loc := s.observeLocality(n, store, j.HasInput())
-	s.traceLaunch(job, task, ti.attempts, n, store, loc, speculative)
+	s.noteLaunch(job, task, ti.attempts, n, store, loc, speculative)
 
 	gen := ti.gen
 	if s.opts.SharedLinks && mb > 0 && node.Store != store {
@@ -135,12 +135,12 @@ func (s *Sim) startAttempt(job, task int, n cluster.NodeID, store cluster.StoreI
 			}
 			movedMB := s.opts.TaskTimeoutSec * s.C.BandwidthStoreNode(store, n)
 			billed := s.C.MSPerGB(n, store).MulFloat(movedMB / 1024)
-			s.Ledger.Charge(cost.CatTransfer, j.Name, billed)
+			s.charge(cost.CatTransfer, j.Name, billed)
 			s.busySlotSec += s.opts.TaskTimeoutSec
 			ti := &s.tasks[job][task]
 			ti.gen++
 			ti.state = Pending
-			s.traceKill(job, task, n, "timeout", billed, false)
+			s.noteKill(job, task, n, "timeout", billed, false)
 			s.nodes[n].free++
 			s.dispatch(n)
 		})
@@ -196,11 +196,11 @@ func (s *Sim) startSharedAttempt(job, task int, n cluster.NodeID, store cluster.
 			moved := s.net.cancel(ti.flow)
 			ti.flow = nil
 			billed := s.C.MSPerGB(n, store).MulFloat(moved / 1024)
-			s.Ledger.Charge(cost.CatTransfer, j.Name, billed)
+			s.charge(cost.CatTransfer, j.Name, billed)
 			s.busySlotSec += s.opts.TaskTimeoutSec
 			ti.gen++
 			ti.state = Pending
-			s.traceKill(job, task, n, "timeout", billed, false)
+			s.noteKill(job, task, n, "timeout", billed, false)
 			s.nodes[n].free++
 			s.dispatch(n)
 		})
@@ -223,10 +223,10 @@ func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.Sto
 		price = ti.specPrice
 	}
 	billed := cost.CPUCost(price, billedCPUSec)
-	s.Ledger.Charge(cost.CatCPU, j.Name, billed)
+	s.charge(cost.CatCPU, j.Name, billed)
 	if mb > 0 {
 		xfer := s.C.MSPerGB(n, store).MulFloat(mb / 1024)
-		s.Ledger.Charge(cost.CatTransfer, j.Name, xfer)
+		s.charge(cost.CatTransfer, j.Name, xfer)
 		billed += xfer
 	}
 	s.NodeCPU.Add(int(n), cpuSec)
@@ -234,6 +234,9 @@ func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.Sto
 	s.busySlotSec += wallSec
 	s.nodes[n].free++
 
+	if s.om != nil {
+		s.om.m.Done.Inc()
+	}
 	if s.traceOn {
 		transferEnd := ti.transferEndAt
 		if speculative {
@@ -245,7 +248,7 @@ func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.Sto
 		} else if xferSec > wallSec {
 			xferSec = wallSec
 		}
-		s.traceDone(job, task, ti.attempts, n, store, wallSec, xferSec, billedCPUSec, billed, speculative)
+		s.noteDone(job, task, ti.attempts, n, store, wallSec, xferSec, billedCPUSec, billed, speculative)
 	}
 
 	// Settle the twin attempt, if any.
@@ -313,10 +316,10 @@ func (s *Sim) cancelSpeculative(job, task int, cat cost.Category, freeSlot bool,
 		burned = ti.specCPUSec
 	}
 	billed := cost.CPUCost(ti.specPrice, burned)
-	s.Ledger.Charge(cat, s.W.Jobs[job].Name, billed)
+	s.charge(cat, s.W.Jobs[job].Name, billed)
 	s.busySlotSec += elapsed
 	ti.specRunning = false
-	s.traceKill(job, task, n, reason, billed, true)
+	s.noteKill(job, task, n, reason, billed, true)
 	if freeSlot {
 		s.nodes[n].free++
 		s.dispatch(n)
@@ -334,8 +337,8 @@ func (s *Sim) killAttempt(job, task int, n cluster.NodeID, _ float64) {
 	// demand as a conservative estimate of the wasted burn.
 	cpuSec, _ := s.taskDemand(job, task)
 	billed := cost.CPUCost(ti.price, cpuSec/2)
-	s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, billed)
-	s.traceKill(job, task, n, "speculative", billed, false)
+	s.charge(cost.CatSpeculative, s.W.Jobs[job].Name, billed)
+	s.noteKill(job, task, n, "speculative", billed, false)
 	s.nodes[n].free++
 	s.dispatch(n)
 }
@@ -429,7 +432,7 @@ func (s *Sim) KillTask(job, task int) error {
 			burned = cpuSec
 		}
 		billed := cost.CPUCost(ti.price, burned)
-		s.Ledger.Charge(cost.CatSpeculative, s.W.Jobs[job].Name, billed)
+		s.charge(cost.CatSpeculative, s.W.Jobs[job].Name, billed)
 		if ti.flow != nil {
 			s.net.cancel(ti.flow)
 			ti.flow = nil
@@ -439,7 +442,7 @@ func (s *Sim) KillTask(job, task int) error {
 		}
 		ti.gen++
 		ti.state = Pending
-		s.traceKill(job, task, n, "preempt", billed, false)
+		s.noteKill(job, task, n, "preempt", billed, false)
 		s.nodes[n].free++
 		s.dispatch(n)
 		return nil
@@ -455,7 +458,7 @@ func (s *Sim) KillTask(job, task int) error {
 			s.nodes[ni].queue = q
 		}
 		ti.state = Pending
-		s.traceKill(job, task, cluster.NodeID(-1), "dequeue", 0, false)
+		s.noteKill(job, task, cluster.NodeID(-1), "dequeue", 0, false)
 		return nil
 	default:
 		return fmt.Errorf("sim: cannot kill task %d/%d in state %d", job, task, ti.state)
@@ -489,7 +492,7 @@ func (s *Sim) Enqueue(job, task int, n cluster.NodeID, store cluster.StoreID, re
 	}
 	ti.state = Queued
 	s.nodes[n].queue = append(s.nodes[n].queue, queueEntry{job: job, task: task, store: store, readyAt: readyAt})
-	s.traceEnqueue(job, task, n, store, readyAt)
+	s.noteEnqueue(job, task, n, store, readyAt)
 	if readyAt > s.clock {
 		s.At(readyAt, func() { s.dispatch(n) })
 	}
@@ -563,9 +566,9 @@ func (s *Sim) MoveBlock(obj int, block int, dst cluster.StoreID) float64 {
 	}
 	mb := j.BlockSizeMB(block)
 	billed := s.C.SSPerGB(src, dst).MulFloat(mb / 1024)
-	s.Ledger.Charge(cost.CatPlacement, "", billed)
+	s.charge(cost.CatPlacement, "", billed)
 	doneAt := s.clock + mb/s.C.BandwidthStoreStore(src, dst)
-	s.traceMove(obj, block, src, dst, mb, doneAt-s.clock, billed, "plan")
+	s.noteMove(obj, block, src, dst, mb, doneAt-s.clock, billed, "plan")
 	key := [2]int{obj, block}
 	mv := s.movingBlocks[key]
 	mv.moves++

@@ -7,20 +7,22 @@ import (
 	"lips/internal/trace"
 )
 
-// Tracing call sites. Every helper is guarded by s.traceOn — a plain
-// boolean load — so the disabled path costs one branch and allocates
-// nothing (TestNopTracerNoAllocs in internal/trace, plus the simulator
-// throughput gate in scripts/perfsmoke.sh). Event payloads are built
-// only once the guard passes.
+// Lifecycle chokepoints: every noteX helper feeds both the structured
+// trace (guarded by s.traceOn, a plain boolean load) and the live
+// metrics registry (guarded by s.om != nil, a pointer check), so with
+// both disabled each call site costs two branches and allocates nothing
+// (TestNopTracerNoAllocs in internal/trace, TestNoObsNoAllocs here, plus
+// the simulator throughput gate in scripts/perfsmoke.sh). Event payloads
+// are built only once the trace guard passes.
 
 // Tracer returns the run's tracer (trace.Nop when tracing is disabled),
 // for schedulers that emit their own spans (e.g. LiPS epoch solves).
 func (s *Sim) Tracer() trace.Tracer { return s.tr }
 
-// traceRun opens the run in the event stream with the cluster and
+// noteRun opens the run in the event stream with the cluster and
 // workload shape, so trace tools can interpret node ids without the
 // cluster object.
-func (s *Sim) traceRun() {
+func (s *Sim) noteRun() {
 	if !s.traceOn {
 		return
 	}
@@ -41,7 +43,10 @@ func (s *Sim) traceRun() {
 	}})
 }
 
-func (s *Sim) traceEnqueue(job, task int, n cluster.NodeID, store cluster.StoreID, readyAt float64) {
+func (s *Sim) noteEnqueue(job, task int, n cluster.NodeID, store cluster.StoreID, readyAt float64) {
+	if s.om != nil {
+		s.om.m.Enqueued.Inc()
+	}
 	if !s.traceOn {
 		return
 	}
@@ -50,7 +55,10 @@ func (s *Sim) traceEnqueue(job, task int, n cluster.NodeID, store cluster.StoreI
 	}})
 }
 
-func (s *Sim) traceLaunch(job, task, attempt int, n cluster.NodeID, store cluster.StoreID, loc metrics.Locality, speculative bool) {
+func (s *Sim) noteLaunch(job, task, attempt int, n cluster.NodeID, store cluster.StoreID, loc metrics.Locality, speculative bool) {
+	if s.om != nil {
+		s.om.launched[loc].Inc()
+	}
 	if !s.traceOn {
 		return
 	}
@@ -60,7 +68,7 @@ func (s *Sim) traceLaunch(job, task, attempt int, n cluster.NodeID, store cluste
 	}})
 }
 
-func (s *Sim) traceDone(job, task, attempt int, n cluster.NodeID, store cluster.StoreID,
+func (s *Sim) noteDone(job, task, attempt int, n cluster.NodeID, store cluster.StoreID,
 	wallSec, xferSec, cpuSec float64, billed cost.Money, speculative bool) {
 	if !s.traceOn {
 		return
@@ -72,7 +80,10 @@ func (s *Sim) traceDone(job, task, attempt int, n cluster.NodeID, store cluster.
 	}})
 }
 
-func (s *Sim) traceKill(job, task int, n cluster.NodeID, reason string, billed cost.Money, speculative bool) {
+func (s *Sim) noteKill(job, task int, n cluster.NodeID, reason string, billed cost.Money, speculative bool) {
+	if s.om != nil {
+		s.om.m.Killed.With(reason).Inc()
+	}
 	if !s.traceOn {
 		return
 	}
@@ -82,7 +93,11 @@ func (s *Sim) traceKill(job, task int, n cluster.NodeID, reason string, billed c
 	}})
 }
 
-func (s *Sim) traceMove(obj, block int, src, dst cluster.StoreID, mb, durSec float64, billed cost.Money, reason string) {
+func (s *Sim) noteMove(obj, block int, src, dst cluster.StoreID, mb, durSec float64, billed cost.Money, reason string) {
+	if s.om != nil {
+		s.om.m.Moves.With(reason).Inc()
+		s.om.m.MovedMB.Add(mb)
+	}
 	if !s.traceOn {
 		return
 	}
@@ -92,7 +107,10 @@ func (s *Sim) traceMove(obj, block int, src, dst cluster.StoreID, mb, durSec flo
 	}})
 }
 
-func (s *Sim) traceFault(f Fault) {
+func (s *Sim) noteFault(f Fault) {
+	if s.om != nil {
+		s.om.m.Faults.With(f.Kind.String()).Inc()
+	}
 	if !s.traceOn {
 		return
 	}
@@ -109,26 +127,10 @@ func (s *Sim) traceFault(f Fault) {
 	}})
 }
 
-// emitSample snapshots the run's time series: cumulative dollars by
-// ledger category, task-state counts, slot availability and the
-// locality mix so far.
-func (s *Sim) emitSample() {
-	if !s.traceOn {
-		return
-	}
-	info := &trace.SampleInfo{
-		BusySlotSec:   s.busySlotSec,
-		TotalUC:       int64(s.Ledger.Total()),
-		CPUUC:         int64(s.Ledger.Category(cost.CatCPU)),
-		TransferUC:    int64(s.Ledger.Category(cost.CatTransfer)),
-		PlacementUC:   int64(s.Ledger.Category(cost.CatPlacement)),
-		SpeculativeUC: int64(s.Ledger.Category(cost.CatSpeculative)),
-		FaultUC:       int64(s.Ledger.Category(cost.CatFault)),
-		NodeLocal:     s.Locality.Count(metrics.NodeLocal),
-		ZoneLocal:     s.Locality.Count(metrics.ZoneLocal),
-		Remote:        s.Locality.Count(metrics.Remote),
-		NoInput:       s.Locality.Count(metrics.NoInput),
-	}
+// scanSample fills the task-state counts and slot availability of one
+// snapshot — shared by trace sample events and the live gauge refresh so
+// both report identical numbers at matching timestamps.
+func (s *Sim) scanSample(info *trace.SampleInfo) {
 	for j := range s.tasks {
 		if !s.jobs[j].arrived {
 			continue
@@ -153,6 +155,30 @@ func (s *Sim) emitSample() {
 		info.FreeSlots += s.nodes[n].free
 		info.LiveSlots += s.C.Nodes[n].Slots
 	}
+}
+
+// emitSample snapshots the run's time series: cumulative dollars by
+// ledger category, task-state counts, slot availability and the
+// locality mix so far.
+func (s *Sim) emitSample() {
+	if !s.traceOn {
+		return
+	}
+	info := &trace.SampleInfo{
+		BusySlotSec:   s.busySlotSec,
+		TotalUC:       int64(s.Ledger.Total()),
+		CPUUC:         int64(s.Ledger.Category(cost.CatCPU)),
+		TransferUC:    int64(s.Ledger.Category(cost.CatTransfer)),
+		PlacementUC:   int64(s.Ledger.Category(cost.CatPlacement)),
+		SpeculativeUC: int64(s.Ledger.Category(cost.CatSpeculative)),
+		FaultUC:       int64(s.Ledger.Category(cost.CatFault)),
+		NodeLocal:     s.Locality.Count(metrics.NodeLocal),
+		ZoneLocal:     s.Locality.Count(metrics.ZoneLocal),
+		Remote:        s.Locality.Count(metrics.Remote),
+		NoInput:       s.Locality.Count(metrics.NoInput),
+	}
+	s.scanSample(info)
+	s.setSampleGauges(info)
 	s.tr.Emit(trace.Event{T: s.clock, Kind: trace.KindSample, Sample: info})
 }
 

@@ -32,22 +32,24 @@ func (s *Sampler) Emit(e Event) {
 	}
 }
 
-// csvHeader is the column contract of WriteCSV.
-const csvHeader = "t_sec,total_usd,cpu_usd,transfer_usd,placement_usd,speculative_usd,fault_usd," +
+// CSVHeader is the column contract of WriteCSV. Units: simulated seconds
+// and exact microcents (the ledger's integer unit, 1e8 per dollar) — the
+// same field names and units the live /progress endpoint reports
+// (internal/obs.Progress, pinned by TestProgressMatchesSamplerCSV).
+const CSVHeader = "t_sec,total_uc,cpu_uc,transfer_uc,placement_uc,speculative_uc,fault_uc," +
 	"running,queued,pending,done,free_slots,live_slots,busy_slot_sec," +
 	"node_local,zone_local,remote,no_input"
 
-// WriteCSV renders the collected series as CSV: one row per sample,
-// dollar columns converted from exact microcents.
+// WriteCSV renders the collected series as CSV: one row per sample, cost
+// columns in exact microcents.
 func (s *Sampler) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
 		return err
 	}
-	usd := func(uc int64) string { return fmt.Sprintf("%.6f", float64(uc)/1e8) }
 	for _, r := range s.Rows {
-		_, err := fmt.Fprintf(w, "%g,%s,%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%g,%d,%d,%d,%d\n",
-			r.T, usd(r.S.TotalUC), usd(r.S.CPUUC), usd(r.S.TransferUC),
-			usd(r.S.PlacementUC), usd(r.S.SpeculativeUC), usd(r.S.FaultUC),
+		_, err := fmt.Fprintf(w, "%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%g,%d,%d,%d,%d\n",
+			r.T, r.S.TotalUC, r.S.CPUUC, r.S.TransferUC,
+			r.S.PlacementUC, r.S.SpeculativeUC, r.S.FaultUC,
 			r.S.Running, r.S.Queued, r.S.Pending, r.S.Done,
 			r.S.FreeSlots, r.S.LiveSlots, r.S.BusySlotSec,
 			r.S.NodeLocal, r.S.ZoneLocal, r.S.Remote, r.S.NoInput)

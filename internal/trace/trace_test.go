@@ -179,10 +179,10 @@ func TestSamplerCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("CSV lines = %d, want 3:\n%s", len(lines), buf.String())
 	}
-	if lines[0] != csvHeader {
+	if lines[0] != CSVHeader {
 		t.Errorf("header = %q", lines[0])
 	}
-	want := "120,1.500000,1.000000,0.500000,0.000000,0.000000,0.000000,0,0,0,2,2,4,90,2,0,0,0"
+	want := "120,150000000,100000000,50000000,0,0,0,0,0,0,2,2,4,90,2,0,0,0"
 	if lines[2] != want {
 		t.Errorf("row = %q\nwant  %q", lines[2], want)
 	}

@@ -30,7 +30,7 @@ for section in 'cost over time:' 'epoch timeline:' 'slowest tasks:' 'per-node ut
 		exit 1
 	fi
 done
-if ! head -1 "$BIN/series.csv" | grep -q '^t_sec,total_usd,'; then
+if ! head -1 "$BIN/series.csv" | grep -q '^t_sec,total_uc,'; then
 	echo "tracesmoke: FAIL: CSV export header wrong: $(head -1 "$BIN/series.csv")" >&2
 	exit 1
 fi
