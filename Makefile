@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench perfsmoke faultsmoke tracesmoke obssmoke
+.PHONY: all build test race vet bench perfsmoke faultsmoke tracesmoke obssmoke scalesmoke
 
 all: vet build test
 
@@ -38,3 +38,8 @@ tracesmoke:
 # /debug/pprof mid-run, validating the exposition and required families.
 obssmoke:
 	scripts/obssmoke.sh
+
+# Races the slot-index property tests and replays a 1k-node seeded
+# -scale run under a wall-clock budget, requiring byte-identical traces.
+scalesmoke:
+	scripts/scalesmoke.sh

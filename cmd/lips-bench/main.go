@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	lips-bench [-experiment all|table1|table3|table4|fig1|fig5|fig6|fig8|fig9|fig11|overhead|ablations|faults]
+//	lips-bench [-experiment all|table1|table3|table4|fig1|fig5|fig6|fig8|fig9|fig11|scale|overhead|ablations|faults]
 //	           [-full] [-seed N] [-trials N] [-lp-workers N] [-cold-start]
 //	           [-presolve on|off] [-factor lu|dense]
 //	           [-faults N] [-fault-seed N]
@@ -165,6 +165,13 @@ func run(experiment string, cfg experiments.Config) error {
 	}
 	if section("fig11", "Figure 11 — accumulated CPU time per node (epoch 400 s vs 600 s)") {
 		r, err := experiments.Fig11(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	}
+	if section("scale", "Scale — simulator throughput up the cluster-size ladder") {
+		r, err := experiments.Scale(cfg)
 		if err != nil {
 			return err
 		}

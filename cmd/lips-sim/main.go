@@ -47,7 +47,8 @@ func main() {
 		wlKind      = flag.String("workload", "paper", "paper, swim or random")
 		jobs        = flag.Int("jobs", 60, "job count for -workload swim")
 		tasks       = flag.Int("tasks", 400, "task count for -workload random")
-		scheduler   = flag.String("scheduler", "lips", "fifo, delay, fair or lips")
+		scale       = flag.Int("scale", 0, "large-cluster shortcut: random cluster with N nodes and 100×N random tasks (overrides -cluster and -workload; -tasks still wins if set)")
+		scheduler   = flag.String("scheduler", "lips", "fifo, delay, fair, lips or scale")
 		epoch       = flag.Float64("epoch", 600, "LiPS epoch in seconds")
 		speculative = flag.Bool("speculative", false, "enable speculative execution")
 		occupancy   = flag.Bool("bill-occupancy", false, "bill wall-clock slot occupancy instead of CPU seconds")
@@ -71,6 +72,14 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	if *scale > 0 {
+		*clusterKind, *nodes, *wlKind = "random", *scale, "random"
+		tasksSet := false
+		flag.Visit(func(f *flag.Flag) { tasksSet = tasksSet || f.Name == "tasks" })
+		if !tasksSet {
+			*tasks = 100 * *scale
+		}
+	}
 	prof, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lips-sim:", err)
@@ -235,6 +244,8 @@ func runCfg(cfg config) error {
 		l.TraceTimings = cfg.TraceTimings
 		s = l
 		opts.TaskTimeoutSec = 1200
+	case "scale":
+		s = sched.NewScale()
 	default:
 		return fmt.Errorf("unknown scheduler %q", scheduler)
 	}

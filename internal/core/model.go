@@ -383,9 +383,13 @@ func sortedOrigins(d DataItem) []int {
 // normalizeFracs scales each job's fractions to sum exactly to 1 (the LP's
 // coverage constraint is ≥ 1; at an optimum it is tight up to tolerance).
 func normalizeFracs(fr map[[2]int]float64) {
+	// Sum in sorted key order: float addition is not associative, so
+	// summing in map-iteration order would perturb the normalized
+	// fractions' low bits from run to run and flip largest-remainder
+	// near-ties in Round — run-to-run nondeterminism from a fixed seed.
 	sum := 0.0
-	for _, f := range fr {
-		sum += f
+	for _, k := range sortedKeys(fr) {
+		sum += fr[k]
 	}
 	if sum <= 0 || math.Abs(sum-1) < 1e-12 {
 		return

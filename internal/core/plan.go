@@ -76,9 +76,12 @@ func (p *Plan) computeCosts() {
 	p.PlacementMC, p.ExecMC, p.TransferMC = 0, 0, 0
 	switch {
 	case p.XDFlows != nil:
+		// All three accumulations below run in sorted key order: float
+		// addition is not associative, so map-iteration order would give
+		// the totals different low bits on every run.
 		for i, d := range in.Data {
-			for oj, f := range p.XDFlows[i] {
-				p.PlacementMC += f * in.SSPerMBMC[oj[0]][oj[1]] * d.SizeMB
+			for _, oj := range sortedKeys(p.XDFlows[i]) {
+				p.PlacementMC += p.XDFlows[i][oj] * in.SSPerMBMC[oj[0]][oj[1]] * d.SizeMB
 			}
 		}
 	case p.XD != nil:
@@ -89,15 +92,16 @@ func (p *Plan) computeCosts() {
 					continue
 				}
 				perMB := 0.0
-				for o, of := range d.Origin {
-					perMB += of * in.SSPerMBMC[o][j]
+				for _, o := range sortedOrigins(d) {
+					perMB += d.Origin[o] * in.SSPerMBMC[o][j]
 				}
 				p.PlacementMC += f * perMB * d.SizeMB
 			}
 		}
 	}
 	for k, job := range in.Jobs {
-		for lm, f := range p.XT[k] {
+		for _, lm := range sortedKeys(p.XT[k]) {
+			f := p.XT[k][lm]
 			l, store := lm[0], lm[1]
 			if in.Machines[l].Fake {
 				p.DeferredFrac[k] += f
@@ -267,8 +271,8 @@ func (ip *IntegralPlan) CostMC() float64 {
 		blocks := numBlocks(d.SizeMB)
 		perBlockMB := d.SizeMB / float64(blocks)
 		perMB := 0.0
-		for o, of := range d.Origin {
-			perMB += of * in.SSPerMBMC[o][mv.Store]
+		for _, o := range sortedOrigins(d) {
+			perMB += d.Origin[o] * in.SSPerMBMC[o][mv.Store]
 		}
 		total += float64(mv.Blocks) * perBlockMB * perMB
 	}

@@ -324,13 +324,22 @@ func (l *LiPS) buildInstance(s *sim.Sim, jobs []workload.Job, objects []hdfs.Dat
 	in.FilterMachines(func(n cluster.NodeID) bool { return s.NodeAlive(n) })
 	unitOf := in.StoreUnitOf()
 	for i := range objects {
+		// Accumulate in sorted store order: several stores can fold into
+		// one unit, and float addition in map-iteration order would give
+		// the origin mix different low bits on every run — which the LP
+		// then amplifies into different rounded plans for a fixed seed.
+		stores := make([]cluster.StoreID, 0, len(placements[i]))
+		for st := range placements[i] {
+			stores = append(stores, st)
+		}
+		sort.Slice(stores, func(a, b int) bool { return stores[a] < stores[b] })
 		origin := make(map[int]float64)
-		for st, f := range placements[i] {
+		for _, st := range stores {
 			unit, ok := unitOf[st]
 			if !ok {
 				return nil, fmt.Errorf("sched: store %d not in any unit", st)
 			}
-			origin[unit] += f
+			origin[unit] += placements[i][st]
 		}
 		in.Data[i].Origin = origin
 	}

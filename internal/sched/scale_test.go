@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"lips/internal/cluster"
+	"lips/internal/sim"
+	"lips/internal/workload"
+)
+
+// scaleScenario builds a seed-deterministic random cluster + workload
+// sized for the sched-level cross-checks (big enough that the head
+// cursor, batched sweeps and the rescan fallback all fire).
+func scaleScenario(nodes, tasks int, seed int64) (*cluster.Cluster, *workload.Workload) {
+	rng := rand.New(rand.NewSource(seed))
+	c := cluster.Random(rng, cluster.RandomSpec{Nodes: nodes})
+	w := workload.Random(rng, c.StoreIDs(), workload.RandomSpec{TotalTasks: tasks})
+	return c, w
+}
+
+// TestScaleCompletesAndMatchesLegacyDispatch pins the Scale scheduler's
+// results: the batched-notification path and the legacy per-node
+// full-scan dispatch must agree exactly, and repeated runs must
+// reproduce the same numbers.
+func TestScaleCompletesAndMatchesLegacyDispatch(t *testing.T) {
+	c, w := scaleScenario(96, 3000, 4)
+	run := func(legacy bool) *sim.Result {
+		p := w.Placement()
+		p.Shuffle(rand.New(rand.NewSource(1004)), c.StoreIDs())
+		return runSched(t, c, w, p, NewScale(), sim.Options{LegacyDispatch: legacy})
+	}
+	batched, legacy := run(false), run(true)
+	if batched.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+	if batched.Makespan != legacy.Makespan || batched.TotalCost() != legacy.TotalCost() {
+		t.Errorf("batched vs legacy dispatch: makespan %g vs %g, cost %v vs %v",
+			batched.Makespan, legacy.Makespan, batched.TotalCost(), legacy.TotalCost())
+	}
+	if batched.Locality != legacy.Locality {
+		t.Errorf("locality diverged: %+v vs %+v", batched.Locality, legacy.Locality)
+	}
+	again := run(false)
+	if batched.Makespan != again.Makespan || batched.TotalCost() != again.TotalCost() {
+		t.Errorf("scale run not reproducible: makespan %g vs %g", batched.Makespan, again.Makespan)
+	}
+	for j, done := range batched.JobDone {
+		if done <= 0 {
+			t.Errorf("job %d never finished", j)
+		}
+	}
+}
+
+// TestScaleCompletesUnderFaults drives Scale through random crashes,
+// store losses and stragglers: kills re-pend tasks behind the forward
+// cursors, so this exercises the full-rescan fallback. Both dispatch
+// modes must finish every job with identical results.
+func TestScaleCompletesUnderFaults(t *testing.T) {
+	c, w := scaleScenario(64, 2000, 8)
+	faults := sim.RandomFaultPlan(8, c, sim.FaultSpec{Crashes: 4, StoreLosses: 2, Slowdowns: 2})
+	run := func(legacy bool) *sim.Result {
+		p := w.Placement()
+		p.Shuffle(rand.New(rand.NewSource(1008)), c.StoreIDs())
+		return runSched(t, c, w, p, NewScale(),
+			sim.Options{LegacyDispatch: legacy, Faults: faults, Speculative: true})
+	}
+	batched, legacy := run(false), run(true)
+	if batched.Faults.NodesCrashed == 0 {
+		t.Fatal("fault plan never crashed a node; scenario too small")
+	}
+	if batched.Makespan != legacy.Makespan || batched.TotalCost() != legacy.TotalCost() ||
+		batched.Faults != legacy.Faults {
+		t.Errorf("batched vs legacy dispatch under faults: makespan %g vs %g, cost %v vs %v, faults %+v vs %+v",
+			batched.Makespan, legacy.Makespan, batched.TotalCost(), legacy.TotalCost(),
+			batched.Faults, legacy.Faults)
+	}
+	for j, done := range batched.JobDone {
+		if done <= 0 {
+			t.Errorf("job %d never finished under faults", j)
+		}
+	}
+}
+
+// TestScaleChurnPlan reuses the shared churn scenario (crashes, a
+// recovery, a store loss, a straggler window) on the paper testbed: the
+// large-cluster scheduler must stay correct on small clusters too.
+func TestScaleChurnPlan(t *testing.T) {
+	run := func() *sim.Result {
+		c := mixedCluster()
+		w := smallJobSet(rand.New(rand.NewSource(3)), 3)
+		return runSched(t, c, w, nil, NewScale(), sim.Options{Faults: churnPlan()})
+	}
+	r := run()
+	if r.Faults.NodesCrashed != 2 || r.Faults.NodesRecovered != 1 || r.Faults.StoresLost != 1 {
+		t.Errorf("fault stats = %+v, want 2 crashes / 1 recovery / 1 store loss", r.Faults)
+	}
+	for j, done := range r.JobDone {
+		if done <= 0 {
+			t.Errorf("job %d never finished under churn", j)
+		}
+	}
+	again := run()
+	if r.Makespan != again.Makespan || r.TotalCost() != again.TotalCost() {
+		t.Errorf("churn run not reproducible: makespan %g vs %g", r.Makespan, again.Makespan)
+	}
+}

@@ -186,41 +186,68 @@ func (s *Sim) NodeAlive(n cluster.NodeID) bool { return !s.nodes[n].down }
 // speculative) is killed, its pinned queue drains back to Pending, its
 // slots vanish, and the scheduler is told via OnNodeDown. Partially
 // executed work is billed to the fault category — a crash does not refund
-// the cycles it wasted.
+// the cycles it wasted. The victims come from the running-attempt index
+// (bounded by the slot count) unless LegacyDispatch re-enables the
+// full-table scan; either way they are visited in ascending task order
+// with every condition re-checked at apply time, so the two modes kill in
+// the same sequence.
 func (s *Sim) crashNode(n cluster.NodeID) {
 	ns := &s.nodes[n]
 	if ns.down {
 		return
 	}
 	ns.down = true
+	s.freeSlots -= ns.free
+	s.zoneFree[s.nodeZone[n]] -= ns.free
+	s.liveSlots -= s.C.Nodes[n].Slots
 	ns.free = 0
+	s.clearIdle(n)
 	s.Faults.NodesCrashed++
 
-	for j := range s.tasks {
-		for t := range s.tasks[j] {
-			ti := &s.tasks[j][t]
-			if ti.specRunning && ti.specNode == n {
-				s.cancelSpeculative(j, t, cost.CatFault, false, "node-crash")
-			}
-			if ti.state == Running && ti.node == n {
-				if ti.specRunning {
-					// The surviving speculative copy could in principle be
-					// promoted; Hadoop instead re-runs the task, and so do
-					// we — both copies die with the primary's node.
-					s.cancelSpeculative(j, t, cost.CatFault, true, "node-crash")
-				}
-				s.failAttempt(j, t, false, "node-crash")
-			}
+	if s.opts.LegacyDispatch {
+		for f := int32(0); f < int32(len(s.tasks)); f++ {
+			s.crashHit(f, n)
+		}
+	} else {
+		for _, f := range s.nodeHits(n) {
+			s.crashHit(f, n)
 		}
 	}
 	// Drain the pinned queue: those tasks were promised this node's slots.
 	for _, e := range ns.queue {
-		s.tasks[e.job][e.task].state = Pending
+		flat := s.taskBase[e.job] + e.task
+		ti := &s.tasks[flat]
+		if TaskState(s.states[flat]) != Queued || ti.qNode != int32(n) || ti.qSeq != e.seq {
+			continue // stale entry
+		}
+		ti.qNode = -1
+		s.setStateFlat(flat, Pending)
 	}
-	ns.queue = nil
+	ns.queue = ns.queue[:0]
 
 	s.sched.OnNodeDown(s, n)
 	s.KickIdleNodes()
+}
+
+// crashHit kills whatever task flat is running on the crashed node n.
+func (s *Sim) crashHit(flat int32, n cluster.NodeID) {
+	ti := &s.tasks[flat]
+	j, t := int(ti.job), int(ti.idx)
+	if ti.spec >= 0 && s.specs[ti.spec].node == n {
+		s.cancelSpeculative(j, t, cost.CatFault, false, "node-crash")
+	}
+	if TaskState(s.states[flat]) == Running && ti.node == n {
+		// Untrack first: the spec kill's dispatch runs scheduler code,
+		// which must not speculate on this dying attempt.
+		s.untrackPrimary(ti)
+		if ti.spec >= 0 {
+			// The surviving speculative copy could in principle be
+			// promoted; Hadoop instead re-runs the task, and so do
+			// we — both copies die with the primary's node.
+			s.cancelSpeculative(j, t, cost.CatFault, true, "node-crash")
+		}
+		s.failAttempt(j, t, false, "node-crash")
+	}
 }
 
 // recoverNode brings a crashed node back with every slot free.
@@ -230,7 +257,14 @@ func (s *Sim) recoverNode(n cluster.NodeID) {
 		return
 	}
 	ns.down = false
-	ns.free = s.C.Nodes[n].Slots
+	slots := s.C.Nodes[n].Slots
+	ns.free = slots
+	s.freeSlots += slots
+	s.zoneFree[s.nodeZone[n]] += slots
+	s.liveSlots += slots
+	if slots > 0 {
+		s.markIdle(n)
+	}
 	s.Faults.NodesRecovered++
 	s.sched.OnNodeUp(s, n)
 	s.dispatch(n)
@@ -241,7 +275,7 @@ func (s *Sim) recoverNode(n cluster.NodeID) {
 // to Pending for re-execution. freeSlot is false when the slot died with
 // its node; reason labels the kill in the trace.
 func (s *Sim) failAttempt(job, task int, freeSlot bool, reason string) {
-	ti := &s.tasks[job][task]
+	ti := s.task(job, task)
 	n := ti.node
 	node := &s.C.Nodes[n]
 	if ti.flow != nil {
@@ -259,12 +293,13 @@ func (s *Sim) failAttempt(job, task int, freeSlot bool, reason string) {
 		billed = cost.CPUCost(ti.price, burned)
 		s.charge(cost.CatFault, s.W.Jobs[job].Name, billed)
 	}
+	s.untrackPrimary(ti)
 	ti.gen++
-	ti.state = Pending
+	s.setStateFlat(s.flat(job, task), Pending)
 	s.Faults.TasksReexecuted++
 	s.noteKill(job, task, n, reason, billed, false)
 	if freeSlot {
-		s.nodes[n].free++
+		s.slotFreed(n)
 		s.dispatch(n)
 	}
 }
@@ -311,16 +346,33 @@ func (s *Sim) loseStore(st cluster.StoreID) {
 	}
 	// Kill attempts whose input read from the lost store is still in
 	// progress; attempts past their transfer phase already hold the data.
-	for j := range s.tasks {
-		for t := range s.tasks[j] {
-			ti := &s.tasks[j][t]
-			if ti.specRunning && ti.specStore == st && s.clock < ti.specTransferEndAt-1e-9 {
-				s.cancelSpeculative(j, t, cost.CatFault, true, "store-loss")
-			}
-			if ti.state == Running && ti.store == st && s.inTransfer(ti) {
-				s.failAttempt(j, t, true, "store-loss")
-			}
+	// As in crashNode, victims come from the running-attempt index (or
+	// the LegacyDispatch full scan) in ascending task order; the store
+	// replicas were dropped above, so no freed slot launched mid-loop can
+	// start a new read from st and escape the pre-collected list.
+	if s.opts.LegacyDispatch {
+		for f := int32(0); f < int32(len(s.tasks)); f++ {
+			s.storeLossHit(f, st)
 		}
+	} else {
+		for _, f := range s.storeHits(st) {
+			s.storeLossHit(f, st)
+		}
+	}
+}
+
+// storeLossHit kills whatever attempt of task flat still reads store st.
+func (s *Sim) storeLossHit(flat int32, st cluster.StoreID) {
+	ti := &s.tasks[flat]
+	j, t := int(ti.job), int(ti.idx)
+	if ti.spec >= 0 {
+		sp := &s.specs[ti.spec]
+		if sp.store == st && s.clock < sp.transferEndAt-1e-9 {
+			s.cancelSpeculative(j, t, cost.CatFault, true, "store-loss")
+		}
+	}
+	if TaskState(s.states[flat]) == Running && ti.store == st && s.inTransfer(ti) {
+		s.failAttempt(j, t, true, "store-loss")
 	}
 }
 

@@ -1,0 +1,217 @@
+package sim
+
+// Incremental indexes over simulator state. The event loop must not scan
+// s.nodes or the task table per event at 10k-node/1M-task scale, so the
+// hot paths maintain three structures as they go:
+//
+//   - an idle-node bitset (bit n set ⇔ node n is live with ≥1 free slot)
+//     plus total/per-zone free-slot counters, updated by slotTaken and
+//     slotFreed — KickIdleNodes sweeps set bits instead of every node,
+//     and the sample scan reads two integers;
+//   - a running-attempt index s.running: one packed ref (flat<<1|specBit)
+//     per in-flight attempt, with O(1) swap-remove via the position each
+//     attempt stores — fault replay filters ~totalSlots refs instead of
+//     scanning every task;
+//   - per-state task counters (stateCount, corrected by unarrived for
+//     not-yet-arrived jobs) maintained by setStateFlat.
+//
+// Invariants (pinned by TestSlotIndexProperty against recomputed-from-
+// scratch copies):
+//
+//	idle bit n      ⇔ !nodes[n].down && nodes[n].free > 0
+//	freeSlots       = Σ nodes[n].free over live nodes
+//	zoneFree[z]     = Σ nodes[n].free over live nodes in zone z
+//	liveSlots       = Σ C.Nodes[n].Slots over live nodes
+//	running         = exactly one ref per Running primary (flat<<1, at
+//	                  tasks[flat].runPos) and one per live speculative
+//	                  copy (flat<<1|1, at specs[tasks[flat].spec].runPos)
+//	stateCount[st]  = #tasks in state st (all jobs); unarrived = #tasks
+//	                  of not-yet-arrived jobs, which are always Pending
+//
+// Options.LegacyDispatch keeps the original full scans alive for
+// differential testing; it never consults these indexes but they are
+// maintained regardless, so the property tests cross-check both modes.
+
+import (
+	"math/bits"
+	"sort"
+
+	"lips/internal/cluster"
+)
+
+// markIdle and clearIdle maintain the idle-node bitset.
+func (s *Sim) markIdle(n cluster.NodeID)  { s.idle[n>>6] |= 1 << (uint(n) & 63) }
+func (s *Sim) clearIdle(n cluster.NodeID) { s.idle[n>>6] &^= 1 << (uint(n) & 63) }
+
+// slotTaken consumes one free slot on a live node.
+func (s *Sim) slotTaken(n cluster.NodeID) {
+	ns := &s.nodes[n]
+	ns.free--
+	s.freeSlots--
+	s.zoneFree[s.nodeZone[n]]--
+	if ns.free == 0 {
+		s.clearIdle(n)
+	}
+}
+
+// slotFreed releases one slot. Attempts only finish on live nodes (a
+// crash voids their events via the generation counter), so the node is
+// never down here; the guard keeps the bitset honest even if it were.
+func (s *Sim) slotFreed(n cluster.NodeID) {
+	ns := &s.nodes[n]
+	ns.free++
+	s.freeSlots++
+	s.zoneFree[s.nodeZone[n]]++
+	if ns.free == 1 && !ns.down {
+		s.markIdle(n)
+	}
+}
+
+// trackRunning registers an attempt ref (flat<<1 | specBit) and returns
+// its position, which the attempt must store for untrackRunning.
+func (s *Sim) trackRunning(ref int32) int32 {
+	pos := int32(len(s.running))
+	s.running = append(s.running, ref)
+	return pos
+}
+
+// untrackRunning swap-removes the ref at pos, fixing up the stored
+// position of the ref that moved into its place.
+func (s *Sim) untrackRunning(pos int32) {
+	last := int32(len(s.running)) - 1
+	moved := s.running[last]
+	if pos != last {
+		s.running[pos] = moved
+		flat := moved >> 1
+		if moved&1 == 1 {
+			s.specs[s.tasks[flat].spec].runPos = pos
+		} else {
+			s.tasks[flat].runPos = pos
+		}
+	}
+	s.running = s.running[:last]
+}
+
+// setStateFlat transitions a task's state, keeping the per-state counters
+// exact. Every state change in the simulator goes through here.
+func (s *Sim) setStateFlat(flat int32, st TaskState) {
+	s.stateCount[s.states[flat]]--
+	s.states[flat] = uint8(st)
+	s.stateCount[st]++
+}
+
+// allocSpec takes a speculative-attempt record from the free-list (or
+// grows the pool) and attaches it to ti. The returned pointer is
+// invalidated by the next allocSpec — do not hold it across one.
+func (s *Sim) allocSpec(ti *taskInfo) *specAttempt {
+	var idx int32
+	if n := len(s.specFree); n > 0 {
+		idx = s.specFree[n-1]
+		s.specFree = s.specFree[:n-1]
+		s.specs[idx] = specAttempt{}
+	} else {
+		idx = int32(len(s.specs))
+		s.specs = append(s.specs, specAttempt{})
+	}
+	ti.spec = idx
+	return &s.specs[idx]
+}
+
+// freeSpec returns ti's speculative record to the free-list.
+func (s *Sim) freeSpec(ti *taskInfo) {
+	s.specFree = append(s.specFree, ti.spec)
+	ti.spec = -1
+}
+
+// nodeHits collects the flat indices of tasks with an attempt (primary or
+// speculative) on node n, deduplicated and sorted ascending — the order
+// the legacy full scan visited them in, which fault replay preserves so
+// traces stay byte-identical. The slice is scratch, valid until the next
+// collection.
+func (s *Sim) nodeHits(n cluster.NodeID) []int32 {
+	hits := s.hitBuf[:0]
+	for _, ref := range s.running {
+		flat := ref >> 1
+		ti := &s.tasks[flat]
+		if ref&1 == 1 {
+			if s.specs[ti.spec].node == n {
+				hits = append(hits, flat)
+			}
+		} else if ti.node == n {
+			hits = append(hits, flat)
+		}
+	}
+	s.hitBuf = hits
+	return sortDedup(hits)
+}
+
+// storeHits collects the flat indices of tasks with an attempt reading
+// from store st, deduplicated and sorted ascending.
+func (s *Sim) storeHits(st cluster.StoreID) []int32 {
+	hits := s.hitBuf[:0]
+	for _, ref := range s.running {
+		flat := ref >> 1
+		ti := &s.tasks[flat]
+		if ref&1 == 1 {
+			if s.specs[ti.spec].store == st {
+				hits = append(hits, flat)
+			}
+		} else if ti.store == st {
+			hits = append(hits, flat)
+		}
+	}
+	s.hitBuf = hits
+	return sortDedup(hits)
+}
+
+func sortDedup(hits []int32) []int32 {
+	sort.Slice(hits, func(i, j int) bool { return hits[i] < hits[j] })
+	w := 0
+	for r := range hits {
+		if r > 0 && hits[r] == hits[r-1] {
+			continue
+		}
+		hits[w] = hits[r]
+		w++
+	}
+	return hits[:w]
+}
+
+// IdleNodes appends every live node with at least one free slot to buf in
+// ascending node order and returns the extended slice. Allocation-free
+// when buf has capacity.
+func (s *Sim) IdleNodes(buf []cluster.NodeID) []cluster.NodeID {
+	for wi, word := range s.idle {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			buf = append(buf, cluster.NodeID(wi<<6+b))
+		}
+	}
+	return buf
+}
+
+// TotalFreeSlots returns the free-slot count across live nodes in O(1).
+func (s *Sim) TotalFreeSlots() int { return s.freeSlots }
+
+// TotalLiveSlots returns the slot count of live nodes in O(1).
+func (s *Sim) TotalLiveSlots() int { return s.liveSlots }
+
+// ZoneFreeSlots returns the free-slot count of live nodes in one zone.
+func (s *Sim) ZoneFreeSlots(zone string) int {
+	zi, ok := s.zoneIdx[zone]
+	if !ok {
+		return 0
+	}
+	return s.zoneFree[zi]
+}
+
+// StateCounts returns how many tasks of arrived jobs are in each state,
+// in O(1) — the counters behind the periodic sample scan.
+func (s *Sim) StateCounts() (pending, queued, running, done int) {
+	return s.stateCount[Pending] - s.unarrived, s.stateCount[Queued],
+		s.stateCount[Running], s.stateCount[Done]
+}
+
+// JobArrived reports whether a job has been submitted yet.
+func (s *Sim) JobArrived(job int) bool { return s.jobs[job].arrived }

@@ -46,9 +46,10 @@ type linkState struct {
 
 // netEngine manages all shared links of a simulation.
 type netEngine struct {
-	s      *Sim
-	links  map[linkID]*linkState
-	nextID int
+	s       *Sim
+	links   map[linkID]*linkState
+	nextID  int
+	sortBuf []*flow // reused by reschedule's deterministic ordering
 }
 
 func newNetEngine(s *Sim) *netEngine {
@@ -109,16 +110,18 @@ func (ne *netEngine) cancel(f *flow) float64 {
 // after elapse).
 func (f *flow) movedOf() float64 { return f.total - f.remainingMB }
 
-// sortedFlows returns the link's flows ordered by id. Iteration order
+// sortedFlows returns the link's flows ordered by id, in the engine's
+// reused scratch buffer (valid until the next call). Iteration order
 // matters wherever events are scheduled: the event heap breaks same-time
 // ties by insertion sequence, so ranging over the flow map directly would
 // make simultaneous completions fire in a different order on every run.
-func (ls *linkState) sortedFlows() []*flow {
-	out := make([]*flow, 0, len(ls.flows))
+func (ne *netEngine) sortedFlows(ls *linkState) []*flow {
+	out := ne.sortBuf[:0]
 	for _, f := range ls.flows {
 		out = append(out, f)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	ne.sortBuf = out
 	return out
 }
 
@@ -142,7 +145,7 @@ func (ne *netEngine) reschedule(ls *linkState) {
 		return
 	}
 	share := ls.capacityMBps / float64(n)
-	for _, f := range ls.sortedFlows() {
+	for _, f := range ne.sortedFlows(ls) {
 		f.rate = share
 		f.gen++
 		gen := f.gen

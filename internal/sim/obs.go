@@ -79,14 +79,3 @@ func (s *Sim) obsRefresh() {
 	s.scanSample(&info)
 	s.setSampleGauges(&info)
 }
-
-// scheduleObsRefresh arms the periodic gauge refresh on the same
-// simulated-time cadence (and stopping rule) as scheduleSample.
-func (s *Sim) scheduleObsRefresh(intervalSec float64) {
-	s.At(s.clock+intervalSec, func() {
-		s.obsRefresh()
-		if s.remaining > 0 {
-			s.scheduleObsRefresh(intervalSec)
-		}
-	})
-}

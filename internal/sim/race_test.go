@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is active; allocation
+// budget tests skip under -race because the race runtime allocates.
+const raceEnabled = true

@@ -8,6 +8,15 @@
 // queues; schedulers react to job arrivals, free slots and task
 // completions, and act through Launch, Enqueue and MoveBlock.
 //
+// The core is sized for 10k-node clusters running millions of tasks: task
+// state lives in one flat index-addressed table (with the hot state column
+// in its own byte array), the event heap is a hand-rolled binary heap over
+// typed event structs (no per-event closure or interface boxing on the
+// steady-state paths), and free slots, running attempts and task-state
+// totals are kept in incremental indexes (see index.go) instead of being
+// recomputed by scans. Options.LegacyDispatch retains the original
+// full-scan control paths for differential testing.
+//
 // Simplifications relative to a real cluster (documented in DESIGN.md):
 // transfers do not contend for link capacity (each gets the full pairwise
 // bandwidth), and a task's CPU rate is its slot's fixed share of the
@@ -15,8 +24,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"lips/internal/cluster"
@@ -50,6 +59,21 @@ type Scheduler interface {
 	OnNodeDown(s *Sim, n cluster.NodeID)
 	// OnNodeUp fires after node n rejoins with every slot free.
 	OnNodeUp(s *Sim, n cluster.NodeID)
+}
+
+// BatchScheduler is an optional Scheduler extension for large clusters: a
+// scheduler that implements it receives one combined OnSlotsFree call when
+// many nodes idle at once (job-arrival sweeps, crash recovery) instead of
+// N per-node OnSlotFree calls. KickIdleNodes drains every idle node's
+// pinned queue first, then delivers the still-idle nodes in ascending
+// order; ordinary single-node slot-free events arrive as a one-element
+// slice. The slice is owned by the simulator and valid only for the
+// duration of the call — do not retain it. Schedulers that do not
+// implement the interface keep the exact per-node OnSlotFree sequence
+// they always had (the compatibility shim in notifySlotFree).
+type BatchScheduler interface {
+	Scheduler
+	OnSlotsFree(s *Sim, nodes []cluster.NodeID)
 }
 
 // NopNodeEvents provides no-op fault hooks; embed it in schedulers that
@@ -132,6 +156,12 @@ type Options struct {
 	// of the sampled gauges (task states, slots, clock) while Metrics is
 	// set. 0 means SampleIntervalSec when sampling is on, else 60.
 	MetricsSampleSec float64
+	// LegacyDispatch restores the pre-index full-scan control paths —
+	// idle-node sweeps over every node, fault replay over every task,
+	// sample scans over every task and node — for differential testing
+	// against the incremental indexes (TestIndexedMatchesLegacyDispatch).
+	// Observable behavior is identical; only the asymptotics differ.
+	LegacyDispatch bool
 }
 
 func (o Options) withDefaults() Options {
@@ -168,60 +198,135 @@ const (
 	Done
 )
 
-// event is one scheduled callback; seq breaks ties deterministically.
+// eventKind discriminates the typed events of the hot loop. Closures are
+// reserved for the rare paths (fault injection, block moves, shared-link
+// flows); everything the steady state schedules is a small struct in the
+// heap's backing slice, so an event costs no allocation at all.
+type eventKind uint8
+
+const (
+	evClosure    eventKind = iota
+	evArrive               // a0 = job
+	evDispatch             // a0 = node (coalesced via nodeState.wakeAt)
+	evComplete             // a0 = job, a1 = task, a2 = gen, a3 = 1 if speculative
+	evTimeout              // a0 = job, a1 = task, a2 = gen
+	evSample               // periodic trace sample, self-rearming
+	evObsRefresh           // periodic gauge refresh, self-rearming
+)
+
+// event is one scheduled occurrence; seq breaks same-time ties by
+// insertion order, which is what makes runs deterministic.
 type event struct {
-	at  float64
-	seq int64
-	fn  func()
+	at             float64
+	seq            int64
+	kind           eventKind
+	a0, a1, a2, a3 int32
+	fn             func() // evClosure only
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
+// push inserts an event into the heap (hand-rolled sift-up: container/heap
+// would box every event in an interface{} and allocate per push).
+func (s *Sim) push(ev event) {
+	s.seq++
+	ev.seq = s.seq
+	h := append(s.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventBefore(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	s.events = h
+}
+
+// pop removes the earliest event. The vacated tail slot is zeroed so the
+// heap does not pin dead closures.
+func (s *Sim) pop() event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && eventBefore(&h[r], &h[l]) {
+			c = r
+		}
+		if !eventBefore(&h[c], &h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	s.events = h
+	return top
+}
+
+// taskInfo is one task's record in the flat table. The state column lives
+// separately in Sim.states so state sweeps touch one byte per task; the
+// nine per-task speculative fields of the old layout live in a pooled
+// side record (specAttempt) reached through spec, since at any instant
+// almost no task has a speculative copy.
 type taskInfo struct {
-	state    TaskState
-	attempts int
-	gen      int // incremented to cancel in-flight attempts
-	node     cluster.NodeID
-	store    cluster.StoreID // input store of the running attempt
-	doneAt   float64
-	flow     *flow // in-flight shared-link transfer, if any
+	job, idx int32 // own coordinates (inverse of the flat index)
+	attempts int32
+	gen      int32 // incremented to cancel in-flight primary events
+	specGen  int32 // incremented per spec settle/cancel; voids spec events
+	qSeq     int32 // bumped per enqueue; voids stale queue entries
+	qNode    int32 // node whose queue holds the live entry; -1 none
+	runPos   int32 // position in Sim.running while the primary runs
+	spec     int32 // index into Sim.specs; -1 when no speculative copy
 
-	// transferEndAt is when the running attempt's dedicated-rate input
-	// read finishes (shared-link reads track ti.flow instead). price is
-	// the node's ECU-second price sampled at attempt start — the price
-	// the attempt is billed at even if the spot multiplier moves later.
+	node  cluster.NodeID
+	store cluster.StoreID // input store of the running attempt
+
+	doneAt  float64
+	startAt float64
+	// wallSec is the dedicated-rate attempt's expected wall time,
+	// stored at launch so the completion event re-bills the exact float
+	// the legacy closure captured ((startAt+d)−startAt ≠ d in floating
+	// point). transferEndAt is when the input read finishes
+	// (shared-link reads track flow instead). price is the node's
+	// ECU-second price sampled at attempt start — the price the attempt
+	// is billed at even if the spot multiplier moves later.
+	wallSec       float64
 	transferEndAt float64
 	price         cost.Money
+	flow          *flow // in-flight shared-link transfer, if any
+}
 
-	specRunning       bool
-	specNode          cluster.NodeID
-	specStore         cluster.StoreID
-	specStart         float64
-	specCPUSec        float64
-	specFlow          *flow
-	specTransferEndAt float64
-	specPrice         cost.Money
+// specAttempt is one running speculative copy, pooled with a free-list.
+type specAttempt struct {
+	node          cluster.NodeID
+	store         cluster.StoreID
+	start         float64
+	cpuSec        float64
+	wallSec       float64
+	transferEndAt float64
+	price         cost.Money
+	flow          *flow
+	runPos        int32 // position in Sim.running
 }
 
 type jobState struct {
 	arrived    bool
+	fifoPos    int // position in the arrival order (valid once arrived)
 	remaining  int
 	doneAt     float64
 	waitingOn  int   // unfinished prerequisite jobs
@@ -229,7 +334,8 @@ type jobState struct {
 }
 
 type queueEntry struct {
-	job, task int
+	job, task int32
+	seq       int32 // must match the task's qSeq or the entry is stale
 	store     cluster.StoreID
 	readyAt   float64
 }
@@ -241,6 +347,7 @@ type nodeState struct {
 	down       bool    // crashed: no slots, no launches, no enqueues
 	slowFactor float64 // straggler runtime multiplier while slowUntil is ahead
 	slowUntil  float64
+	wakeAt     float64 // latest armed dispatch wake-up (coalescing); -1 none
 }
 
 // Sim is one simulation run. Create with New, execute with Run.
@@ -257,6 +364,7 @@ type Sim struct {
 
 	opts  Options
 	sched Scheduler
+	batch BatchScheduler // sched when it opts into batched notifications
 
 	// tr is the event sink; traceOn caches Enabled so the disabled path
 	// costs one boolean load per call site. om is nil when live metrics
@@ -267,17 +375,40 @@ type Sim struct {
 
 	clock  float64
 	seq    int64
-	events eventHeap
+	events []event // binary heap ordered by (at, seq)
 	nevent int
 
 	nodes []nodeState
 	jobs  []jobState
-	tasks [][]taskInfo
 
-	fifo        []int // arrival-ordered incomplete jobs
+	// Flat task table: task (j, t) lives at taskBase[j]+t. states is the
+	// hot column; specs/specFree pool the speculative side records.
+	tasks    []taskInfo
+	taskBase []int32 // len(jobs)+1; taskBase[len(jobs)] = total tasks
+	states   []uint8
+	specs    []specAttempt
+	specFree []int32
+
+	// Incremental indexes; see index.go for the invariants.
+	running    []int32  // packed refs of in-flight attempts
+	idle       []uint64 // bitset of live nodes with free slots
+	nodeZone   []int32  // node → dense zone index
+	zoneIdx    map[string]int
+	zoneFree   []int
+	freeSlots  int
+	liveSlots  int
+	totalSlots int
+	stateCount [4]int
+	unarrived  int // tasks of not-yet-arrived jobs (always Pending)
+
+	fifo        []int // arrival-ordered jobs
 	busySlotSec float64
 	remaining   int // incomplete jobs
 	net         *netEngine
+
+	oneNode [1]cluster.NodeID // single-node batch for the shim
+	kickBuf []cluster.NodeID  // reused idle-set buffer for KickIdleNodes
+	hitBuf  []int32           // reused fault-replay collection buffer
 
 	// movingBlocks counts in-flight MoveBlock transfers per (object,
 	// block), so planners can avoid racing a relocation they (or a
@@ -307,22 +438,68 @@ func New(c *cluster.Cluster, w *workload.Workload, p *hdfs.Placement, sched Sche
 		opts:    opts.withDefaults(),
 		sched:   sched,
 	}
+	if b, ok := sched.(BatchScheduler); ok {
+		s.batch = b
+	}
 	s.tr = s.opts.Tracer
 	s.traceOn = s.tr.Enabled()
 	if s.opts.Metrics != nil {
 		s.om = newSimMetrics(s.opts.Metrics)
 	}
+
+	s.zoneIdx = make(map[string]int, len(c.Zones))
+	for i, z := range c.Zones {
+		s.zoneIdx[z] = i
+	}
+	s.zoneFree = make([]int, len(c.Zones))
+	s.nodeZone = make([]int32, len(c.Nodes))
 	s.nodes = make([]nodeState, len(c.Nodes))
+	s.idle = make([]uint64, (len(c.Nodes)+63)/64)
 	for i, n := range c.Nodes {
 		s.nodes[i].free = n.Slots
+		s.nodes[i].wakeAt = -1
+		zi := s.zoneIdx[n.Zone]
+		s.nodeZone[i] = int32(zi)
+		s.zoneFree[zi] += n.Slots
+		s.totalSlots += n.Slots
+		if n.Slots > 0 {
+			s.markIdle(cluster.NodeID(i))
+		}
 	}
+	s.freeSlots = s.totalSlots
+	s.liveSlots = s.totalSlots
+
 	s.jobs = make([]jobState, len(w.Jobs))
-	s.tasks = make([][]taskInfo, len(w.Jobs))
+	s.taskBase = make([]int32, len(w.Jobs)+1)
+	total := 0
 	for j, job := range w.Jobs {
-		s.tasks[j] = make([]taskInfo, job.NumTasks)
+		s.taskBase[j] = int32(total)
+		total += job.NumTasks
 		s.jobs[j].remaining = job.NumTasks
 	}
+	s.taskBase[len(w.Jobs)] = int32(total)
+	s.tasks = make([]taskInfo, total)
+	s.states = make([]uint8, total)
+	flat := int32(0)
+	for j, job := range w.Jobs {
+		for t := 0; t < job.NumTasks; t++ {
+			ti := &s.tasks[flat]
+			ti.job, ti.idx = int32(j), int32(t)
+			ti.qNode, ti.spec, ti.runPos = -1, -1, -1
+			flat++
+		}
+	}
+	s.stateCount[Pending] = total
+	s.unarrived = total
 	s.remaining = len(w.Jobs)
+
+	// Pre-size the heap for the steady state — one completion event per
+	// occupied slot plus the job arrivals — so the hot loop never grows
+	// it. The running index is bounded by the slot count outright.
+	s.events = make([]event, 0, s.totalSlots+len(w.Jobs)+16)
+	s.running = make([]int32, 0, s.totalSlots+1)
+	s.kickBuf = make([]cluster.NodeID, 0, len(c.Nodes))
+
 	s.net = newNetEngine(s)
 	s.movingBlocks = make(map[[2]int]blockMove)
 	return s
@@ -336,8 +513,45 @@ func (s *Sim) At(t float64, fn func()) {
 	if t < s.clock {
 		t = s.clock
 	}
-	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	s.push(event{at: t, kind: evClosure, fn: fn})
+}
+
+// schedule enqueues a typed (allocation-free) event at time t.
+func (s *Sim) schedule(t float64, kind eventKind, a0, a1, a2, a3 int32) {
+	if t < s.clock {
+		t = s.clock
+	}
+	s.push(event{at: t, kind: kind, a0: a0, a1: a1, a2: a2, a3: a3})
+}
+
+// exec runs one popped event.
+func (s *Sim) exec(ev *event) {
+	switch ev.kind {
+	case evClosure:
+		ev.fn()
+	case evArrive:
+		s.arrive(int(ev.a0))
+	case evDispatch:
+		ns := &s.nodes[ev.a0]
+		if ns.wakeAt == ev.at {
+			ns.wakeAt = -1
+		}
+		s.dispatch(cluster.NodeID(ev.a0))
+	case evComplete:
+		s.completeEvent(int(ev.a0), int(ev.a1), ev.a2, ev.a3 == 1)
+	case evTimeout:
+		s.timeoutEvent(int(ev.a0), int(ev.a1), ev.a2)
+	case evSample:
+		s.emitSample()
+		if s.remaining > 0 {
+			s.schedule(s.clock+s.opts.SampleIntervalSec, evSample, 0, 0, 0, 0)
+		}
+	case evObsRefresh:
+		s.obsRefresh()
+		if s.remaining > 0 {
+			s.schedule(s.clock+s.opts.MetricsSampleSec, evObsRefresh, 0, 0, 0, 0)
+		}
+	}
 }
 
 // Run executes the simulation to completion and returns the result.
@@ -355,14 +569,14 @@ func (s *Sim) Run() (*Result, error) {
 	sampling := s.traceOn && s.opts.SampleIntervalSec > 0
 	if sampling {
 		s.emitSample()
-		s.scheduleSample(s.opts.SampleIntervalSec)
+		s.schedule(s.clock+s.opts.SampleIntervalSec, evSample, 0, 0, 0, 0)
 	}
 	// When trace sampling already refreshes the gauges on the same
 	// cadence, a second refresh chain would only race it at coincident
 	// ticks; run one only when the cadences differ.
 	if s.om != nil && !(sampling && s.opts.SampleIntervalSec == s.opts.MetricsSampleSec) {
 		s.obsRefresh()
-		s.scheduleObsRefresh(s.opts.MetricsSampleSec)
+		s.schedule(s.clock+s.opts.MetricsSampleSec, evObsRefresh, 0, 0, 0, 0)
 	}
 	s.sched.Init(s)
 	for j, deps := range s.opts.Deps {
@@ -381,17 +595,16 @@ func (s *Sim) Run() (*Result, error) {
 		if s.jobs[j].waitingOn > 0 {
 			continue // gated on dependencies
 		}
-		job := j
-		s.At(s.W.Jobs[j].ArrivalSec, func() { s.arrive(job) })
+		s.schedule(s.W.Jobs[j].ArrivalSec, evArrive, int32(j), 0, 0, 0)
 	}
 	for len(s.events) > 0 {
 		s.nevent++
 		if s.nevent > s.opts.MaxEvents {
 			return nil, fmt.Errorf("sim: aborted after %d events at t=%.1f (%d jobs incomplete)", s.nevent, s.clock, s.remaining)
 		}
-		ev := heap.Pop(&s.events).(event)
+		ev := s.pop()
 		s.clock = ev.at
-		ev.fn()
+		s.exec(&ev)
 	}
 	if s.remaining > 0 {
 		return nil, fmt.Errorf("sim: deadlock: %d jobs incomplete at t=%.1f under %s", s.remaining, s.clock, s.sched.Name())
@@ -400,10 +613,19 @@ func (s *Sim) Run() (*Result, error) {
 }
 
 func (s *Sim) arrive(job int) {
-	s.jobs[job].arrived = true
+	js := &s.jobs[job]
+	js.arrived = true
+	js.fifoPos = len(s.fifo)
+	s.unarrived -= s.W.Jobs[job].NumTasks
 	s.fifo = append(s.fifo, job)
 	s.sched.OnJobArrival(s, job)
 }
+
+// flat returns the task's index in the flat table.
+func (s *Sim) flat(job, task int) int32 { return s.taskBase[job] + int32(task) }
+
+// task returns the task's record.
+func (s *Sim) task(job, task int) *taskInfo { return &s.tasks[s.taskBase[job]+int32(task)] }
 
 // ArrivedJobs returns the arrived-and-incomplete jobs in arrival order.
 func (s *Sim) ArrivedJobs() []int {
@@ -419,16 +641,36 @@ func (s *Sim) ArrivedJobs() []int {
 // PendingTasks returns the Pending task indices of a job, ascending.
 func (s *Sim) PendingTasks(job int) []int {
 	var out []int
-	for t := range s.tasks[job] {
-		if s.tasks[job][t].state == Pending {
-			out = append(out, t)
+	base, end := s.taskBase[job], s.taskBase[job+1]
+	for f := base; f < end; f++ {
+		if TaskState(s.states[f]) == Pending {
+			out = append(out, int(f-base))
 		}
 	}
 	return out
 }
 
+// NextPending returns the lowest Pending task index of a job that is ≥
+// from, or -1 — the allocation-free alternative to PendingTasks for
+// schedulers that sweep a job with a cursor (amortized O(1) per launch
+// while the cursor only moves forward).
+func (s *Sim) NextPending(job, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	base, end := s.taskBase[job], s.taskBase[job+1]
+	for f := base + int32(from); f < end; f++ {
+		if TaskState(s.states[f]) == Pending {
+			return int(f - base)
+		}
+	}
+	return -1
+}
+
 // TaskState returns the state of one task.
-func (s *Sim) TaskState(job, task int) TaskState { return s.tasks[job][task].state }
+func (s *Sim) TaskState(job, task int) TaskState {
+	return TaskState(s.states[s.taskBase[job]+int32(task)])
+}
 
 // FreeSlots returns the free slot count of a node.
 func (s *Sim) FreeSlots(n cluster.NodeID) int { return s.nodes[n].free }
@@ -436,15 +678,77 @@ func (s *Sim) FreeSlots(n cluster.NodeID) int { return s.nodes[n].free }
 // JobRemaining returns how many tasks of the job are not Done.
 func (s *Sim) JobRemaining(job int) int { return s.jobs[job].remaining }
 
-// KickIdleNodes invokes OnSlotFree for every live node that has free
-// slots and no dispatchable queue entry — how built-in schedulers react
-// to arrivals (and how they pick up work orphaned by a crash).
+// KickIdleNodes invokes the scheduler's slot-free path for every live
+// node that has free slots — how built-in schedulers react to arrivals
+// (and how they pick up work orphaned by a crash). The sweep walks the
+// idle bitset rather than every node; under a BatchScheduler the idle set
+// is delivered in one OnSlotsFree call after the pinned queues drain.
 func (s *Sim) KickIdleNodes() {
-	for n := range s.nodes {
-		if !s.nodes[n].down && s.nodes[n].free > 0 {
-			s.dispatch(cluster.NodeID(n))
+	if s.opts.LegacyDispatch {
+		for n := range s.nodes {
+			if !s.nodes[n].down && s.nodes[n].free > 0 {
+				s.dispatch(cluster.NodeID(n))
+			}
+		}
+		return
+	}
+	if s.batch != nil {
+		s.sweepIdle(true)
+		buf := s.IdleNodes(s.kickBuf[:0])
+		s.kickBuf = buf
+		if len(buf) > 0 {
+			s.batch.OnSlotsFree(s, buf)
+		}
+		return
+	}
+	s.sweepIdle(false)
+}
+
+// sweepIdle visits every idle node in ascending order, re-reading the
+// bitset word after each visit: a dispatch can fill nodes ahead of the
+// sweep, and the legacy scan checked liveness at visit time. Bits at or
+// below the visited node are masked off — the legacy scan never
+// revisited earlier nodes either. drainOnly skips the per-node scheduler
+// notification; the batched path delivers one combined callback after.
+func (s *Sim) sweepIdle(drainOnly bool) {
+	for wi := 0; wi < len(s.idle); wi++ {
+		pending := s.idle[wi]
+		for pending != 0 {
+			b := bits.TrailingZeros64(pending)
+			n := cluster.NodeID(wi<<6 + b)
+			if drainOnly {
+				s.drainQueue(n, &s.nodes[n])
+			} else {
+				s.dispatch(n)
+			}
+			pending = s.idle[wi] &^ (^uint64(0) >> (63 - uint(b)))
 		}
 	}
+}
+
+// notifySlotFree hands an idle node to the scheduler — the compatibility
+// shim between the two notification styles: batch-aware schedulers get a
+// one-element OnSlotsFree, everyone else the classic OnSlotFree.
+func (s *Sim) notifySlotFree(n cluster.NodeID) {
+	if s.batch != nil {
+		s.oneNode[0] = n
+		s.batch.OnSlotsFree(s, s.oneNode[:])
+		return
+	}
+	s.sched.OnSlotFree(s, n)
+}
+
+// armDispatch schedules a dispatch wake-up for node n at time t,
+// coalescing with an identical wake-up already in the heap: epoch
+// planners enqueue whole task batches behind one block move, which used
+// to push one (redundant) event per task.
+func (s *Sim) armDispatch(n cluster.NodeID, t float64) {
+	ns := &s.nodes[n]
+	if ns.wakeAt == t {
+		return
+	}
+	ns.wakeAt = t
+	s.schedule(t, evDispatch, int32(n), 0, 0, 0)
 }
 
 // result assembles the final Result.
@@ -458,10 +762,6 @@ func (s *Sim) result() *Result {
 		UserCPU:   s.UserCPU,
 		Faults:    s.Faults,
 	}
-	totalSlots := 0
-	for _, n := range s.C.Nodes {
-		totalSlots += n.Slots
-	}
 	for j := range s.jobs {
 		r.JobDone[j] = s.jobs[j].doneAt
 		if s.jobs[j].doneAt > r.Makespan {
@@ -469,7 +769,7 @@ func (s *Sim) result() *Result {
 		}
 		r.SumJobSec += s.jobs[j].doneAt - s.W.Jobs[j].ArrivalSec
 	}
-	r.Utilization = metrics.Utilization(s.busySlotSec, float64(totalSlots), r.Makespan)
+	r.Utilization = metrics.Utilization(s.busySlotSec, float64(s.totalSlots), r.Makespan)
 	shares := make([]float64, 0, len(s.UserCPU))
 	users := make([]string, 0, len(s.UserCPU))
 	for u := range s.UserCPU {

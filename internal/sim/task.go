@@ -57,8 +57,9 @@ func (s *Sim) observeLocality(n cluster.NodeID, store cluster.StoreID, hasInput 
 // NoStore. Launch returns an error on misuse — scheduler bugs, surfaced
 // loudly rather than silently absorbed.
 func (s *Sim) Launch(job, task int, n cluster.NodeID, store cluster.StoreID) error {
-	ti := &s.tasks[job][task]
-	if ti.state == Running || ti.state == Done {
+	flat := s.flat(job, task)
+	st := TaskState(s.states[flat])
+	if st == Running || st == Done {
 		return fmt.Errorf("sim: task %d/%d launched twice", job, task)
 	}
 	if s.nodes[n].down {
@@ -78,16 +79,22 @@ func (s *Sim) Launch(job, task int, n cluster.NodeID, store cluster.StoreID) err
 	} else {
 		store = NoStore
 	}
+	if st == Queued {
+		// Launched out from under its queue entry; void the entry so the
+		// node's next drain drops it instead of double-launching.
+		s.tasks[flat].qNode = -1
+	}
 	s.startAttempt(job, task, n, store, false)
 	return nil
 }
 
 // startAttempt begins one execution attempt (primary or speculative).
 func (s *Sim) startAttempt(job, task int, n cluster.NodeID, store cluster.StoreID, speculative bool) {
-	ti := &s.tasks[job][task]
+	flat := s.flat(job, task)
+	ti := &s.tasks[flat]
 	j := s.W.Jobs[job]
 	node := &s.C.Nodes[n]
-	s.nodes[n].free--
+	s.slotTaken(n)
 
 	cpuSec, mb := s.taskDemand(job, task)
 	slotECU := node.ECU / float64(node.Slots)
@@ -101,95 +108,145 @@ func (s *Sim) startAttempt(job, task int, n cluster.NodeID, store cluster.StoreI
 	// moves after launch do not reprice work already underway.
 	price := s.priceOf(node)
 	if speculative {
-		ti.specRunning = true
-		ti.specNode = n
-		ti.specStore = store
-		ti.specStart = s.clock
-		ti.specCPUSec = cpuSec
-		ti.specTransferEndAt = s.clock + transferSec
-		ti.specPrice = price
+		sp := s.allocSpec(ti)
+		sp.node = n
+		sp.store = store
+		sp.start = s.clock
+		sp.cpuSec = cpuSec
+		sp.wallSec = transferSec + runSec
+		sp.transferEndAt = s.clock + transferSec
+		sp.price = price
+		sp.runPos = s.trackRunning(flat<<1 | 1)
 	} else {
-		ti.state = Running
+		s.setStateFlat(flat, Running)
 		ti.node = n
 		ti.store = store
 		ti.attempts++
+		ti.startAt = s.clock
+		// Store the expected wall time itself: the completion event
+		// re-bills this exact float, and (startAt+d)−startAt ≠ d in
+		// floating point.
+		ti.wallSec = transferSec + runSec
 		ti.doneAt = s.clock + transferSec + runSec // expected finish
 		ti.transferEndAt = s.clock + transferSec
 		ti.price = price
+		ti.runPos = s.trackRunning(flat << 1)
 	}
 	loc := s.observeLocality(n, store, j.HasInput())
-	s.noteLaunch(job, task, ti.attempts, n, store, loc, speculative)
+	s.noteLaunch(job, task, int(ti.attempts), n, store, loc, speculative)
 
-	gen := ti.gen
 	if s.opts.SharedLinks && mb > 0 && node.Store != store {
-		s.startSharedAttempt(job, task, n, store, cpuSec, mb, runSec, speculative, gen)
+		s.startSharedAttempt(job, task, n, store, cpuSec, mb, runSec, speculative, ti.gen)
 		return
 	}
-	timedOut := transferSec > s.opts.TaskTimeoutSec && ti.attempts <= s.opts.MaxAttempts && !speculative
+	timedOut := transferSec > s.opts.TaskTimeoutSec && int(ti.attempts) <= s.opts.MaxAttempts && !speculative
 	if timedOut {
 		// Hadoop's progress timeout: the task is killed after the
-		// timeout window; the bytes moved so far were still billed.
-		s.At(s.clock+s.opts.TaskTimeoutSec, func() {
-			if s.tasks[job][task].gen != gen {
-				return
-			}
-			movedMB := s.opts.TaskTimeoutSec * s.C.BandwidthStoreNode(store, n)
-			billed := s.C.MSPerGB(n, store).MulFloat(movedMB / 1024)
-			s.charge(cost.CatTransfer, j.Name, billed)
-			s.busySlotSec += s.opts.TaskTimeoutSec
-			ti := &s.tasks[job][task]
-			ti.gen++
-			ti.state = Pending
-			s.noteKill(job, task, n, "timeout", billed, false)
-			s.nodes[n].free++
-			s.dispatch(n)
-		})
+		// timeout window; the bytes moved so far are still billed. No
+		// completion event is scheduled — the timeout is this attempt's
+		// only future.
+		s.schedule(s.clock+s.opts.TaskTimeoutSec, evTimeout, int32(job), int32(task), ti.gen, 0)
 		return
 	}
+	if speculative {
+		s.schedule(s.clock+transferSec+runSec, evComplete, int32(job), int32(task), ti.specGen, 1)
+		return
+	}
+	s.schedule(s.clock+transferSec+runSec, evComplete, int32(job), int32(task), ti.gen, 0)
+}
 
-	s.At(s.clock+transferSec+runSec, func() {
-		if s.tasks[job][task].gen != gen {
-			return
+// timeoutEvent fires Hadoop's progress timeout on a dedicated-rate
+// primary attempt (evTimeout).
+func (s *Sim) timeoutEvent(job, task int, gen int32) {
+	ti := s.task(job, task)
+	if ti.gen != gen {
+		return
+	}
+	n, store := ti.node, ti.store
+	movedMB := s.opts.TaskTimeoutSec * s.C.BandwidthStoreNode(store, n)
+	billed := s.C.MSPerGB(n, store).MulFloat(movedMB / 1024)
+	s.charge(cost.CatTransfer, s.W.Jobs[job].Name, billed)
+	s.busySlotSec += s.opts.TaskTimeoutSec
+	s.untrackPrimary(ti)
+	ti.gen++
+	s.setStateFlat(s.flat(job, task), Pending)
+	s.noteKill(job, task, n, "timeout", billed, false)
+	s.slotFreed(n)
+	s.dispatch(n)
+}
+
+// completeEvent finishes a dedicated-rate attempt (evComplete). The
+// demand is recomputed (it is a pure function of the workload) and the
+// wall time was stored at launch, so the typed event needs no closure.
+func (s *Sim) completeEvent(job, task int, gen int32, speculative bool) {
+	ti := s.task(job, task)
+	if speculative {
+		if ti.spec < 0 || ti.specGen != gen {
+			return // copy cancelled or settled
 		}
-		s.completeAttempt(job, task, n, store, cpuSec, mb, transferSec+runSec, speculative)
-	})
+		cpuSec, mb := s.taskDemand(job, task)
+		sp := &s.specs[ti.spec]
+		s.completeAttempt(job, task, sp.node, sp.store, cpuSec, mb, sp.wallSec, true)
+		return
+	}
+	if ti.gen != gen {
+		return
+	}
+	cpuSec, mb := s.taskDemand(job, task)
+	s.completeAttempt(job, task, ti.node, ti.store, cpuSec, mb, ti.wallSec, false)
 }
 
 // startSharedAttempt runs one attempt whose input read contends on the
 // shared zone-pair link (Options.SharedLinks). The transfer becomes a
 // processor-sharing flow; Hadoop's progress timeout applies to the
-// transfer phase only, as in the dedicated-rate path.
-func (s *Sim) startSharedAttempt(job, task int, n cluster.NodeID, store cluster.StoreID, cpuSec, mb, runSec float64, speculative bool, gen int) {
-	ti := &s.tasks[job][task]
+// transfer phase only, as in the dedicated-rate path. Flow completion
+// times depend on future link membership, so this rare path keeps
+// closure events; each closure re-fetches the task record and, for
+// speculative copies, revalidates specGen (spec records are pooled).
+func (s *Sim) startSharedAttempt(job, task int, n cluster.NodeID, store cluster.StoreID, cpuSec, mb, runSec float64, speculative bool, gen int32) {
+	ti := s.task(job, task)
 	j := s.W.Jobs[job]
 	start := s.clock
-	fl := s.net.start(s.C.Stores[store].Zone, s.C.Nodes[n].Zone, mb, func() {
-		if s.tasks[job][task].gen != gen {
-			return
-		}
-		if speculative {
-			ti.specFlow = nil
-			ti.specTransferEndAt = s.clock
-		} else {
-			ti.flow = nil
-			ti.transferEndAt = s.clock
-		}
-		s.At(s.clock+runSec, func() {
-			if s.tasks[job][task].gen != gen {
+	if speculative {
+		specGen := ti.specGen
+		fl := s.net.start(s.C.Stores[store].Zone, s.C.Nodes[n].Zone, mb, func() {
+			ti := s.task(job, task)
+			if ti.spec < 0 || ti.specGen != specGen {
 				return
 			}
-			s.completeAttempt(job, task, n, store, cpuSec, mb, s.clock-start, speculative)
+			sp := &s.specs[ti.spec]
+			sp.flow = nil
+			sp.transferEndAt = s.clock
+			s.At(s.clock+runSec, func() {
+				ti := s.task(job, task)
+				if ti.spec < 0 || ti.specGen != specGen {
+					return
+				}
+				s.completeAttempt(job, task, n, store, cpuSec, mb, s.clock-start, true)
+			})
+		})
+		s.specs[ti.spec].flow = fl
+		return
+	}
+	fl := s.net.start(s.C.Stores[store].Zone, s.C.Nodes[n].Zone, mb, func() {
+		ti := s.task(job, task)
+		if ti.gen != gen {
+			return
+		}
+		ti.flow = nil
+		ti.transferEndAt = s.clock
+		s.At(s.clock+runSec, func() {
+			if s.task(job, task).gen != gen {
+				return
+			}
+			s.completeAttempt(job, task, n, store, cpuSec, mb, s.clock-start, false)
 		})
 	})
-	if speculative {
-		ti.specFlow = fl
-	} else {
-		ti.flow = fl
-		ti.doneAt = start + mb/fl.rate + runSec // optimistic estimate for speculation
-	}
-	if !speculative && ti.attempts <= s.opts.MaxAttempts {
+	ti.flow = fl
+	ti.doneAt = start + mb/fl.rate + runSec // optimistic estimate for speculation
+	if int(ti.attempts) <= s.opts.MaxAttempts {
 		s.At(start+s.opts.TaskTimeoutSec, func() {
-			ti := &s.tasks[job][task]
+			ti := s.task(job, task)
 			if ti.gen != gen || ti.flow == nil {
 				return // attempt superseded or transfer already finished
 			}
@@ -198,10 +255,11 @@ func (s *Sim) startSharedAttempt(job, task int, n cluster.NodeID, store cluster.
 			billed := s.C.MSPerGB(n, store).MulFloat(moved / 1024)
 			s.charge(cost.CatTransfer, j.Name, billed)
 			s.busySlotSec += s.opts.TaskTimeoutSec
+			s.untrackPrimary(ti)
 			ti.gen++
-			ti.state = Pending
+			s.setStateFlat(s.flat(job, task), Pending)
 			s.noteKill(job, task, n, "timeout", billed, false)
-			s.nodes[n].free++
+			s.slotFreed(n)
 			s.dispatch(n)
 		})
 	}
@@ -210,7 +268,8 @@ func (s *Sim) startSharedAttempt(job, task int, n cluster.NodeID, store cluster.
 // completeAttempt finishes one attempt: bills it, frees the slot, settles
 // any speculative twin, and fires the completion callbacks.
 func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.StoreID, cpuSec, mb, wallSec float64, speculative bool) {
-	ti := &s.tasks[job][task]
+	flat := s.flat(job, task)
+	ti := &s.tasks[flat]
 	j := s.W.Jobs[job]
 	node := &s.C.Nodes[n]
 
@@ -219,8 +278,11 @@ func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.Sto
 		billedCPUSec = wallSec * node.ECU / float64(node.Slots)
 	}
 	price := ti.price
+	transferEnd := ti.transferEndAt
 	if speculative {
-		price = ti.specPrice
+		sp := &s.specs[ti.spec]
+		price = sp.price
+		transferEnd = sp.transferEndAt
 	}
 	billed := cost.CPUCost(price, billedCPUSec)
 	s.charge(cost.CatCPU, j.Name, billed)
@@ -232,36 +294,42 @@ func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.Sto
 	s.NodeCPU.Add(int(n), cpuSec)
 	s.UserCPU[j.User] += cpuSec
 	s.busySlotSec += wallSec
-	s.nodes[n].free++
+	if speculative {
+		s.untrackRunning(s.specs[ti.spec].runPos)
+	} else {
+		s.untrackPrimary(ti)
+	}
+	s.slotFreed(n)
 
 	if s.om != nil {
 		s.om.m.Done.Inc()
 	}
 	if s.traceOn {
-		transferEnd := ti.transferEndAt
-		if speculative {
-			transferEnd = ti.specTransferEndAt
-		}
 		xferSec := transferEnd - (s.clock - wallSec)
 		if xferSec < 0 {
 			xferSec = 0
 		} else if xferSec > wallSec {
 			xferSec = wallSec
 		}
-		s.noteDone(job, task, ti.attempts, n, store, wallSec, xferSec, billedCPUSec, billed, speculative)
+		s.noteDone(job, task, int(ti.attempts), n, store, wallSec, xferSec, billedCPUSec, billed, speculative)
 	}
 
 	// Settle the twin attempt, if any.
 	if speculative {
 		// The speculative copy won; kill the primary and bill its
-		// partial CPU burn as speculative waste.
-		s.killAttempt(job, task, ti.node, s.clock-0)
-	} else if ti.specRunning {
+		// partial CPU burn as speculative waste, then release the spec
+		// record. (The previous layout left the record marked running
+		// after a win, so a later fault on the dead copy's node could
+		// phantom-bill a completed task.)
+		s.killAttempt(job, task, ti.node)
+		s.freeSpec(ti)
+		ti.specGen++
+	} else if ti.spec >= 0 {
 		s.killSpeculative(job, task)
 	}
 
 	ti.gen++
-	ti.state = Done
+	s.setStateFlat(flat, Done)
 	ti.doneAt = s.clock
 	js := &s.jobs[job]
 	js.remaining--
@@ -278,8 +346,7 @@ func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.Sto
 				if arriveAt < s.clock {
 					arriveAt = s.clock
 				}
-				d := dep
-				s.At(arriveAt, func() { s.arrive(d) })
+				s.schedule(arriveAt, evArrive, int32(dep), 0, 0, 0)
 			}
 		}
 	}
@@ -297,38 +364,41 @@ func (s *Sim) killSpeculative(job, task int) {
 // to the given category. freeSlot is false when the copy's node crashed
 // and took the slot with it; reason labels the kill in the trace.
 func (s *Sim) cancelSpeculative(job, task int, cat cost.Category, freeSlot bool, reason string) {
-	ti := &s.tasks[job][task]
-	if !ti.specRunning {
+	ti := s.task(job, task)
+	if ti.spec < 0 {
 		return
 	}
-	if ti.specFlow != nil {
+	sp := &s.specs[ti.spec]
+	if sp.flow != nil {
 		// Free the link; the aborted copy's partial bytes are folded
 		// into the wasted-CPU charge below.
-		s.net.cancel(ti.specFlow)
-		ti.specFlow = nil
+		s.net.cancel(sp.flow)
+		sp.flow = nil
 	}
-	n := ti.specNode
-	elapsed := s.clock - ti.specStart
+	n := sp.node
+	elapsed := s.clock - sp.start
 	node := &s.C.Nodes[n]
 	slotECU := node.ECU / float64(node.Slots)
 	burned := elapsed * slotECU
-	if burned > ti.specCPUSec {
-		burned = ti.specCPUSec
+	if burned > sp.cpuSec {
+		burned = sp.cpuSec
 	}
-	billed := cost.CPUCost(ti.specPrice, burned)
+	billed := cost.CPUCost(sp.price, burned)
 	s.charge(cat, s.W.Jobs[job].Name, billed)
 	s.busySlotSec += elapsed
-	ti.specRunning = false
+	s.untrackRunning(sp.runPos)
+	s.freeSpec(ti)
+	ti.specGen++
 	s.noteKill(job, task, n, reason, billed, true)
 	if freeSlot {
-		s.nodes[n].free++
+		s.slotFreed(n)
 		s.dispatch(n)
 	}
 }
 
 // killAttempt cancels the primary attempt after a speculative win.
-func (s *Sim) killAttempt(job, task int, n cluster.NodeID, _ float64) {
-	ti := &s.tasks[job][task]
+func (s *Sim) killAttempt(job, task int, n cluster.NodeID) {
+	ti := s.task(job, task)
 	if fl := ti.flow; fl != nil {
 		s.net.cancel(fl)
 		ti.flow = nil
@@ -338,35 +408,57 @@ func (s *Sim) killAttempt(job, task int, n cluster.NodeID, _ float64) {
 	cpuSec, _ := s.taskDemand(job, task)
 	billed := cost.CPUCost(ti.price, cpuSec/2)
 	s.charge(cost.CatSpeculative, s.W.Jobs[job].Name, billed)
+	s.untrackPrimary(ti)
 	s.noteKill(job, task, n, "speculative", billed, false)
-	s.nodes[n].free++
+	s.slotFreed(n)
 	s.dispatch(n)
+}
+
+// untrackPrimary drops the task's primary attempt from the running index,
+// idempotently: fault replay can reach an attempt through more than one
+// path, and only the first removal counts.
+func (s *Sim) untrackPrimary(ti *taskInfo) {
+	if ti.runPos >= 0 {
+		s.untrackRunning(ti.runPos)
+		ti.runPos = -1
+	}
 }
 
 // LaunchSpeculative starts a duplicate copy of a running task on node n
 // (which must have a free slot), reading from the best replica. It
 // returns false if no running task qualifies. Hadoop launches such copies
-// when slots idle near the end of a job; the first finisher wins.
+// when slots idle near the end of a job; the first finisher wins. The
+// candidate scan walks the running-attempt index (bounded by the slot
+// count) rather than every task; the winner is the latest-finishing
+// eligible task, ties broken by arrival order then task index — the
+// first-found rule of the old full scan.
 func (s *Sim) LaunchSpeculative(n cluster.NodeID) bool {
 	if !s.opts.Speculative || s.nodes[n].down || s.nodes[n].free <= 0 {
 		return false
 	}
-	bestJob, bestTask := -1, -1
+	best := int32(-1)
 	var bestDone float64
-	for _, j := range s.ArrivedJobs() {
-		for t := range s.tasks[j] {
-			ti := &s.tasks[j][t]
-			if ti.state != Running || ti.specRunning || ti.node == n {
-				continue
-			}
-			if bestJob == -1 || ti.doneAt > bestDone {
-				bestJob, bestTask, bestDone = j, t, ti.doneAt
-			}
+	var bestPos, bestIdx int
+	for _, ref := range s.running {
+		if ref&1 == 1 {
+			continue // speculative copies are not re-speculated
+		}
+		flat := ref >> 1
+		ti := &s.tasks[flat]
+		if ti.spec >= 0 || ti.node == n {
+			continue
+		}
+		pos, idx := s.jobs[ti.job].fifoPos, int(ti.idx)
+		if best == -1 || ti.doneAt > bestDone ||
+			(ti.doneAt == bestDone && (pos < bestPos || (pos == bestPos && idx < bestIdx))) {
+			best, bestDone, bestPos, bestIdx = flat, ti.doneAt, pos, idx
 		}
 	}
-	if bestJob == -1 {
+	if best == -1 {
 		return false
 	}
+	ti := &s.tasks[best]
+	bestJob, bestTask := int(ti.job), int(ti.idx)
 	store := NoStore
 	if s.W.Jobs[bestJob].HasInput() {
 		store = s.BestReplica(bestJob, bestTask, n)
@@ -411,11 +503,13 @@ func (s *Sim) localityRank(n cluster.NodeID, store cluster.StoreID) int {
 // KillTask preempts a Running task: its attempt is cancelled, the CPU it
 // burned so far is billed (work lost is work paid for, as with Hadoop's
 // fair-scheduler preemption), the slot frees, and the task returns to
-// Pending for rescheduling. Queued tasks simply return to Pending.
-// Killing a Pending or Done task is an error.
+// Pending for rescheduling. Queued tasks simply return to Pending — the
+// queue entry is voided in place and dropped at the node's next drain,
+// not searched for. Killing a Pending or Done task is an error.
 func (s *Sim) KillTask(job, task int) error {
-	ti := &s.tasks[job][task]
-	switch ti.state {
+	flat := s.flat(job, task)
+	ti := &s.tasks[flat]
+	switch TaskState(s.states[flat]) {
 	case Running:
 		n := ti.node
 		node := &s.C.Nodes[n]
@@ -437,121 +531,133 @@ func (s *Sim) KillTask(job, task int) error {
 			s.net.cancel(ti.flow)
 			ti.flow = nil
 		}
-		if ti.specRunning {
+		// Untrack before the spec kill: its dispatch runs scheduler
+		// code, which must not find this half-dead attempt and
+		// speculate on it.
+		s.untrackPrimary(ti)
+		if ti.spec >= 0 {
 			s.killSpeculative(job, task)
 		}
 		ti.gen++
-		ti.state = Pending
+		s.setStateFlat(flat, Pending)
 		s.noteKill(job, task, n, "preempt", billed, false)
-		s.nodes[n].free++
+		s.slotFreed(n)
 		s.dispatch(n)
 		return nil
 	case Queued:
-		for ni := range s.nodes {
-			q := s.nodes[ni].queue[:0]
-			for _, e := range s.nodes[ni].queue {
-				if e.job == job && e.task == task {
-					continue
-				}
-				q = append(q, e)
-			}
-			s.nodes[ni].queue = q
-		}
-		ti.state = Pending
+		ti.qNode = -1
+		s.setStateFlat(flat, Pending)
 		s.noteKill(job, task, cluster.NodeID(-1), "dequeue", 0, false)
 		return nil
 	default:
-		return fmt.Errorf("sim: cannot kill task %d/%d in state %d", job, task, ti.state)
+		return fmt.Errorf("sim: cannot kill task %d/%d in state %d", job, task, TaskState(s.states[flat]))
 	}
 }
 
 // RunningTasks returns the Running task indices of a job, ascending.
 func (s *Sim) RunningTasks(job int) []int {
 	var out []int
-	for t := range s.tasks[job] {
-		if s.tasks[job][t].state == Running {
-			out = append(out, t)
+	base, end := s.taskBase[job], s.taskBase[job+1]
+	for f := base; f < end; f++ {
+		if TaskState(s.states[f]) == Running {
+			out = append(out, int(f-base))
 		}
 	}
 	return out
 }
 
 // TaskNode returns the node a Running task occupies.
-func (s *Sim) TaskNode(job, task int) cluster.NodeID { return s.tasks[job][task].node }
+func (s *Sim) TaskNode(job, task int) cluster.NodeID { return s.task(job, task).node }
 
 // Enqueue pins a task to node n's FIFO queue, to start no earlier than
 // readyAt (e.g. after a data move completes). The task runs when a slot
 // frees and readyAt passes, reading from store.
 func (s *Sim) Enqueue(job, task int, n cluster.NodeID, store cluster.StoreID, readyAt float64) error {
-	ti := &s.tasks[job][task]
-	if ti.state != Pending {
-		return fmt.Errorf("sim: task %d/%d enqueued in state %d", job, task, ti.state)
+	flat := s.flat(job, task)
+	ti := &s.tasks[flat]
+	if st := TaskState(s.states[flat]); st != Pending {
+		return fmt.Errorf("sim: task %d/%d enqueued in state %d", job, task, st)
 	}
 	if s.nodes[n].down {
 		return fmt.Errorf("sim: task %d/%d enqueued on down node %d", job, task, n)
 	}
-	ti.state = Queued
-	s.nodes[n].queue = append(s.nodes[n].queue, queueEntry{job: job, task: task, store: store, readyAt: readyAt})
+	s.setStateFlat(flat, Queued)
+	ti.qSeq++
+	ti.qNode = int32(n)
+	s.nodes[n].queue = append(s.nodes[n].queue, queueEntry{
+		job: int32(job), task: int32(task), seq: ti.qSeq, store: store, readyAt: readyAt,
+	})
 	s.noteEnqueue(job, task, n, store, readyAt)
 	if readyAt > s.clock {
-		s.At(readyAt, func() { s.dispatch(n) })
+		s.armDispatch(n, readyAt)
 	}
 	s.dispatch(n)
 	return nil
 }
 
 // UnqueueAll returns all queued-but-not-started tasks of a job to Pending
-// (used by epoch schedulers that re-plan).
+// (used by epoch schedulers that re-plan). The job's tasks are flipped in
+// place — O(job size), not O(cluster queues); the dead entries fall out
+// of their nodes' queues at the next drain.
 func (s *Sim) UnqueueAll(job int) {
-	for n := range s.nodes {
-		q := s.nodes[n].queue[:0]
-		for _, e := range s.nodes[n].queue {
-			if e.job == job {
-				s.tasks[e.job][e.task].state = Pending
-				continue
-			}
-			q = append(q, e)
+	base, end := s.taskBase[job], s.taskBase[job+1]
+	for f := base; f < end; f++ {
+		if TaskState(s.states[f]) == Queued {
+			s.tasks[f].qNode = -1
+			s.setStateFlat(f, Pending)
 		}
-		s.nodes[n].queue = q
 	}
 }
 
-// dispatch launches ready queued tasks while slots are free; if the queue
-// holds only future-ready entries it arms a wake-up, and if the node is
-// idle with an empty queue it hands the slot to the scheduler.
+// dispatch launches ready queued tasks while slots are free; if the node
+// is idle once the queue settles it hands the slot to the scheduler.
+// (Future-ready queue entries have dispatch wake-ups armed by Enqueue.)
 func (s *Sim) dispatch(nid cluster.NodeID) {
 	ns := &s.nodes[nid]
 	if ns.down {
 		return
 	}
-	for ns.free > 0 {
-		idx := -1
-		for i := range ns.queue {
-			if ns.queue[i].readyAt <= s.clock+1e-9 {
-				idx = i
-				break
-			}
-		}
-		if idx == -1 {
-			break
-		}
-		e := ns.queue[idx]
-		ns.queue = append(ns.queue[:idx], ns.queue[idx+1:]...)
-		s.tasks[e.job][e.task].state = Pending // Launch re-validates
-		if err := s.Launch(e.job, e.task, nid, e.store); err != nil {
-			// The block moved or the task completed speculatively;
-			// fall back to the best replica if still pending.
-			ti := &s.tasks[e.job][e.task]
-			if ti.state == Pending && s.W.Jobs[e.job].HasInput() {
-				_ = s.Launch(e.job, e.task, nid, s.BestReplica(e.job, e.task, nid))
-			}
-		}
-	}
+	s.drainQueue(nid, ns)
 	if ns.free > 0 {
-		// Any future-ready queue entries have dispatch wake-ups armed by
-		// Enqueue; meanwhile the scheduler may use the idle slot.
-		s.sched.OnSlotFree(s, nid)
+		s.notifySlotFree(nid)
 	}
+}
+
+// drainQueue launches the node's ready queue entries in FIFO order while
+// slots are free, compacting out entries consumed, stale (killed,
+// unqueued or re-enqueued elsewhere — validated against the task's
+// qNode/qSeq) or launched. One pass suffices: the clock does not advance
+// mid-drain, so an entry's readiness cannot change, and launches enqueue
+// nothing.
+func (s *Sim) drainQueue(nid cluster.NodeID, ns *nodeState) {
+	q := ns.queue
+	if len(q) == 0 {
+		return
+	}
+	w := 0
+	for r := 0; r < len(q); r++ {
+		e := q[r]
+		flat := s.taskBase[e.job] + e.task
+		ti := &s.tasks[flat]
+		if TaskState(s.states[flat]) != Queued || ti.qNode != int32(nid) || ti.qSeq != e.seq {
+			continue // stale entry
+		}
+		if ns.free > 0 && e.readyAt <= s.clock+1e-9 {
+			ti.qNode = -1
+			s.setStateFlat(flat, Pending) // Launch re-validates
+			if err := s.Launch(int(e.job), int(e.task), nid, e.store); err != nil {
+				// The block moved or the task completed speculatively;
+				// fall back to the best replica if still pending.
+				if TaskState(s.states[flat]) == Pending && s.W.Jobs[e.job].HasInput() {
+					_ = s.Launch(int(e.job), int(e.task), nid, s.BestReplica(int(e.job), int(e.task), nid))
+				}
+			}
+			continue
+		}
+		q[w] = e
+		w++
+	}
+	ns.queue = q[:w]
 }
 
 // MoveBlock relocates one block's primary copy from its current store to

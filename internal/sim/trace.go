@@ -129,32 +129,41 @@ func (s *Sim) noteFault(f Fault) {
 
 // scanSample fills the task-state counts and slot availability of one
 // snapshot — shared by trace sample events and the live gauge refresh so
-// both report identical numbers at matching timestamps.
+// both report identical numbers at matching timestamps. The numbers come
+// from the incrementally maintained counters (O(1)); LegacyDispatch
+// recomputes them with the original full scans, which the differential
+// tests use to pin the counters to ground truth.
 func (s *Sim) scanSample(info *trace.SampleInfo) {
-	for j := range s.tasks {
-		if !s.jobs[j].arrived {
-			continue
-		}
-		for t := range s.tasks[j] {
-			switch s.tasks[j][t].state {
-			case Pending:
-				info.Pending++
-			case Queued:
-				info.Queued++
-			case Running:
-				info.Running++
-			case Done:
-				info.Done++
+	if s.opts.LegacyDispatch {
+		for j := range s.jobs {
+			if !s.jobs[j].arrived {
+				continue
+			}
+			for f := s.taskBase[j]; f < s.taskBase[j+1]; f++ {
+				switch TaskState(s.states[f]) {
+				case Pending:
+					info.Pending++
+				case Queued:
+					info.Queued++
+				case Running:
+					info.Running++
+				case Done:
+					info.Done++
+				}
 			}
 		}
-	}
-	for n := range s.nodes {
-		if s.nodes[n].down {
-			continue
+		for n := range s.nodes {
+			if s.nodes[n].down {
+				continue
+			}
+			info.FreeSlots += s.nodes[n].free
+			info.LiveSlots += s.C.Nodes[n].Slots
 		}
-		info.FreeSlots += s.nodes[n].free
-		info.LiveSlots += s.C.Nodes[n].Slots
+		return
 	}
+	info.Pending, info.Queued, info.Running, info.Done = s.StateCounts()
+	info.FreeSlots = s.freeSlots
+	info.LiveSlots = s.liveSlots
 }
 
 // emitSample snapshots the run's time series: cumulative dollars by
@@ -180,16 +189,4 @@ func (s *Sim) emitSample() {
 	s.scanSample(info)
 	s.setSampleGauges(info)
 	s.tr.Emit(trace.Event{T: s.clock, Kind: trace.KindSample, Sample: info})
-}
-
-// scheduleSample arms the next periodic snapshot; the chain stops once
-// every job has completed (the final state is visible in the run's
-// end-of-run metrics).
-func (s *Sim) scheduleSample(intervalSec float64) {
-	s.At(s.clock+intervalSec, func() {
-		s.emitSample()
-		if s.remaining > 0 {
-			s.scheduleSample(intervalSec)
-		}
-	})
 }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Benchmark regression harness: runs the internal/lp benchmarks (the
 # epoch-scale cold/warm pair plus the solver size sweep) and the
-# internal/sim simulator-throughput benchmarks (nop-tracer, traced and
-# shared-links paths) and writes BENCH_lp.json so future changes have a
-# perf trajectory to compare against. Each run records the git SHA it measured; prior results are
+# internal/sim simulator benchmarks (nop-tracer, traced and shared-links
+# throughput, the 10k-node/1M-task paper-scale run, and the idle-sweep
+# dispatch microbenchmark) and writes BENCH_lp.json — including
+# sim_tasks_per_sec, the paper-scale event-loop throughput — so future
+# changes have a perf trajectory to compare against. Each run records the git SHA it measured; prior results are
 # preserved in the file's "history" array (newest first, capped at 50)
 # instead of being overwritten. Usage: scripts/bench.sh [output.json];
 # BENCHTIME=10x to rerun with more samples.
@@ -20,7 +22,7 @@ fi
 
 RAW=$(go test ./internal/lp -run '^$' -bench 'BenchmarkSolve|BenchmarkEpoch' \
 	-benchtime "$BENCHTIME" -timeout 30m
-	go test ./internal/sim -run '^$' -bench 'BenchmarkSimulator' \
+	go test ./internal/sim -run '^$' -bench 'BenchmarkSimulator|BenchmarkDispatch' \
 		-benchtime "$BENCHTIME" -timeout 30m)
 printf '%s\n' "$RAW"
 
@@ -46,9 +48,18 @@ BEGIN {
 	printf "}"
 	if (name == "BenchmarkEpoch/cold") cold = ns
 	if (name == "BenchmarkEpoch/warm") warm = ns
+	if (name == "BenchmarkSimulatorThroughput10k") {
+		ns10k = ns
+		for (i = 5; i + 1 <= NF; i += 2)
+			if ($(i + 1) == "tasks/run") tasks10k = $i
+	}
 }
 END {
 	printf "\n  ],\n"
+	if (ns10k > 0 && tasks10k > 0)
+		printf "  \"sim_tasks_per_sec\": %.0f,\n", tasks10k / (ns10k / 1e9)
+	else
+		printf "  \"sim_tasks_per_sec\": null,\n"
 	if (cold > 0 && warm > 0)
 		printf "  \"epoch_warm_speedup\": %.2f\n", cold / warm
 	else

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Perf regression smoke: runs BenchmarkEpoch and the simulator
-# throughput benchmark (whose Options{} path exercises the disabled nop
-# tracer) and fails when the measured ns/op exceeds the committed
+# throughput benchmarks — the 20-node run whose Options{} path exercises
+# the disabled nop tracer, the 10k-node/1M-task paper-scale run, and the
+# idle-sweep dispatch microbenchmark — and fails when the measured ns/op
+# exceeds the committed
 # BENCH_lp.json baseline by more than the allowed factor (default 3×,
 # absorbing CI machine noise while still catching order-of-magnitude
 # regressions like losing the sparse factorization, the warm-start path,
@@ -27,12 +29,14 @@ if ! command -v jq >/dev/null 2>&1; then
 fi
 
 RAW=$(go test ./internal/lp -run '^$' -bench BenchmarkEpoch -benchtime "$BENCHTIME" -timeout 30m
-	go test ./internal/sim -run '^$' -bench 'BenchmarkSimulatorThroughput$' \
+	go test ./internal/sim -run '^$' \
+		-bench 'BenchmarkSimulatorThroughput$|BenchmarkSimulatorThroughput10k$|BenchmarkDispatch$' \
 		-benchtime "$BENCHTIME" -timeout 30m)
 printf '%s\n' "$RAW"
 
 fail=0
-for name in BenchmarkEpoch/cold BenchmarkEpoch/warm BenchmarkSimulatorThroughput; do
+for name in BenchmarkEpoch/cold BenchmarkEpoch/warm BenchmarkSimulatorThroughput \
+	BenchmarkSimulatorThroughput10k BenchmarkDispatch; do
 	base=$(jq -r --arg n "$name" \
 		'.benchmarks[] | select(.name == $n) | .ns_per_op' "$BASELINE")
 	if [ -z "$base" ] || [ "$base" = null ]; then
