@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench perfsmoke faultsmoke tracesmoke obssmoke scalesmoke
+.PHONY: all build test race vet bench perfsmoke lpsmoke faultsmoke tracesmoke obssmoke scalesmoke
 
 all: vet build test
 
@@ -23,6 +23,11 @@ bench:
 # Fails if BenchmarkEpoch regresses >3x against the committed baseline.
 perfsmoke:
 	scripts/perfsmoke.sh
+
+# Races the colgen/dual-simplex/basis-translation differential tests and
+# checks lips-lp -colgen against the direct solve.
+lpsmoke:
+	scripts/lpsmoke.sh
 
 # Races the fault-path tests and replays a seeded churn scenario through
 # every scheduler, requiring bit-identical repeats.

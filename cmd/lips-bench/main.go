@@ -4,7 +4,7 @@
 //
 //	lips-bench [-experiment all|table1|table3|table4|fig1|fig5|fig6|fig8|fig9|fig11|scale|overhead|ablations|faults]
 //	           [-full] [-seed N] [-trials N] [-lp-workers N] [-cold-start]
-//	           [-presolve on|off] [-factor lu|dense]
+//	           [-colgen] [-dual] [-presolve on|off] [-factor lu|dense]
 //	           [-faults N] [-fault-seed N]
 //	           [-trace FILE] [-trace-format jsonl|chrome] [-sample-interval 60]
 //	           [-listen :8080] [-cpuprofile FILE] [-memprofile FILE]
@@ -31,6 +31,8 @@ func main() {
 	trials := flag.Int("trials", 0, "trials per Fig. 5 point (0 = default)")
 	lpWorkers := flag.Int("lp-workers", 0, "parallel pricing workers per LP solve (0 = sequential)")
 	coldStart := flag.Bool("cold-start", false, "disable epoch-to-epoch LP basis reuse")
+	colGen := flag.Bool("colgen", false, "solve each epoch by column generation over a restricted master")
+	dual := flag.Bool("dual", false, "repair warm-started bases with dual-simplex pivots instead of cold restarts")
 	presolve := flag.String("presolve", "on", "LP presolve reduction pass: on or off")
 	factor := flag.String("factor", "lu", "LP basis factorization: lu (sparse) or dense")
 	faults := flag.Int("faults", 0, "node crashes in the churn ablation's fault plan (0 = 2)")
@@ -46,6 +48,7 @@ func main() {
 	cfg := experiments.Config{
 		Seed: *seed, Trials: *trials, Quick: !*full,
 		LPWorkers: *lpWorkers, ColdStart: *coldStart,
+		ColGen: *colGen, DualSimplex: *dual,
 		FaultCrashes: *faults, FaultSeed: *faultSeed,
 	}
 	var sink trace.Sink

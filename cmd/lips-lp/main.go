@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	lips-lp [-bland] [-max-iters N] [-duals] [-presolve on|off] [-factor lu|dense]
+//	lips-lp [-bland] [-max-iters N] [-duals] [-colgen] [-dual]
+//	        [-presolve on|off] [-factor lu|dense]
 //	        [-cpuprofile FILE] [-memprofile FILE] [file]
 //
 // With no file, the problem is read from standard input. The format:
@@ -31,6 +32,8 @@ type cliOpts struct {
 	bland    bool
 	maxIters int
 	duals    bool
+	colgen   bool
+	dual     bool
 	presolve string // "on" or "off"
 	factor   string // "lu" or "dense"
 }
@@ -40,6 +43,8 @@ func main() {
 	flag.BoolVar(&o.bland, "bland", false, "force Bland's anti-cycling rule")
 	flag.IntVar(&o.maxIters, "max-iters", 0, "iteration budget (0 = automatic)")
 	flag.BoolVar(&o.duals, "duals", false, "also print the dual values")
+	flag.BoolVar(&o.colgen, "colgen", false, "solve by column generation over a restricted master")
+	flag.BoolVar(&o.dual, "dual", false, "repair warm bases with dual-simplex pivots (colgen rounds)")
 	flag.StringVar(&o.presolve, "presolve", "on", "presolve reduction pass: on or off")
 	flag.StringVar(&o.factor, "factor", "lu", "basis factorization: lu (sparse) or dense")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -80,7 +85,7 @@ func run(in io.Reader, out io.Writer, o cliOpts) (int, error) {
 	if err != nil {
 		return 1, err
 	}
-	opts := lp.Options{Bland: o.bland, MaxIters: o.maxIters}
+	opts := lp.Options{Bland: o.bland, MaxIters: o.maxIters, Dual: o.dual}
 	switch o.presolve {
 	case "", "on":
 	case "off":
@@ -95,13 +100,31 @@ func run(in io.Reader, out io.Writer, o cliOpts) (int, error) {
 	default:
 		return 1, fmt.Errorf("-factor must be lu or dense, got %q", o.factor)
 	}
-	sol, err := p.Solve(opts)
-	if err != nil {
-		return 1, err
+	var sol *lp.Solution
+	var st lp.ColGenStats
+	if o.colgen {
+		// Solve over a restricted master, revealing columns only when the
+		// pricing oracle says they can improve the objective. Exact: the
+		// reported optimum is the full problem's.
+		rp, oracle := lp.NewRestricted(p)
+		sol, st, err = lp.SolveColGen(rp, oracle, opts)
+		if err != nil {
+			return 1, err
+		}
+		p = rp
+	} else {
+		sol, err = p.Solve(opts)
+		if err != nil {
+			return 1, err
+		}
 	}
 	fmt.Fprintf(out, "problem %s: %d variables, %d constraints, %d nonzeros\n",
 		p.Name(), p.NumVars(), p.NumCons(), p.NumNonzeros())
 	fmt.Fprintf(out, "status: %v (%d iterations, %d in phase 1)\n", sol.Status, sol.Iters, sol.Phase1)
+	if o.colgen {
+		fmt.Fprintf(out, "colgen: %d rounds (%d warm), %d columns revealed, %d dual pivots\n",
+			st.Rounds, st.WarmRounds, st.Columns, st.DualIters)
+	}
 	if sol.PresolveRows > 0 || sol.PresolveCols > 0 {
 		fmt.Fprintf(out, "presolve: removed %d rows, %d cols\n", sol.PresolveRows, sol.PresolveCols)
 	}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lips/internal/cluster"
+	"lips/internal/lp"
+)
+
+// synthInstance builds a synthetic online instance with machines drawn
+// from classes price classes (so column generation has real buckets to
+// exploit). distinct perturbs every machine into its own class — the
+// regime of aggregated paper-scale instances.
+func synthInstance(jobs, machines, stores, classes int, distinct bool, rng *rand.Rand) *Instance {
+	in := &Instance{Horizon: 400}
+	totalMB := 0.0
+	for i := 0; i < jobs; i++ {
+		size := 256 + rng.Float64()*1024
+		totalMB += size
+		in.Data = append(in.Data, DataItem{
+			Name: fmt.Sprintf("d%d", i), SizeMB: size, Origin: map[int]float64{rng.Intn(stores): 1},
+		})
+	}
+	for j := 0; j < stores; j++ {
+		in.Stores = append(in.Stores, StoreUnit{Name: fmt.Sprintf("s%d", j), CapacityMB: totalMB})
+		in.CoMachine = append(in.CoMachine, -1)
+	}
+	for k := 0; k < jobs; k++ {
+		d := k
+		if !distinct && rng.Intn(5) == 0 {
+			// Jobs without input make the LP exactly degenerate (cost
+			// depends only on CPU-seconds per machine), so the
+			// vertex-sensitive byte-identical tests use all-input jobs.
+			d = NoData
+		}
+		in.Jobs = append(in.Jobs, JobItem{
+			Name: "j", Data: d, CPUSec: 200 + rng.Float64()*2000, NumTasks: 4 + rng.Intn(12),
+		})
+	}
+	// Class-level prices, generated once so members share exact floats.
+	classPrice := make([]float64, classes)
+	classECU := make([]float64, classes)
+	classMS := make([][]float64, classes)
+	classBW := make([][]float64, classes)
+	for c := 0; c < classes; c++ {
+		classPrice[c] = 0.5 + rng.Float64()*4
+		classECU[c] = 2 + float64(rng.Intn(6))
+		classMS[c] = make([]float64, stores)
+		classBW[c] = make([]float64, stores)
+		for m := 0; m < stores; m++ {
+			classMS[c][m] = rng.Float64() * 0.02
+			classBW[c][m] = 50 + rng.Float64()*200
+		}
+	}
+	for l := 0; l < machines; l++ {
+		c := l % classes
+		price, ecu := classPrice[c], classECU[c]
+		ms := classMS[c]
+		bw := classBW[c]
+		if distinct {
+			price += rng.Float64() * 0.1
+			msd := make([]float64, stores)
+			copy(msd, ms)
+			msd[rng.Intn(stores)] += rng.Float64() * 0.001
+			ms = msd
+		}
+		in.Machines = append(in.Machines, Machine{Name: fmt.Sprintf("m%d", l), Type: "t", ECU: ecu, PerECUSecMC: price})
+		in.MSPerMBMC = append(in.MSPerMBMC, ms)
+		in.BandwidthMBps = append(in.BandwidthMBps, bw)
+	}
+	return in
+}
+
+// clone deep-copies an instance so a test can solve the same numbers via
+// two code paths (BuildOnlineModel mutates by appending the fake node).
+func (in *Instance) clone() *Instance {
+	out := &Instance{Horizon: in.Horizon}
+	out.Jobs = append([]JobItem(nil), in.Jobs...)
+	for _, d := range in.Data {
+		origin := make(map[int]float64, len(d.Origin))
+		for o, f := range d.Origin {
+			origin[o] = f
+		}
+		d.Origin = origin
+		out.Data = append(out.Data, d)
+	}
+	for _, m := range in.Machines {
+		m.Nodes = append([]cluster.NodeID(nil), m.Nodes...)
+		out.Machines = append(out.Machines, m)
+	}
+	out.Stores = append([]StoreUnit(nil), in.Stores...)
+	out.CoMachine = append([]int(nil), in.CoMachine...)
+	copyMat := func(src [][]float64) [][]float64 {
+		dst := make([][]float64, len(src))
+		for i := range src {
+			dst[i] = append([]float64(nil), src[i]...)
+		}
+		return dst
+	}
+	out.MSPerMBMC = copyMat(in.MSPerMBMC)
+	out.SSPerMBMC = copyMat(in.SSPerMBMC)
+	out.BandwidthMBps = copyMat(in.BandwidthMBps)
+	return out
+}
+
+func relDiffF(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// fillSS gives an instance a store-to-store cost matrix (synthInstance
+// leaves it unset): free self-moves, cheap cross-moves.
+func fillSS(in *Instance, rng *rand.Rand) {
+	ns := len(in.Stores)
+	in.SSPerMBMC = make([][]float64, ns)
+	for a := 0; a < ns; a++ {
+		in.SSPerMBMC[a] = make([]float64, ns)
+		for b := 0; b < ns; b++ {
+			if a != b {
+				in.SSPerMBMC[a][b] = rng.Float64() * 0.01
+			}
+		}
+	}
+}
+
+// TestOnlineColGenMatchesFullObjective is the core differential: at
+// bucketed scale, column generation must reproduce the full model's
+// optimal cost to 1e-6 relative while materializing only part of the
+// cluster.
+func TestOnlineColGenMatchesFullObjective(t *testing.T) {
+	sawPartial := false
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := synthInstance(4+rng.Intn(8), 40+rng.Intn(80), 2+rng.Intn(4), 3+rng.Intn(3), false, rng)
+		fillSS(in, rng)
+		full := in.clone()
+		model, err := BuildOnlineModel(full)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		direct, err := model.Solve(lp.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: direct: %v", seed, err)
+		}
+		cg, err := NewOnlineColGen(in, ColGenOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		plan, st, err := cg.Solve(ColGenOptions{LP: lp.Options{Dual: true}})
+		if err != nil {
+			t.Fatalf("seed %d: colgen: %v", seed, err)
+		}
+		if d := relDiffF(plan.TotalMC(), direct.TotalMC()); d > 1e-6 {
+			t.Errorf("seed %d: colgen cost %g, direct %g (rel %g)", seed, plan.TotalMC(), direct.TotalMC(), d)
+		}
+		if st.Rounds < 1 {
+			t.Errorf("seed %d: no pricing rounds", seed)
+		}
+		if mat, total := cg.Stats(); mat < total {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Error("colgen materialized every machine on every seed; bucketing never paid off")
+	}
+}
+
+// TestOnlineColGenIntegralPlanMatchesFull pins the whole pipeline at paper
+// scale (every machine its own price class, as group aggregation
+// produces): the rounded integral plans of the colgen and full solves
+// must be byte-identical.
+func TestOnlineColGenIntegralPlanMatchesFull(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		in := synthInstance(5+rng.Intn(6), 9, 3, 9, true, rng)
+		fillSS(in, rng)
+		full := in.clone()
+		model, err := BuildOnlineModel(full)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		direct, err := model.Solve(lp.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: direct: %v", seed, err)
+		}
+		plan, _, err := SolveOnlineColGen(in, ColGenOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: colgen: %v", seed, err)
+		}
+		ipDirect, ipCG := direct.Round(), plan.Round()
+		if !reflect.DeepEqual(ipDirect.Assignments, ipCG.Assignments) {
+			t.Errorf("seed %d: assignments diverge:\n direct %v\n colgen %v", seed, ipDirect.Assignments, ipCG.Assignments)
+		}
+		if !reflect.DeepEqual(ipDirect.Moves, ipCG.Moves) {
+			t.Errorf("seed %d: moves diverge:\n direct %v\n colgen %v", seed, ipDirect.Moves, ipCG.Moves)
+		}
+		if !reflect.DeepEqual(ipDirect.Deferred, ipCG.Deferred) {
+			t.Errorf("seed %d: deferred diverge: %v vs %v", seed, ipDirect.Deferred, ipCG.Deferred)
+		}
+	}
+}
+
+// TestOnlineColGenSeedHints solves, seeds a second build with the hot
+// machines of the first plan, and checks the optimum is unchanged.
+func TestOnlineColGenSeedHints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := synthInstance(8, 60, 3, 4, false, rng)
+	fillSS(in, rng)
+	plan, _, err := SolveOnlineColGen(in.clone(), ColGenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hints := plan.HotMachines()
+	if len(hints) == 0 {
+		t.Fatal("no hot machines in the plan")
+	}
+	seeded, st, err := SolveOnlineColGen(in.clone(), ColGenOptions{SeedMachines: hints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relDiffF(seeded.TotalMC(), plan.TotalMC()); d > 1e-6 {
+		t.Errorf("seeded cost %g, unseeded %g (rel %g)", seeded.TotalMC(), plan.TotalMC(), d)
+	}
+	if st.Rounds < 1 {
+		t.Error("no pricing rounds")
+	}
+}
+
+// TestOnlineColGenRepriceResolve drifts prices and right-hand sides,
+// Reprices the standing restricted master, and checks the warm Resolve
+// against a cold solve of the drifted instance.
+func TestOnlineColGenRepriceResolve(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed + 40))
+		in := synthInstance(6+rng.Intn(4), 50, 3, 4, false, rng)
+		fillSS(in, rng)
+		cg, err := NewOnlineColGen(in.clone(), ColGenOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		plan, _, err := cg.Solve(ColGenOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Drift: spot prices move ±10%, the epoch shortens slightly. The
+		// instance passed to Reprice must include the fake node the first
+		// build appended.
+		next := cg.m.In.clone()
+		for l := range next.Machines {
+			if !next.Machines[l].Fake {
+				next.Machines[l].PerECUSecMC *= 0.9 + 0.2*rng.Float64()
+			}
+		}
+		next.Horizon *= 0.95
+		cold := next.clone()
+		if err := cg.Reprice(next); err != nil {
+			t.Fatalf("seed %d: reprice: %v", seed, err)
+		}
+		warm, _, err := cg.Resolve(ColGenOptions{LP: lp.Options{Dual: true}}, plan.Basis)
+		if err != nil {
+			t.Fatalf("seed %d: resolve: %v", seed, err)
+		}
+		coldPlan, _, err := SolveOnlineColGen(cold, ColGenOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: cold: %v", seed, err)
+		}
+		if d := relDiffF(warm.TotalMC(), coldPlan.TotalMC()); d > 1e-6 {
+			t.Errorf("seed %d: warm cost %g, cold %g (rel %g)", seed, warm.TotalMC(), coldPlan.TotalMC(), d)
+		}
+	}
+}
+
+// TestOnlineColGenRepriceRejectsReshape pins Reprice's shape guards.
+func TestOnlineColGenRepriceRejectsReshape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := synthInstance(4, 20, 2, 2, false, rng)
+	fillSS(in, rng)
+	cg, err := NewOnlineColGen(in.clone(), ColGenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cg.Solve(ColGenOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	fewer := cg.m.In.clone()
+	fewer.Jobs = fewer.Jobs[:len(fewer.Jobs)-1]
+	if err := cg.Reprice(fewer); err == nil {
+		t.Error("Reprice accepted a job-count change")
+	}
+	grown := cg.m.In.clone()
+	grown.Jobs[0].CPUSec *= 2
+	if err := cg.Reprice(grown); err == nil {
+		t.Error("Reprice accepted a demand change")
+	}
+}

@@ -330,7 +330,8 @@ func (m *Model) Solve(opts lp.Options) (*Plan, error) {
 func (m *Model) extract(sol *lp.Solution) *Plan {
 	in := m.In
 	p := &Plan{
-		In: in, Kind: m.Kind, Iters: sol.Iters, Phase1: sol.Phase1,
+		In: in, Kind: m.Kind, ObjectiveMC: sol.Objective,
+		Iters: sol.Iters, Phase1: sol.Phase1, DualIters: sol.DualIters,
 		Basis: sol.Basis, WarmStarted: sol.WarmStarted, PricingTime: sol.PricingTime,
 		FactorTime: sol.FactorTime, FtranTime: sol.FtranTime, BtranTime: sol.BtranTime,
 		PresolveTime: sol.PresolveTime, Refactorizations: sol.Refactorizations,

@@ -26,6 +26,12 @@ type Plan struct {
 	// fixed placement).
 	XDFlows []map[[2]int]float64
 
+	// ObjectiveMC is the LP objective at the optimum, in millicents —
+	// unlike TotalMC it includes the fake node's fictitious charges, so it
+	// is the right quantity for monotonicity comparisons across capacity
+	// changes.
+	ObjectiveMC float64
+
 	// Cost breakdown in millicents, computed from the fractions:
 	// objective terms (6)/(16), (7)/(17) and (8)/(18) of the paper.
 	PlacementMC float64 // data relocation (x^d · SS)
@@ -38,6 +44,14 @@ type Plan struct {
 
 	Iters  int // simplex iterations spent
 	Phase1 int // iterations spent reaching feasibility (0 on a warm start)
+	// DualIters counts dual-simplex repair pivots (warm re-solves under
+	// lp.Options.Dual); included in Iters.
+	DualIters int
+	// ColGenRounds and ColGenColumns describe the pricing loop when the
+	// plan came from SolveOnlineColGen: restricted-master solve rounds and
+	// x^t columns materialized beyond the seed. Zero for direct solves.
+	ColGenRounds  int
+	ColGenColumns int
 
 	// Basis is the optimal simplex basis, reusable as lp.Options.WarmStart
 	// when the next epoch's LP has the same shape. Nil when the solver

@@ -45,6 +45,14 @@ type Config struct {
 	// historical dense explicit inverse (lp.Options.Factor =
 	// FactorDense) — a numerical cross-check and perf baseline.
 	DenseFactor bool
+	// ColGen solves each LiPS epoch by column generation over a
+	// restricted master (sched.LiPS.ColGen) instead of materializing
+	// the full online LP. Exact; pays off on large clusters.
+	ColGen bool
+	// DualSimplex repairs warm-started bases whose bounds moved with
+	// dual-simplex pivots (lp.Options.Dual) instead of falling back to
+	// a cold phase-1 restart.
+	DualSimplex bool
 	// FaultCrashes sizes the churn ablation (AblationFaults): how many
 	// node crash+recovery pairs the seeded fault plan injects. 0 means 2.
 	FaultCrashes int
@@ -89,6 +97,8 @@ func (c Config) newLiPS(epochSec float64) *sched.LiPS {
 	if c.DenseFactor {
 		l.LPOpts.Factor = lp.FactorDense
 	}
+	l.ColGen = c.ColGen
+	l.LPOpts.Dual = c.DualSimplex
 	return l
 }
 

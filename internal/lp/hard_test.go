@@ -5,26 +5,111 @@ import (
 	"testing"
 )
 
+// kleeMintyLP builds the classic Klee–Minty cube (minimization form).
+// The optimum is x_n = 5^n, all others 0, with objective −5^n.
+func kleeMintyLP(n int) *Problem {
+	p := New("klee-minty")
+	xs := make([]Var, n)
+	for j := 0; j < n; j++ {
+		// Minimize the negation of the classic objective.
+		cost := -math.Pow(2, float64(n-j-1))
+		xs[j] = p.AddVar("x", 0, Inf, cost)
+	}
+	for i := 0; i < n; i++ {
+		row := p.AddCon("km", LE, math.Pow(5, float64(i+1)))
+		for j := 0; j < i; j++ {
+			p.SetCoef(row, xs[j], math.Pow(2, float64(i-j+1)))
+		}
+		p.SetCoef(row, xs[i], 1)
+	}
+	return p
+}
+
+// wideRangeLP mixes tiny and huge costs — the fake-node regime that
+// motivated the relative dual-feasibility tolerance. Optimum 30·1e-3 +
+// 50·1 + 20·1e7.
+func wideRangeLP() *Problem {
+	p := New("wide")
+	cheap := p.AddVar("cheap", 0, Inf, 1e-3)
+	mid := p.AddVar("mid", 0, Inf, 1.0)
+	huge := p.AddVar("huge", 0, Inf, 1e7)
+	c := p.AddCon("demand", GE, 100)
+	p.SetCoef(c, cheap, 1)
+	p.SetCoef(c, mid, 1)
+	p.SetCoef(c, huge, 1)
+	cap := p.AddCon("cap-cheap", LE, 30)
+	p.SetCoef(cap, cheap, 1)
+	cap2 := p.AddCon("cap-mid", LE, 50)
+	p.SetCoef(cap2, mid, 1)
+	return p
+}
+
+// degenTransportLP builds a perfectly symmetric n×n assignment — every
+// basic solution is massively degenerate. Optimum n·0.5 (the diagonal).
+func degenTransportLP(n int) *Problem {
+	p := New("degen-transport")
+	rows := make([]Con, n)
+	cols := make([]Con, n)
+	for i := 0; i < n; i++ {
+		rows[i] = p.AddCon("supply", EQ, 1)
+		cols[i] = p.AddCon("demand", EQ, 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cost := 1.0 // all ties
+			if i == j {
+				cost = 0.5 // diagonal slightly cheaper
+			}
+			v := p.AddVar("x", 0, 1, cost)
+			p.SetCoef(rows[i], v, 1)
+			p.SetCoef(cols[j], v, 1)
+		}
+	}
+	return p
+}
+
+// redundantEqLP stresses phase 1 with linearly dependent equality rows.
+// Optimum 6 (all mass on x).
+func redundantEqLP() *Problem {
+	p := New("redundant-eq")
+	x := p.AddVar("x", 0, Inf, 1)
+	y := p.AddVar("y", 0, Inf, 2)
+	for i := 0; i < 12; i++ {
+		c := p.AddCon("dup", EQ, 6)
+		p.SetCoef(c, x, 1)
+		p.SetCoef(c, y, 1)
+	}
+	return p
+}
+
+// hardCorpus enumerates the hard problems with their known optima, shared
+// by the direct tests below and the colgen/dual differential suites.
+func hardCorpus() []struct {
+	name string
+	p    func() *Problem
+	want float64
+} {
+	return []struct {
+		name string
+		p    func() *Problem
+		want float64
+	}{
+		{"klee-minty-4", func() *Problem { return kleeMintyLP(4) }, -math.Pow(5, 4)},
+		{"klee-minty-8", func() *Problem { return kleeMintyLP(8) }, -math.Pow(5, 8)},
+		{"klee-minty-12", func() *Problem { return kleeMintyLP(12) }, -math.Pow(5, 12)},
+		{"wide-range", wideRangeLP, 30*1e-3 + 50*1.0 + 20*1e7},
+		{"degen-transport-8", func() *Problem { return degenTransportLP(8) }, 8 * 0.5},
+		{"redundant-eq", redundantEqLP, 6},
+	}
+}
+
 // TestKleeMinty solves the classic Klee–Minty cube, the worst case for
 // textbook Dantzig pricing: max Σ 2^(n-j) x_j with nested constraints.
 // The optimum is x_n = 5^n, all others 0. We only require optimality in a
 // sane iteration budget, not a short path.
 func TestKleeMinty(t *testing.T) {
 	for _, n := range []int{4, 8, 12} {
-		p := New("klee-minty")
-		xs := make([]Var, n)
-		for j := 0; j < n; j++ {
-			// Minimize the negation of the classic objective.
-			cost := -math.Pow(2, float64(n-j-1))
-			xs[j] = p.AddVar("x", 0, Inf, cost)
-		}
-		for i := 0; i < n; i++ {
-			row := p.AddCon("km", LE, math.Pow(5, float64(i+1)))
-			for j := 0; j < i; j++ {
-				p.SetCoef(row, xs[j], math.Pow(2, float64(i-j+1)))
-			}
-			p.SetCoef(row, xs[i], 1)
-		}
+		p := kleeMintyLP(n)
 		sol, err := p.Solve(Options{})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
@@ -45,18 +130,7 @@ func TestKleeMinty(t *testing.T) {
 // TestWideCoefficientRange mixes tiny and huge costs/coefficients — the
 // regime that motivated the relative dual-feasibility tolerance.
 func TestWideCoefficientRange(t *testing.T) {
-	p := New("wide")
-	cheap := p.AddVar("cheap", 0, Inf, 1e-3)
-	mid := p.AddVar("mid", 0, Inf, 1.0)
-	huge := p.AddVar("huge", 0, Inf, 1e7) // the fake-node regime
-	c := p.AddCon("demand", GE, 100)
-	p.SetCoef(c, cheap, 1)
-	p.SetCoef(c, mid, 1)
-	p.SetCoef(c, huge, 1)
-	cap := p.AddCon("cap-cheap", LE, 30)
-	p.SetCoef(cap, cheap, 1)
-	cap2 := p.AddCon("cap-mid", LE, 50)
-	p.SetCoef(cap2, mid, 1)
+	p := wideRangeLP()
 	sol, err := p.Solve(Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -75,26 +149,7 @@ func TestWideCoefficientRange(t *testing.T) {
 // at the known optimum.
 func TestDegenerateTransportation(t *testing.T) {
 	const n = 8
-	p := New("degen-transport")
-	vars := make([][]Var, n)
-	rows := make([]Con, n)
-	cols := make([]Con, n)
-	for i := 0; i < n; i++ {
-		rows[i] = p.AddCon("supply", EQ, 1)
-		cols[i] = p.AddCon("demand", EQ, 1)
-	}
-	for i := 0; i < n; i++ {
-		vars[i] = make([]Var, n)
-		for j := 0; j < n; j++ {
-			cost := 1.0 // all ties
-			if i == j {
-				cost = 0.5 // diagonal slightly cheaper
-			}
-			vars[i][j] = p.AddVar("x", 0, 1, cost)
-			p.SetCoef(rows[i], vars[i][j], 1)
-			p.SetCoef(cols[j], vars[i][j], 1)
-		}
-	}
+	p := degenTransportLP(n)
 	sol, err := p.Solve(Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -113,14 +168,7 @@ func TestDegenerateTransportation(t *testing.T) {
 // TestManyRedundantEqualities stresses phase 1 with linearly dependent
 // equality rows.
 func TestManyRedundantEqualities(t *testing.T) {
-	p := New("redundant-eq")
-	x := p.AddVar("x", 0, Inf, 1)
-	y := p.AddVar("y", 0, Inf, 2)
-	for i := 0; i < 12; i++ {
-		c := p.AddCon("dup", EQ, 6)
-		p.SetCoef(c, x, 1)
-		p.SetCoef(c, y, 1)
-	}
+	p := redundantEqLP()
 	sol, err := p.Solve(Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -105,6 +105,7 @@ type simplexState struct {
 	devex []float64 // Devex reference weights, one per column
 	iter  int
 	p1it  int
+	dualIt int // dual-simplex repair pivots (Options.Dual)
 
 	degenRun int // consecutive degenerate pivots (triggers Bland)
 	nflips   int // bound flips (debug accounting)
@@ -208,8 +209,26 @@ func (s *simplexState) run() (*Solution, error) {
 		}
 	}
 
+	needDual := false
 	if ws := s.opts.WarmStart; ws != nil {
-		s.warm = s.tryWarmStart(ws)
+		s.warm, needDual = s.tryWarmStart(ws)
+	}
+	if needDual {
+		// The warm basis is primal infeasible but dual feasible: repair it
+		// with dual-simplex pivots instead of discarding it. Any trouble
+		// (stall, tiny pivots, claimed infeasibility) falls back to the
+		// cold two-phase path, which re-derives everything and is always
+		// correct.
+		repaired, dst := s.iterateDual(s.cost)
+		if !repaired {
+			if dst == IterLimit {
+				return &Solution{Status: IterLimit, Iters: s.iter, DualIters: s.dualIt,
+					WarmStarted: true, PricingTime: s.pricingNS, Pivots: s.pivots,
+					FactorTime: s.factorNS, FtranTime: s.ftranNS, BtranTime: s.btranNS,
+					Refactorizations: s.nRefactor, FactorNNZ: s.factor.nnz()}, nil
+			}
+			s.warm = false
+		}
 	}
 	if !s.warm {
 		s.coldStart()
@@ -227,7 +246,7 @@ func (s *simplexState) run() (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	sol := &Solution{Status: st, Iters: s.iter, Phase1: s.p1it,
+	sol := &Solution{Status: st, Iters: s.iter, Phase1: s.p1it, DualIters: s.dualIt,
 		WarmStarted: s.warm, PricingTime: s.pricingNS, Pivots: s.pivots,
 		FactorTime: s.factorNS, FtranTime: s.ftranNS, BtranTime: s.btranNS,
 		Refactorizations: s.nRefactor, FactorNNZ: s.factor.nnz()}
@@ -361,7 +380,14 @@ func (s *simplexState) phase1() (st *Solution, done bool, err error) {
 		}
 	}
 	if infeas > 1e-6 {
-		return &Solution{Status: Infeasible, Iters: s.iter, Phase1: s.p1it}, true, nil
+		// Attach the phase-1 duals: at this (phase-1 optimal) basis every
+		// column's artificial-sum reduced cost is nonnegative, so the duals
+		// are a Farkas-style certificate — and a column-generation oracle
+		// can price against them to find columns that would shrink the
+		// infeasibility (see RevealOracle.Price).
+		s.computeDuals(p1cost)
+		return &Solution{Status: Infeasible, Iters: s.iter, Phase1: s.p1it,
+			Dual: append([]float64(nil), s.y...)}, true, nil
 	}
 	// Freeze artificials at zero for phase 2.
 	for j := s.nStruct + s.nSlack; j < len(s.cols); j++ {
@@ -374,29 +400,34 @@ func (s *simplexState) phase1() (st *Solution, done bool, err error) {
 	return nil, false, nil
 }
 
-// tryWarmStart seeds the state from a previous solve's basis. It reports
+// tryWarmStart seeds the state from a previous solve's basis. ok reports
 // whether the basis was accepted: it must match the problem's dimensions,
 // name a valid set of distinct columns, factorize, and be primal feasible
-// under the current bounds and right-hand sides. On rejection the caller
-// falls back to coldStart, which overwrites everything touched here.
+// under the current bounds and right-hand sides — except that under
+// Options.Dual a primal-infeasible basis that is still dual feasible is
+// accepted with needDual set, and the caller repairs it with dual-simplex
+// pivots. On rejection the caller falls back to coldStart, which
+// overwrites everything touched here.
 //
 // The basis is reusable across epochs precisely because the LiPS online
 // model keeps its column structure between epochs — only bounds and RHS
 // drift — so nonbasic rest positions are remapped to the current bounds
 // (a column recorded at an upper bound that is now infinite moves to its
-// default start position).
-func (s *simplexState) tryWarmStart(ws *Basis) bool {
+// default start position). Columns marked BasisAuto — appended after the
+// basis was captured by ExtendBasis or TranslateBasis — start at their
+// default bound.
+func (s *simplexState) tryWarmStart(ws *Basis) (ok, needDual bool) {
 	m := s.m
 	nb := s.nStruct + s.nSlack
 	if ws.NumVars != s.nStruct || ws.NumCons != m ||
 		len(ws.RowCol) != m || len(ws.ColStat) != nb {
-		return false
+		return false, false
 	}
 	seen := make([]bool, nb)
 	for i := 0; i < m; i++ {
 		j := int(ws.RowCol[i])
 		if j < 0 || j >= nb || seen[j] {
-			return false
+			return false, false
 		}
 		seen[j] = true
 	}
@@ -419,8 +450,10 @@ func (s *simplexState) tryWarmStart(ws *Basis) bool {
 			if !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
 				st, _ = s.nonbasicStart(j)
 			}
+		case int(BasisAuto):
+			st, _ = s.nonbasicStart(j)
 		default:
-			return false
+			return false, false
 		}
 		switch st {
 		case atLower:
@@ -438,7 +471,7 @@ func (s *simplexState) tryWarmStart(ws *Basis) bool {
 		s.value[j] = 0
 	}
 	if err := s.refactorize(); err != nil {
-		return false
+		return false, false
 	}
 	// Primal feasibility of the recomputed basic values. The acceptance
 	// tolerance is looser than the pivot tolerance — small epoch-to-epoch
@@ -449,7 +482,48 @@ func (s *simplexState) tryWarmStart(ws *Basis) bool {
 		bj := s.basis[i]
 		scale := ftol * (1 + math.Abs(s.xB[i]))
 		if s.xB[i] < s.lower[bj]-scale || s.xB[i] > s.upper[bj]+scale {
-			return false
+			if s.opts.Dual && s.dualFeasible(s.cost) {
+				return true, true
+			}
+			return false, false
+		}
+	}
+	return true, false
+}
+
+// dualFeasible reports whether every nonbasic column's reduced cost under
+// the current basis respects its rest position — the entry condition for
+// the dual simplex. The tolerance is relative to the column's cost
+// magnitude, matching the primal pricing rule, and loosened the same way
+// the warm-start feasibility check is: small drift is repairable.
+func (s *simplexState) dualFeasible(cost []float64) bool {
+	s.computeDuals(cost)
+	dtol := math.Max(1e-7, 100*s.opts.Tol)
+	for j := range s.cols {
+		if s.status[j] == basic {
+			continue
+		}
+		if s.lower[j] == s.upper[j] && s.status[j] != atFree {
+			continue // fixed column: any reduced cost is fine
+		}
+		d := cost[j]
+		for _, e := range s.cols[j] {
+			d -= s.y[e.row] * e.coef
+		}
+		rel := dtol * (1 + math.Abs(cost[j]))
+		switch s.status[j] {
+		case atLower:
+			if d < -rel {
+				return false
+			}
+		case atUpper:
+			if d > rel {
+				return false
+			}
+		case atFree:
+			if math.Abs(d) > rel {
+				return false
+			}
 		}
 	}
 	return true

@@ -41,10 +41,19 @@ func (s Status) String() string {
 type Solution struct {
 	Status    Status
 	Objective float64   // objective value at X (valid when Status == Optimal)
-	X         []float64 // one value per structural variable
-	Dual      []float64 // one dual multiplier per constraint row
+	X []float64 // one value per structural variable
+	// Dual holds one multiplier per constraint row. On Optimal these are
+	// the usual LP duals; on Infeasible they are the phase-1 duals (a
+	// Farkas-style infeasibility certificate) when the simplex proved
+	// infeasibility itself, nil when presolve did.
+	Dual []float64
 	Iters     int       // total simplex iterations (both phases)
 	Phase1    int       // iterations spent in phase 1
+	// DualIters counts dual-simplex repair pivots (Options.Dual): warm
+	// starts whose basis was primal infeasible but dual feasible were
+	// driven back to feasibility by this many pivots instead of a cold
+	// two-phase restart. Included in Iters.
+	DualIters int
 
 	// Basis is the final simplex basis, reusable as Options.WarmStart for
 	// a follow-up solve of a structurally identical problem (same variable
@@ -98,17 +107,31 @@ func (s *Solution) Value(v Var) float64 { return s.X[v] }
 
 // Basis captures a simplex basis over the structural and slack columns of
 // a problem with NumVars variables and NumCons rows. Treat it as opaque:
-// obtain one from Solution.Basis and pass it to Options.WarmStart.
+// obtain one from Solution.Basis and pass it to Options.WarmStart, or
+// remap it across a problem edit with TranslateBasis / Problem.ExtendBasis.
 type Basis struct {
 	NumVars, NumCons int
 	// RowCol[i] is the column basic in row i: j < NumVars is structural
 	// variable j, NumVars+i is the slack of row i.
 	RowCol []int32
 	// ColStat[j] is the rest position of nonbasic column j (one of the
-	// internal atLower/atUpper/atFree codes); entries of basic columns
-	// are ignored.
+	// Basis* codes below); entries of basic columns are ignored.
 	ColStat []int8
 }
+
+// Rest-position codes for Basis.ColStat. The numeric values match the
+// solver's internal column statuses, so a Solution.Basis can be fed back
+// unchanged.
+const (
+	BasisAtLower int8 = 0 // resting at its lower bound
+	BasisAtUpper int8 = 1 // resting at its upper bound
+	BasisFree    int8 = 2 // free column pinned at zero
+	// BasisAuto marks a column with no recorded rest position — e.g. one
+	// appended after the basis was captured by ExtendBasis or
+	// TranslateBasis. The solver places such columns at their default
+	// starting bound.
+	BasisAuto int8 = 3
+)
 
 // Options tunes the simplex solver. The zero value selects sensible
 // defaults via (*Options).withDefaults.
@@ -136,6 +159,16 @@ type Options struct {
 	// column's reduced cost is computed independently and ties break by
 	// lowest column index. 0 or 1 means sequential.
 	PricingWorkers int
+	// Dual enables the dual-simplex repair path for warm starts whose
+	// basis is primal infeasible but still dual feasible — the natural
+	// outcome of re-solving after right-hand sides or bounds drifted
+	// (epoch capacity changes, node churn row edits). Instead of
+	// discarding the basis and cold-starting, the solver pivots the most
+	// violated basic variables out against a dual ratio test until primal
+	// feasibility is restored, then finishes with the ordinary primal
+	// phase 2. Any numerical trouble falls back to the cold path, so the
+	// option is always safe. Solution.DualIters counts the repair pivots.
+	Dual bool
 	// RecordPivots fills Solution.Pivots with the pivot sequence.
 	RecordPivots bool
 	// Factor selects the basis-inverse representation: the default

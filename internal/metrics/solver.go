@@ -35,6 +35,14 @@ type SolverStats struct {
 	FactorNNZ        int // nonzeros of the last solve's final factorization
 	PresolveRows     int // constraint rows removed by presolve, summed
 	PresolveCols     int // columns removed by presolve, summed
+
+	// Column-generation and dual-simplex economics: repair pivots that
+	// replaced cold restarts, pricing rounds of restricted-master solves,
+	// and columns materialized beyond the seed. All zero when the direct
+	// solver ran without the Dual option.
+	DualPivots    int
+	ColGenRounds  int
+	ColGenColumns int
 }
 
 // Observe records one solve. warmAttempted says a starting basis was
@@ -70,6 +78,15 @@ func (ss *SolverStats) ObserveFactor(factor, ftran, btran, presolve time.Duratio
 	ss.FactorNNZ = factorNNZ
 	ss.PresolveRows += presolveRows
 	ss.PresolveCols += presolveCols
+}
+
+// ObserveColGen records one solve's dual-repair and column-generation
+// detail; zeros are fine for direct solves, so callers can invoke it
+// unconditionally alongside Observe.
+func (ss *SolverStats) ObserveColGen(dualPivots, rounds, columns int) {
+	ss.DualPivots += dualPivots
+	ss.ColGenRounds += rounds
+	ss.ColGenColumns += columns
 }
 
 // IterationsSaved estimates the simplex iterations avoided by warm
@@ -120,6 +137,9 @@ func (ss *SolverStats) Merge(o SolverStats) {
 	}
 	ss.PresolveRows += o.PresolveRows
 	ss.PresolveCols += o.PresolveCols
+	ss.DualPivots += o.DualPivots
+	ss.ColGenRounds += o.ColGenRounds
+	ss.ColGenColumns += o.ColGenColumns
 }
 
 // PricingShare is the fraction of solve wall-clock spent pricing.
@@ -141,7 +161,7 @@ func (ss *SolverStats) AvgIters() float64 {
 // String summarises the stats on one line: the warm-start accept rate,
 // iteration economics, and where the solve wall-clock went.
 func (ss *SolverStats) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"%d solves (%d/%d warm, %.0f%% accepted), %d iters (%.1f avg/solve, %d phase1, ~%d saved), solve %v (pricing %.0f%%, factor %v, presolve %v), %d refactor, presolved %d rows/%d cols",
 		ss.Solves, ss.WarmAccepted, ss.WarmAttempted, 100*ss.AcceptRate(),
 		ss.Iters, ss.AvgIters(), ss.Phase1Iters, ss.IterationsSaved(),
@@ -149,4 +169,9 @@ func (ss *SolverStats) String() string {
 		ss.FactorTime.Round(time.Millisecond), ss.PresolveTime.Round(time.Millisecond),
 		ss.Refactorizations, ss.PresolveRows, ss.PresolveCols,
 	)
+	if ss.DualPivots > 0 || ss.ColGenRounds > 0 {
+		s += fmt.Sprintf(", %d dual pivots, colgen %d rounds/%d columns",
+			ss.DualPivots, ss.ColGenRounds, ss.ColGenColumns)
+	}
+	return s
 }

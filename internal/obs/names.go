@@ -46,6 +46,9 @@ const (
 	MLPFactorSeconds   = "lips_lp_factor_seconds_total"
 	MLPPresolveSeconds = "lips_lp_presolve_seconds_total"
 	MLPPricingWorkers  = "lips_lp_pricing_workers"
+	MLPDualPivots      = "lips_lp_dual_pivots_total"
+	MLPColGenRounds    = "lips_lp_colgen_rounds_total"
+	MLPColGenColumns   = "lips_lp_colgen_columns_total"
 )
 
 // Label vocabularies, pre-registered so expositions show every series
@@ -79,8 +82,13 @@ type SimMetrics struct {
 	Killed, Moves, Faults                 *CounterVec         // by reason / reason / kind
 }
 
-// RegisterSim registers (or fetches) the simulator families.
+// RegisterSim registers (or fetches) the simulator families. Calling it
+// again on the same registry returns the identical bundle.
 func RegisterSim(r *Registry) *SimMetrics {
+	return r.bundle("sim", func() any { return registerSim(r) }).(*SimMetrics)
+}
+
+func registerSim(r *Registry) *SimMetrics {
 	m := &SimMetrics{
 		Clock:     r.Gauge(MSimClockSeconds, "Simulated clock at the last gauge refresh, in seconds."),
 		BusySlot:  r.Gauge(MSimBusySlotSeconds, "Cumulative busy slot-seconds at the last gauge refresh."),
@@ -126,8 +134,13 @@ type SchedMetrics struct {
 	Iterations, SolveSeconds               *Histogram
 }
 
-// RegisterSched registers (or fetches) the scheduler families.
+// RegisterSched registers (or fetches) the scheduler families. Calling it
+// again on the same registry returns the identical bundle.
 func RegisterSched(r *Registry) *SchedMetrics {
+	return r.bundle("sched", func() any { return registerSched(r) }).(*SchedMetrics)
+}
+
+func registerSched(r *Registry) *SchedMetrics {
 	return &SchedMetrics{
 		Epochs:      r.Counter(MSchedEpochs, "Scheduling epochs with queued work (LP solves attempted)."),
 		WarmOffers:  r.Counter(MSchedWarmOffers, "Epoch solves offered the previous epoch's basis."),
@@ -152,10 +165,16 @@ type LPMetrics struct {
 	SolveSeconds, PricingSeconds, FactorSeconds  *Counter
 	PresolveSeconds                              *Counter
 	PricingWorkers                               *Gauge
+	DualPivots, ColGenRounds, ColGenColumns      *Counter
 }
 
-// RegisterLP registers (or fetches) the LP solver families.
+// RegisterLP registers (or fetches) the LP solver families. Calling it
+// again on the same registry returns the identical bundle.
 func RegisterLP(r *Registry) *LPMetrics {
+	return r.bundle("lp", func() any { return registerLP(r) }).(*LPMetrics)
+}
+
+func registerLP(r *Registry) *LPMetrics {
 	return &LPMetrics{
 		Solves:           r.Counter(MLPSolves, "LP solves."),
 		Iterations:       r.Counter(MLPIters, "Simplex iterations across all solves (both phases)."),
@@ -169,5 +188,8 @@ func RegisterLP(r *Registry) *LPMetrics {
 		FactorSeconds:    r.Counter(MLPFactorSeconds, "Wall-clock seconds factorizing and solving with the basis (FTRAN/BTRAN included)."),
 		PresolveSeconds:  r.Counter(MLPPresolveSeconds, "Wall-clock seconds in presolve and postsolve."),
 		PricingWorkers:   r.Gauge(MLPPricingWorkers, "Configured parallel pricing workers of the last solve (1 = sequential)."),
+		DualPivots:       r.Counter(MLPDualPivots, "Dual-simplex repair pivots across all solves (Options.Dual warm starts)."),
+		ColGenRounds:     r.Counter(MLPColGenRounds, "Column-generation pricing rounds across all SolveColGen runs."),
+		ColGenColumns:    r.Counter(MLPColGenColumns, "Columns added by column-generation pricing oracles."),
 	}
 }

@@ -224,10 +224,36 @@ func (v *GaugeVec) With(labelValue string) *Gauge {
 type Registry struct {
 	mu   sync.RWMutex
 	fams map[string]*family
+
+	bundleMu sync.Mutex
+	bundles  map[string]any
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family), bundles: make(map[string]any)}
+}
+
+// bundle returns the registry's cached handle bundle under key, building
+// it at most once. RegisterSim/RegisterSched/RegisterLP go through here so
+// repeated registration — e.g. sched.LiPS.Init eagerly registering the LP
+// families on every Run of a double-Run harness — hands back the identical
+// pointers instead of rebuilding the structs (the underlying families were
+// already register-or-fetch, so this only removes allocation and lock
+// churn, not correctness hazards).
+func (r *Registry) bundle(key string, build func() any) any {
+	r.bundleMu.Lock()
+	defer r.bundleMu.Unlock()
+	if r.bundles == nil {
+		r.bundles = make(map[string]any)
+	}
+	b := r.bundles[key]
+	if b == nil {
+		b = build()
+		r.bundles[key] = b
+	}
+	return b
+}
 
 // family registers (or fetches) a family, panicking on a name reuse with
 // a different shape — a programmer error, not a runtime condition.

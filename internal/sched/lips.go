@@ -39,8 +39,17 @@ type LiPS struct {
 	// whenever the pending job set is stable, so the old basis is often
 	// primal feasible under the new bounds/RHS and phase 1 is skipped
 	// entirely; when shapes diverge the solver silently falls back to a
-	// cold start. Enabled by default via NewLiPS.
+	// cold start. Across node churn the basis is translated onto the new
+	// machine layout (core.TranslateOnlineBasis) instead of dropped.
+	// Enabled by default via NewLiPS.
 	WarmStart bool
+	// ColGen solves each epoch by column generation over a restricted
+	// master (core.SolveOnlineColGen) instead of materializing the full
+	// online LP — the path for clusters too large to aggregate, where the
+	// (job, machine, store) cross product dwarfs the optimal support. The
+	// previous epoch's hot machines seed the next master. Exact: the
+	// pricing loop terminates at the full LP's optimum.
+	ColGen bool
 	// PriceMultiplier, when non-nil, re-prices each epoch's LP with the
 	// spot multiplier sampled at the epoch start — pass the same function
 	// given to sim.Options so planning and billing agree. The simulator
@@ -67,8 +76,10 @@ type LiPS struct {
 	stale       int // consecutive epochs with pending work but no launches
 	rrNode      map[int]int
 	rrStore     map[int]int
-	prevBasis   *lp.Basis // last epoch's optimal basis (warm-start seed)
-	topoChanged bool      // a node went down or up since the last solve
+	prevBasis   *lp.Basis      // last epoch's optimal basis (warm-start seed)
+	prevIn      *core.Instance // instance the basis belongs to (for translation)
+	prevHot     []string       // hot machine unit names (ColGen seed hints)
+	topoChanged bool           // a node went down or up since the last solve
 
 	om    *obs.SchedMetrics // live epoch metrics; nil when metrics are off
 	lpReg *obs.Registry     // passed to each solve via lp.Options.Metrics
@@ -100,6 +111,8 @@ func (l *LiPS) Init(s *sim.Sim) {
 	l.Err = nil
 	l.stale = 0
 	l.prevBasis = nil
+	l.prevIn = nil
+	l.prevHot = nil
 	l.topoChanged = false
 	l.rrNode = make(map[int]int)
 	l.rrStore = make(map[int]int)
@@ -233,39 +246,71 @@ func (l *LiPS) planEpoch(s *sim.Sim, queued []int) int {
 		l.fail(err)
 		return 0
 	}
-	model, err := core.BuildOnlineModel(in)
-	if err != nil {
-		l.fail(err)
-		return 0
-	}
 	opts := l.LPOpts
 	opts.Metrics = l.lpReg
-	if l.topoChanged {
-		// Nodes came or went since the basis was saved; its columns no
-		// longer line up with this epoch's LP.
-		l.prevBasis = nil
-		l.topoChanged = false
+
+	var plan *core.Plan
+	var elapsed time.Duration
+	if l.ColGen {
+		// Restricted-master path: no basis carries across epochs (the
+		// master's column layout depends on materialization order), but
+		// the previous plan's hot machines seed the new master so the
+		// first pricing round already holds the likely support.
+		start := time.Now()
+		p, _, cgErr := core.SolveOnlineColGen(in, core.ColGenOptions{
+			LP: opts, SeedMachines: seedMachines(in, l.prevHot),
+		})
+		elapsed = time.Since(start)
+		l.SolveTime += elapsed
+		if cgErr != nil {
+			l.fail(fmt.Errorf("epoch %d: %w", l.Epochs, cgErr))
+			return 0
+		}
+		plan = p
+		l.prevHot = hotMachineNames(in, plan)
+	} else {
+		model, mErr := core.BuildOnlineModel(in)
+		if mErr != nil {
+			l.fail(mErr)
+			return 0
+		}
+		if l.topoChanged && l.prevBasis != nil && l.prevIn != nil {
+			// Nodes came or went since the basis was saved: translate it
+			// onto the new machine layout (departed units' columns drop,
+			// returning units' enter at their bounds) instead of throwing
+			// it away. Untranslatable shapes yield nil — a cold start,
+			// exactly the old behavior.
+			l.prevBasis = core.TranslateOnlineBasis(l.prevBasis, l.prevIn, in)
+		}
+		if l.WarmStart {
+			opts.WarmStart = l.prevBasis
+		}
+		start := time.Now()
+		p, sErr := model.Solve(opts)
+		elapsed = time.Since(start)
+		l.SolveTime += elapsed
+		if sErr != nil {
+			l.fail(fmt.Errorf("epoch %d: %w", l.Epochs, sErr))
+			return 0
+		}
+		plan = p
+		if l.WarmStart {
+			l.prevBasis, l.prevIn = plan.Basis, in
+		}
 	}
-	if l.WarmStart {
-		opts.WarmStart = l.prevBasis
-	}
-	start := time.Now()
-	plan, err := model.Solve(opts)
-	elapsed := time.Since(start)
-	l.SolveTime += elapsed
-	if err != nil {
-		l.fail(fmt.Errorf("epoch %d: %w", l.Epochs, err))
-		return 0
-	}
+	l.topoChanged = false
 	l.LPIters += plan.Iters
-	l.Solver.Observe(plan.Iters, plan.Phase1, opts.WarmStart != nil, plan.WarmStarted,
+	// The warm columns count epoch-to-epoch basis reuse only: a colgen
+	// solve's final round often warm-starts from its own earlier rounds
+	// (WarmRounds in ColGenStats), which would otherwise record an
+	// acceptance that was never attempted at the epoch level.
+	warmAttempted := opts.WarmStart != nil
+	l.Solver.Observe(plan.Iters, plan.Phase1, warmAttempted, warmAttempted && plan.WarmStarted,
 		elapsed, plan.PricingTime)
 	l.Solver.ObserveFactor(plan.FactorTime, plan.FtranTime, plan.BtranTime,
 		plan.PresolveTime, plan.Refactorizations, plan.FactorNNZ,
 		plan.PresolveRows, plan.PresolveCols)
-	if l.WarmStart {
-		l.prevBasis = plan.Basis
-	}
+	l.Solver.ObserveColGen(plan.DualIters, plan.ColGenRounds, plan.ColGenColumns)
 	pending := 0
 	for _, p := range pendingOf {
 		pending += len(p)
@@ -498,6 +543,40 @@ func (l *LiPS) apply(s *sim.Sim, in *core.Instance, ip *core.IntegralPlan, queue
 		}
 	}
 	return launched
+}
+
+// hotMachineNames lists the non-fake machine units carrying work in the
+// plan, by name — names are the stable identity across per-epoch
+// instances, whose unit indices shift with churn.
+func hotMachineNames(in *core.Instance, p *core.Plan) []string {
+	var names []string
+	for _, l := range p.HotMachines() {
+		if !in.Machines[l].Fake {
+			names = append(names, in.Machines[l].Name)
+		}
+	}
+	return names
+}
+
+// seedMachines resolves hot-machine names against this epoch's instance;
+// units that left the cluster simply drop out.
+func seedMachines(in *core.Instance, names []string) []int {
+	if len(names) == 0 {
+		return nil
+	}
+	idx := make(map[string]int, len(in.Machines))
+	for l, m := range in.Machines {
+		if !m.Fake {
+			idx[m.Name] = l
+		}
+	}
+	var out []int
+	for _, n := range names {
+		if l, ok := idx[n]; ok {
+			out = append(out, l)
+		}
+	}
+	return out
 }
 
 // pickTask selects the first untaken task satisfying pred.

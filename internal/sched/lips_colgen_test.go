@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"lips/internal/sim"
+)
+
+// TestLiPSColGenMatchesDirect runs the same workload through the direct
+// full-model LiPS and the column-generation LiPS. Both must complete,
+// land on comparable dollars, and the colgen run must actually have gone
+// through the restricted-master path (pricing rounds recorded).
+func TestLiPSColGenMatchesDirect(t *testing.T) {
+	run := func(l *LiPS) *sim.Result {
+		c := mixedCluster()
+		w := smallJobSet(rand.New(rand.NewSource(3)), 3)
+		return runSched(t, c, w, nil, l, sim.Options{TaskTimeoutSec: 1200})
+	}
+
+	direct := NewLiPS(400)
+	directRes := run(direct)
+
+	cg := NewLiPS(400)
+	cg.ColGen = true
+	cgRes := run(cg)
+
+	if cgRes.Makespan <= 0 || directRes.Makespan <= 0 {
+		t.Fatalf("zero makespan: direct %v colgen %v", directRes.Makespan, cgRes.Makespan)
+	}
+	if cg.Epochs == 0 {
+		t.Fatal("colgen lips ran no epochs")
+	}
+	if cg.Solver.ColGenRounds == 0 {
+		t.Errorf("colgen run recorded no pricing rounds: %s", cg.Solver.String())
+	}
+	if cg.Solver.ColGenColumns == 0 {
+		t.Errorf("colgen run recorded no generated columns: %s", cg.Solver.String())
+	}
+
+	// Both solve the same exact LP per epoch, so dollars should agree
+	// closely; allow slack for tie-breaking between equal-cost vertices.
+	dc, cc := float64(directRes.TotalCost()), float64(cgRes.TotalCost())
+	if diff := cc - dc; diff > 0.05*dc {
+		t.Errorf("colgen cost %v > direct %v by %.1f%%", cgRes.TotalCost(), directRes.TotalCost(), 100*diff/dc)
+	}
+	t.Logf("direct=%v colgen=%v solver: %s", directRes.TotalCost(), cgRes.TotalCost(), cg.Solver.String())
+}
+
+// TestLiPSInitTwice reuses one scheduler across two sim runs — the Init
+// path must reset state and re-register observability without panicking
+// on duplicate metric names.
+func TestLiPSInitTwice(t *testing.T) {
+	l := NewLiPS(400)
+	for i := 0; i < 2; i++ {
+		c := mixedCluster()
+		w := smallJobSet(rand.New(rand.NewSource(3)), 3)
+		r := runSched(t, c, w, nil, l, sim.Options{TaskTimeoutSec: 1200})
+		if r.Makespan <= 0 {
+			t.Fatalf("run %d: zero makespan", i)
+		}
+	}
+}

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Benchmark regression harness: runs the internal/lp benchmarks (the
-# epoch-scale cold/warm pair plus the solver size sweep) and the
+# epoch-scale cold/warm pair plus the solver size sweep), the
 # internal/sim simulator benchmarks (nop-tracer, traced and shared-links
 # throughput, the 10k-node/1M-task paper-scale run, and the idle-sweep
-# dispatch microbenchmark) and writes BENCH_lp.json — including
-# sim_tasks_per_sec, the paper-scale event-loop throughput — so future
+# dispatch microbenchmark), and the internal/core BenchmarkEpoch10k
+# column-generation pair (cold restricted-master solve and warm
+# reprice+dual-simplex re-solve at 10k machines) and writes
+# BENCH_lp.json — including
+# sim_tasks_per_sec, the paper-scale event-loop throughput, and the
+# epoch10k_* fields — so future
 # changes have a perf trajectory to compare against. Each run records the git SHA it measured; prior results are
 # preserved in the file's "history" array (newest first, capped at 50)
 # instead of being overwritten. Usage: scripts/bench.sh [output.json];
@@ -16,13 +20,18 @@ OUT=${1:-BENCH_lp.json}
 BENCHTIME=${BENCHTIME:-5x}
 
 SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-if [ "$SHA" != unknown ] && ! git diff --quiet HEAD -- 2>/dev/null; then
+# The output file itself is excluded from the dirty check: re-running the
+# harness on a clean tree must not label the new measurement "-dirty" just
+# because the previous run's results are sitting uncommitted in $OUT.
+if [ "$SHA" != unknown ] && ! git diff --quiet HEAD -- ":(exclude)$OUT" 2>/dev/null; then
 	SHA="$SHA-dirty"
 fi
 
 RAW=$(go test ./internal/lp -run '^$' -bench 'BenchmarkSolve|BenchmarkEpoch' \
 	-benchtime "$BENCHTIME" -timeout 30m
 	go test ./internal/sim -run '^$' -bench 'BenchmarkSimulator|BenchmarkDispatch' \
+		-benchtime "$BENCHTIME" -timeout 30m
+	go test ./internal/core -run '^$' -bench BenchmarkEpoch10k \
 		-benchtime "$BENCHTIME" -timeout 30m)
 printf '%s\n' "$RAW"
 
@@ -48,6 +57,8 @@ BEGIN {
 	printf "}"
 	if (name == "BenchmarkEpoch/cold") cold = ns
 	if (name == "BenchmarkEpoch/warm") warm = ns
+	if (name == "BenchmarkEpoch10k/cold") cold10k = ns
+	if (name == "BenchmarkEpoch10k/warm") warm10k = ns
 	if (name == "BenchmarkSimulatorThroughput10k") {
 		ns10k = ns
 		for (i = 5; i + 1 <= NF; i += 2)
@@ -61,9 +72,21 @@ END {
 	else
 		printf "  \"sim_tasks_per_sec\": null,\n"
 	if (cold > 0 && warm > 0)
-		printf "  \"epoch_warm_speedup\": %.2f\n", cold / warm
+		printf "  \"epoch_warm_speedup\": %.2f,\n", cold / warm
 	else
-		printf "  \"epoch_warm_speedup\": null\n"
+		printf "  \"epoch_warm_speedup\": null,\n"
+	if (cold10k > 0)
+		printf "  \"epoch10k_cold_ns\": %s,\n", cold10k
+	else
+		printf "  \"epoch10k_cold_ns\": null,\n"
+	if (warm10k > 0)
+		printf "  \"epoch10k_warm_ns\": %s,\n", warm10k
+	else
+		printf "  \"epoch10k_warm_ns\": null,\n"
+	if (cold10k > 0 && warm10k > 0)
+		printf "  \"epoch10k_warm_speedup\": %.2f\n", cold10k / warm10k
+	else
+		printf "  \"epoch10k_warm_speedup\": null\n"
 	printf "}\n"
 }' > "$TMP"
 

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Perf regression smoke: runs BenchmarkEpoch and the simulator
+# Perf regression smoke: runs BenchmarkEpoch, the simulator
 # throughput benchmarks — the 20-node run whose Options{} path exercises
 # the disabled nop tracer, the 10k-node/1M-task paper-scale run, and the
-# idle-sweep dispatch microbenchmark — and fails when the measured ns/op
+# idle-sweep dispatch microbenchmark — and BenchmarkEpoch10k, the
+# column-generation epoch solve at 10k machines (cold restricted master
+# and warm reprice+dual-simplex re-solve), and fails when the measured ns/op
 # exceeds the committed
 # BENCH_lp.json baseline by more than the allowed factor (default 3×,
 # absorbing CI machine noise while still catching order-of-magnitude
@@ -28,15 +30,18 @@ if ! command -v jq >/dev/null 2>&1; then
 	exit 0
 fi
 
-RAW=$(go test ./internal/lp -run '^$' -bench BenchmarkEpoch -benchtime "$BENCHTIME" -timeout 30m
+RAW=$(go test ./internal/lp -run '^$' -bench 'BenchmarkEpoch$' -benchtime "$BENCHTIME" -timeout 30m
 	go test ./internal/sim -run '^$' \
 		-bench 'BenchmarkSimulatorThroughput$|BenchmarkSimulatorThroughput10k$|BenchmarkDispatch$' \
+		-benchtime "$BENCHTIME" -timeout 30m
+	go test ./internal/core -run '^$' -bench 'BenchmarkEpoch10k$' \
 		-benchtime "$BENCHTIME" -timeout 30m)
 printf '%s\n' "$RAW"
 
 fail=0
 for name in BenchmarkEpoch/cold BenchmarkEpoch/warm BenchmarkSimulatorThroughput \
-	BenchmarkSimulatorThroughput10k BenchmarkDispatch; do
+	BenchmarkSimulatorThroughput10k BenchmarkDispatch \
+	BenchmarkEpoch10k/cold BenchmarkEpoch10k/warm; do
 	base=$(jq -r --arg n "$name" \
 		'.benchmarks[] | select(.name == $n) | .ns_per_op' "$BASELINE")
 	if [ -z "$base" ] || [ "$base" = null ]; then
