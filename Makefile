@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench perfsmoke lpsmoke faultsmoke tracesmoke obssmoke scalesmoke
+.PHONY: all build test race vet bench perfsmoke lpsmoke faultsmoke tracesmoke obssmoke scalesmoke servesmoke
 
 all: vet build test
 
@@ -48,3 +48,9 @@ obssmoke:
 # -scale run under a wall-clock budget, requiring byte-identical traces.
 scalesmoke:
 	scripts/scalesmoke.sh
+
+# Races the serve-mode tests, then drives a live lips-serve daemon with
+# an open-loop burst: p99 submit SLO, churn survival, 429 load shedding
+# and a clean SIGTERM drain.
+servesmoke:
+	scripts/servesmoke.sh

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	lips-bench [-experiment all|table1|table3|table4|fig1|fig5|fig6|fig8|fig9|fig11|scale|overhead|ablations|faults]
+//	lips-bench [-experiment all|table1|table3|table4|fig1|fig5|fig6|fig8|fig9|fig11|scale|overhead|ablations|faults|spot|baselines|service]
 //	           [-full] [-seed N] [-trials N] [-lp-workers N] [-cold-start]
 //	           [-colgen] [-dual] [-presolve on|off] [-factor lu|dense]
 //	           [-faults N] [-fault-seed N]
@@ -241,6 +241,13 @@ func run(experiment string, cfg experiments.Config) error {
 	}
 	if section("baselines", "Extension — all-schedulers shoot-out (Fig. 6 iii setting)") {
 		r, err := experiments.Baselines(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	}
+	if section("service", "Extension — streaming submissions with cancels (lips-serve regime)") {
+		r, err := experiments.Service(cfg)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,137 @@
+// lips-load drives a lips-serve daemon with open-loop load: submissions
+// fire at a fixed rate regardless of how fast the daemon answers, so a
+// slow or saturated daemon accumulates in-flight requests instead of
+// silently throttling the generator (the coordinated-omission trap).
+//
+//	lips-load -addr http://127.0.0.1:8080 -rate 500 -total 1000
+//
+// It prints a JSON summary with latency quantiles over every submission
+// that got an HTTP response — 429s included, since fast load-shedding is
+// exactly what backpressure promises. With -slo-p99-ms set, a p99 above
+// the bound exits 1.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type summary struct {
+	Sent     int     `json:"sent"`
+	Accepted int     `json:"accepted"`
+	Rejected int     `json:"rejected"` // 429: shed by backpressure
+	Draining int     `json:"draining"` // 503: daemon shutting down
+	Errors   int     `json:"errors"`   // transport failures and 4xx/5xx beyond the above
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "lips-serve base URL")
+		rate     = flag.Float64("rate", 200, "submissions per second (open loop)")
+		total    = flag.Int("total", 1000, "submissions to send")
+		tenants  = flag.Int("tenants", 4, "tenant names to rotate through")
+		arch     = flag.String("archetype", "grep", "archetype to submit")
+		inputMB  = flag.Float64("input-mb", 256, "input size per job (input archetypes)")
+		tasks    = flag.Int("tasks", 8, "tasks per job (pi archetype)")
+		seed     = flag.Int64("seed", 1, "seed for the tenant rotation jitter")
+		sloP99Ms = flag.Float64("slo-p99-ms", 0, "exit 1 if p99 submit latency exceeds this (0 = off)")
+	)
+	flag.Parse()
+	if *rate <= 0 || *total <= 0 || *tenants <= 0 {
+		fmt.Fprintln(os.Stderr, "lips-load: -rate, -total and -tenants must be positive")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	rng := rand.New(rand.NewSource(*seed))
+	interval := time.Duration(float64(time.Second) / *rate)
+	start := time.Now()
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		sum       summary
+		latencies = make([]float64, 0, *total)
+	)
+	for i := 0; i < *total; i++ {
+		// Open loop: pace off the schedule, not off responses.
+		next := start.Add(time.Duration(i) * interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		tenant := fmt.Sprintf("tenant-%d", rng.Intn(*tenants))
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			code, ms := submit(client, *addr, tenant, *arch, *inputMB, *tasks)
+			mu.Lock()
+			defer mu.Unlock()
+			sum.Sent++
+			switch {
+			case code == http.StatusAccepted:
+				sum.Accepted++
+			case code == http.StatusTooManyRequests:
+				sum.Rejected++
+			case code == http.StatusServiceUnavailable:
+				sum.Draining++
+			default:
+				sum.Errors++
+			}
+			if ms >= 0 {
+				latencies = append(latencies, ms)
+			}
+		}(tenant)
+	}
+	wg.Wait()
+
+	sort.Float64s(latencies)
+	if n := len(latencies); n > 0 {
+		sum.P50Ms = latencies[n/2]
+		sum.P99Ms = latencies[n*99/100]
+		sum.MaxMs = latencies[n-1]
+	}
+	out, _ := json.MarshalIndent(sum, "", "  ")
+	fmt.Println(string(out))
+
+	if sum.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "lips-load: %d submissions errored\n", sum.Errors)
+		os.Exit(1)
+	}
+	if *sloP99Ms > 0 && sum.P99Ms > *sloP99Ms {
+		fmt.Fprintf(os.Stderr, "lips-load: p99 %.2fms over SLO %.2fms\n", sum.P99Ms, *sloP99Ms)
+		os.Exit(1)
+	}
+}
+
+// submit POSTs one job and returns the HTTP status (0 on transport
+// failure) and the wall latency in milliseconds (-1 on failure).
+func submit(client *http.Client, addr, tenant, arch string, inputMB float64, tasks int) (int, float64) {
+	req := map[string]any{"tenant": tenant, "archetype": arch}
+	if arch == "pi" {
+		req["tasks"] = tasks
+	} else {
+		req["input_mb"] = inputMB
+	}
+	body, _ := json.Marshal(req)
+	t0 := time.Now()
+	resp, err := client.Post(addr+"/submit", "application/json", bytes.NewReader(body))
+	ms := float64(time.Since(t0).Microseconds()) / 1000
+	if err != nil {
+		return 0, -1
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, ms
+}

@@ -1,0 +1,124 @@
+// lips-serve runs the LiPS co-scheduler as a long-lived daemon: an HTTP
+// API accepting streaming job submissions (submit/status/cancel, with
+// per-tenant fair-share admission), a continuously advancing simulated
+// cluster, and an epoch loop re-solving the scheduling plan on a bounded
+// solver pool. The observability endpoints (/metrics, /progress,
+// /healthz, /debug/pprof) share the same listener.
+//
+//	lips-serve -listen 127.0.0.1:8080 -cluster random -nodes 1000
+//	curl -XPOST -d '{"tenant":"t0","archetype":"grep","input_mb":256}' \
+//	    http://127.0.0.1:8080/submit
+//
+// SIGINT/SIGTERM drain gracefully: new submissions get 503, in-flight
+// jobs run to completion (bounded by -drain-timeout), then the process
+// exits 0. An epoch-loop or HTTP-server failure exits non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lips/internal/cluster"
+	"lips/internal/obs"
+	"lips/internal/sched"
+	"lips/internal/serve"
+	"lips/internal/sim"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		clusterKind = flag.String("cluster", "paper20", "paper20, paper100 or random")
+		fracC1      = flag.Float64("frac-c1", 0.5, "fraction of c1.medium nodes for -cluster paper20")
+		nodes       = flag.Int("nodes", 1000, "node count for -cluster random")
+		seed        = flag.Int64("seed", 1, "random seed for -cluster random")
+		scheduler   = flag.String("scheduler", "lips", "lips, fair or scale")
+		epoch       = flag.Float64("epoch", 0, "LiPS planning epoch in seconds (0 = the -epoch-sim value)")
+		colGen      = flag.Bool("colgen", false, "solve LiPS epochs by column generation (large clusters)")
+		epochSim    = flag.Float64("epoch-sim", 60, "simulated seconds advanced per serve epoch")
+		epochWall   = flag.Duration("epoch-wall", 25*time.Millisecond, "wall-clock pacing between serve epochs")
+		queueCap    = flag.Int("queue-cap", 4096, "admission queue bound (429 beyond it)")
+		admitPer    = flag.Int("admit-per-epoch", 512, "max jobs admitted into the simulation per epoch")
+		solverPool  = flag.Int("solver-pool", 1, "solver tokens; all busy + half-full queue sheds load")
+		retryAfter  = flag.Int("retry-after", 1, "Retry-After seconds on 429/503")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "max drain time at shutdown")
+	)
+	flag.Parse()
+
+	var c *cluster.Cluster
+	switch *clusterKind {
+	case "paper20":
+		c = cluster.Paper20(*fracC1)
+	case "paper100":
+		c = cluster.Paper100()
+	case "random":
+		c = cluster.Random(rand.New(rand.NewSource(*seed)), cluster.RandomSpec{Nodes: *nodes})
+	default:
+		fatalf("unknown cluster %q", *clusterKind)
+	}
+
+	if *epoch == 0 {
+		*epoch = *epochSim
+	}
+	var sch sim.Scheduler
+	switch *scheduler {
+	case "lips":
+		l := sched.NewLiPS(*epoch)
+		l.ColGen = *colGen
+		sch = l
+	case "fair":
+		sch = sched.NewFair()
+	case "scale":
+		sch = sched.NewScale()
+	default:
+		fatalf("unknown scheduler %q", *scheduler)
+	}
+
+	reg := obs.NewRegistry()
+	d, err := serve.New(c, sch, reg, serve.Config{
+		EpochSimSec:       *epochSim,
+		EpochWallInterval: *epochWall,
+		QueueCap:          *queueCap,
+		AdmitPerEpoch:     *admitPer,
+		SolverPool:        *solverPool,
+		RetryAfterSec:     *retryAfter,
+		DrainTimeout:      *drain,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	srv, err := obs.ServeHandler(*listen, d.Handler())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	d.Start()
+	fmt.Printf("lips-serve: %d nodes, scheduler %s, epoch %.0fs sim / %s wall\n",
+		len(c.Nodes), sch.Name(), *epochSim, *epochWall)
+	fmt.Printf("lips-serve: listening on %s\n", srv.URL())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("lips-serve: draining")
+	code := 0
+	if err := d.Shutdown(); err != nil {
+		fmt.Fprintf(os.Stderr, "lips-serve: %v\n", err)
+		code = 1
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "lips-serve: http: %v\n", err)
+		code = 1
+	}
+	fmt.Println("lips-serve: stopped")
+	os.Exit(code)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lips-serve: "+format+"\n", args...)
+	os.Exit(2)
+}

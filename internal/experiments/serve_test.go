@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+func TestServiceStreamsAndCancels(t *testing.T) {
+	r, err := Service(Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows: %+v", r.Rows)
+	}
+	for _, row := range r.Rows {
+		if row.Jobs != 12 || row.Cancelled == 0 {
+			t.Errorf("%s: jobs=%d cancelled=%d, want 12 jobs with cancels exercised", row.Scheduler, row.Jobs, row.Cancelled)
+		}
+		if row.DrainSec <= 0 || row.Cost <= 0 {
+			t.Errorf("%s: drain=%g cost=%v", row.Scheduler, row.DrainSec, row.Cost)
+		}
+	}
+	// Identical seeds reproduce the table exactly.
+	r2, err := Service(Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Render() != r2.Render() {
+		t.Errorf("service experiment not reproducible:\n%s\nvs\n%s", r.Render(), r2.Render())
+	}
+}

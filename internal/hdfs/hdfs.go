@@ -74,6 +74,22 @@ func NewPlacement(objects []DataObject) *Placement {
 // Objects returns the data objects (shared slice; do not mutate).
 func (p *Placement) Objects() []DataObject { return p.objects }
 
+// AddObject appends a new object to a live placement with every block on
+// the object's origin store (replication factor 1) — how a streaming
+// submission's input enters an already-running cluster. The object's ID
+// must be the next free slot.
+func (p *Placement) AddObject(d DataObject) {
+	if d.ID != ObjectID(len(p.objects)) {
+		panic(fmt.Sprintf("hdfs: AddObject %q has ID %d, want %d", d.Name, d.ID, len(p.objects)))
+	}
+	p.objects = append(p.objects, d)
+	blocks := make([][]cluster.StoreID, d.NumBlocks())
+	for b := range blocks {
+		blocks[b] = []cluster.StoreID{d.Origin}
+	}
+	p.blocks = append(p.blocks, blocks)
+}
+
 // Object returns one object by ID.
 func (p *Placement) Object(id ObjectID) DataObject { return p.objects[id] }
 

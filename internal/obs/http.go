@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Server is the embeddable observability endpoint. It serves
@@ -20,16 +23,13 @@ import (
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+	err chan error // the Serve goroutine's exit error, capacity 1
 }
 
-// Serve binds addr (e.g. "127.0.0.1:0", ":9090") and serves the registry
-// until Close. It returns once the listener is bound, so Addr reports
-// the resolved port immediately.
-func Serve(addr string, reg *Registry) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
-	}
+// Mux returns the standard observability mux over a registry — the
+// handler Serve installs. Daemons that mount their own endpoints next to
+// /metrics compose with it via ServeHandler.
+func Mux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -47,8 +47,27 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
-	go func() { _ = s.srv.Serve(ln) }()
+	return mux
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0", ":9090") and serves the registry
+// until Close. It returns once the listener is bound, so Addr reports
+// the resolved port immediately; a bind failure (port in use, bad
+// address) is returned here, and a later accept-loop failure surfaces
+// from Close instead of being swallowed.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeHandler(addr, Mux(reg))
+}
+
+// ServeHandler is Serve with a caller-supplied handler — typically the
+// Mux plus the daemon's own endpoints.
+func ServeHandler(addr string, handler http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: handler}, err: make(chan error, 1)}
+	go func() { s.err <- s.srv.Serve(ln) }()
 	return s, nil
 }
 
@@ -58,5 +77,29 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL returns the server's base URL.
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
-// Close stops the listener and any in-flight handlers.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down gracefully: the listener stops accepting,
+// in-flight scrapes (a half-written /metrics body, a slow /progress
+// reader) get up to five seconds to finish, and only then are laggards
+// cut off. It returns the accept loop's exit error — anything other than
+// the orderly http.ErrServerClosed means the server died early (e.g. the
+// listener was torn down underneath it) and callers should fail loudly.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutdownErr := s.srv.Shutdown(ctx)
+	if shutdownErr != nil {
+		// Drain deadline hit: force-close the stragglers.
+		_ = s.srv.Close()
+	}
+	serveErr := <-s.err
+	if errors.Is(serveErr, http.ErrServerClosed) {
+		serveErr = nil
+	}
+	if serveErr != nil {
+		return serveErr
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	return nil
+}

@@ -49,6 +49,18 @@ const (
 	MLPDualPivots      = "lips_lp_dual_pivots_total"
 	MLPColGenRounds    = "lips_lp_colgen_rounds_total"
 	MLPColGenColumns   = "lips_lp_colgen_columns_total"
+
+	// Service layer (the lips-serve daemon).
+	MServeQueueDepth    = "lips_serve_queue_depth"
+	MServeTenants       = "lips_serve_tenants"
+	MServeSimSeconds    = "lips_serve_sim_seconds"
+	MServeEpochs        = "lips_serve_epochs_total"
+	MServeAdmissions    = "lips_serve_admission_total"
+	MServeJobsDone      = "lips_serve_jobs_done_total"
+	MServeJobsCancelled = "lips_serve_jobs_cancelled_total"
+	MServeChurn         = "lips_serve_churn_total"
+	MServeSubmitSeconds = "lips_serve_submit_latency_seconds"
+	MServeLaunchSeconds = "lips_serve_first_launch_seconds"
 )
 
 // Label vocabularies, pre-registered so expositions show every series
@@ -62,11 +74,13 @@ var (
 	// TaskStates mirrors internal/sim's TaskState lifecycle.
 	TaskStates = []string{"pending", "queued", "running", "done"}
 	// KillReasons are the simulator's traceKill reason strings.
-	KillReasons = []string{"timeout", "speculative", "preempt", "dequeue", "node-crash", "store-loss"}
+	KillReasons = []string{"timeout", "speculative", "preempt", "dequeue", "node-crash", "store-loss", "cancel"}
 	// MoveReasons are the simulator's block-relocation reasons.
 	MoveReasons = []string{"plan", "re-replicate", "re-materialize"}
 	// FaultKinds mirrors internal/sim FaultKind.String values.
 	FaultKinds = []string{"node-down", "node-up", "store-loss", "slowdown"}
+	// AdmissionDecisions label lips_serve_admission_total.
+	AdmissionDecisions = []string{"accepted", "rejected", "draining"}
 )
 
 // SimMetrics bundles the simulator's metric handles. Counters are exact
@@ -172,6 +186,48 @@ type LPMetrics struct {
 // again on the same registry returns the identical bundle.
 func RegisterLP(r *Registry) *LPMetrics {
 	return r.bundle("lp", func() any { return registerLP(r) }).(*LPMetrics)
+}
+
+// ServeMetrics bundles the lips-serve daemon's handles. Submit latency is
+// wall-clock (the daemon's SLO); first-launch latency is simulated time
+// (submit arrival to the task's first slot, the queueing delay the epoch
+// planner imposes).
+type ServeMetrics struct {
+	QueueDepth, Tenants, SimSeconds *Gauge
+	Epochs, JobsDone, JobsCancelled *Counter
+	Admissions, Churn               *CounterVec // by decision / by kind
+	SubmitSeconds, LaunchSeconds    *Histogram
+}
+
+// RegisterServe registers (or fetches) the daemon families. Calling it
+// again on the same registry returns the identical bundle.
+func RegisterServe(r *Registry) *ServeMetrics {
+	return r.bundle("serve", func() any { return registerServe(r) }).(*ServeMetrics)
+}
+
+func registerServe(r *Registry) *ServeMetrics {
+	m := &ServeMetrics{
+		QueueDepth:    r.Gauge(MServeQueueDepth, "Jobs accepted but not yet admitted into the simulation."),
+		Tenants:       r.Gauge(MServeTenants, "Distinct tenants seen since the daemon started."),
+		SimSeconds:    r.Gauge(MServeSimSeconds, "Simulated clock of the serving cluster, in seconds."),
+		Epochs:        r.Counter(MServeEpochs, "Serve epochs driven (each advances the simulation one epoch)."),
+		JobsDone:      r.Counter(MServeJobsDone, "Submitted jobs that ran to completion."),
+		JobsCancelled: r.Counter(MServeJobsCancelled, "Submitted jobs withdrawn by cancellation."),
+		Admissions:    r.CounterVec(MServeAdmissions, "Submission admission decisions.", "decision"),
+		Churn:         r.CounterVec(MServeChurn, "Node churn events applied via the admin API.", "kind"),
+		SubmitSeconds: r.Histogram(MServeSubmitSeconds, "Wall-clock seconds from submit receipt to admission decision.",
+			// 100µs … 10s in half-decade steps, the submit-SLO range.
+			[]float64{1e-4, 3.16e-4, 1e-3, 3.16e-3, 0.01, 0.0316, 0.1, 0.316, 1, 3.16, 10}),
+		LaunchSeconds: r.Histogram(MServeLaunchSeconds, "Simulated seconds from submission to a job's first task launch.",
+			ExpBuckets(1, 2, 14)), // 1s … 8192s, epoch-scale queueing delays
+	}
+	for _, d := range AdmissionDecisions {
+		m.Admissions.With(d)
+	}
+	for _, k := range []string{"down", "up"} {
+		m.Churn.With(k)
+	}
+	return m
 }
 
 func registerLP(r *Registry) *LPMetrics {

@@ -27,8 +27,9 @@ type Fair struct {
 	// Preemptions counts kills (readable after a run).
 	Preemptions int
 
-	poolOf     map[int]string // job → pool
-	belowSince map[string]float64
+	poolOf      map[int]string // job → pool
+	belowSince  map[string]float64
+	preemptLive bool // a future preempt tick is in the heap
 }
 
 // NewFair returns a fair scheduler with equal pool weights.
@@ -37,23 +38,38 @@ func NewFair() *Fair { return &Fair{} }
 // Name implements sim.Scheduler.
 func (f *Fair) Name() string { return "fair" }
 
-// Init implements sim.Scheduler.
+// Init implements sim.Scheduler. Everything run-scoped — the pool map,
+// the starvation clocks, the preemption counter and the ticker — resets
+// here, so one *Fair reused across runs starts each run clean.
 func (f *Fair) Init(s *sim.Sim) {
 	f.poolOf = make(map[int]string)
 	f.belowSince = make(map[string]float64)
+	f.Preemptions = 0
+	f.preemptLive = false
 	for j, job := range s.W.Jobs {
 		f.poolOf[j] = job.User
 	}
-	if f.PreemptTimeoutSec > 0 {
-		period := f.PreemptTimeoutSec / 2
-		var tick func()
-		tick = func() {
-			if f.preemptCheck(s) {
-				s.At(s.Now()+period, tick)
-			}
-		}
-		s.At(period, tick)
+	f.armPreempt(s)
+}
+
+// armPreempt starts the preemption ticker if preemption is configured and
+// no tick is already pending. The ticker stops itself once every job
+// completes, so arrivals into an idle run re-arm it here.
+func (f *Fair) armPreempt(s *sim.Sim) {
+	if f.PreemptTimeoutSec <= 0 || f.preemptLive {
+		return
 	}
+	f.preemptLive = true
+	period := f.PreemptTimeoutSec / 2
+	var tick func()
+	tick = func() {
+		if f.preemptCheck(s) {
+			s.At(s.Now()+period, tick)
+		} else {
+			f.preemptLive = false
+		}
+	}
+	s.At(s.Now()+period, tick)
 }
 
 // preemptCheck kills one task of the most over-served pool for every pool
@@ -140,8 +156,15 @@ func (f *Fair) preemptOne(s *sim.Sim, starved string, running map[string]int) bo
 	return s.KillTask(bestJob, bestTask) == nil
 }
 
-// OnJobArrival implements sim.Scheduler.
-func (f *Fair) OnJobArrival(s *sim.Sim, _ int) { s.KickIdleNodes() }
+// OnJobArrival implements sim.Scheduler. Jobs added after Init (serve
+// mode) enter the pool map here; Init covered only the workload it saw.
+func (f *Fair) OnJobArrival(s *sim.Sim, j int) {
+	if _, ok := f.poolOf[j]; !ok {
+		f.poolOf[j] = s.W.Jobs[j].User
+	}
+	f.armPreempt(s)
+	s.KickIdleNodes()
+}
 
 // OnTaskDone implements sim.Scheduler.
 func (f *Fair) OnTaskDone(*sim.Sim, int, int) {}

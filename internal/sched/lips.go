@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -73,7 +74,8 @@ type LiPS struct {
 	Solver      metrics.SolverStats // per-solve LP statistics
 	Err         error               // first scheduling error, if any
 
-	stale       int // consecutive epochs with pending work but no launches
+	stale       int  // consecutive epochs with pending work but no launches
+	armed       bool // a future tick is in the heap (the chain dies when drained)
 	rrNode      map[int]int
 	rrStore     map[int]int
 	prevBasis   *lp.Basis      // last epoch's optimal basis (warm-start seed)
@@ -125,6 +127,7 @@ func (l *LiPS) Init(s *sim.Sim) {
 	} else {
 		l.om, l.lpReg = nil, nil
 	}
+	l.armed = true
 	s.At(0, func() { l.tick(s) })
 }
 
@@ -140,8 +143,19 @@ func (l *LiPS) OnNodeDown(*sim.Sim, cluster.NodeID) { l.topoChanged = true }
 func (l *LiPS) OnNodeUp(*sim.Sim, cluster.NodeID) { l.topoChanged = true }
 
 // OnJobArrival implements sim.Scheduler: LiPS waits for the next epoch
-// ("non-greedy patience", paper §V-B).
-func (l *LiPS) OnJobArrival(*sim.Sim, int) {}
+// ("non-greedy patience", paper §V-B). The tick chain dies once every job
+// completes, so a job arriving into an idle run — routine in serve mode,
+// impossible in a batch run — must revive it; the new tick lands on the
+// epoch grid (the next multiple of EpochSec), preserving the patience the
+// chain would have shown had it never drained.
+func (l *LiPS) OnJobArrival(s *sim.Sim, _ int) {
+	if l.armed {
+		return
+	}
+	l.armed = true
+	next := math.Ceil(s.Now()/l.EpochSec) * l.EpochSec
+	s.At(next, func() { l.tick(s) })
+}
 
 // OnSlotFree implements sim.Scheduler: LiPS pre-assigns tasks to nodes, so
 // free slots drain the node's pinned queue (handled by the simulator) and
@@ -154,6 +168,7 @@ func (l *LiPS) OnTaskDone(*sim.Sim, int, int) {}
 // tick runs one scheduling epoch.
 func (l *LiPS) tick(s *sim.Sim) {
 	if l.done(s) {
+		l.armed = false // OnJobArrival re-arms on the epoch grid
 		return
 	}
 	defer s.At(s.Now()+l.EpochSec, func() { l.tick(s) })

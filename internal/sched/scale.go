@@ -38,6 +38,10 @@ func (sc *Scale) Init(s *sim.Sim) {
 
 // OnJobArrival implements sim.Scheduler.
 func (sc *Scale) OnJobArrival(s *sim.Sim, job int) {
+	for len(sc.cursors) <= job {
+		// Jobs added after Init (serve mode) grow the cursor table.
+		sc.cursors = append(sc.cursors, 0)
+	}
 	sc.cursors[job] = 0
 	if job < sc.head {
 		sc.head = job // late arrival behind the head re-opens it

@@ -1,0 +1,547 @@
+// Package serve is the lips-serve scheduling daemon: a long-running HTTP
+// service that accepts streaming job submissions, feeds them into a
+// continuously advancing simulated cluster, and re-solves the scheduling
+// plan epoch by epoch on a bounded solver pool.
+//
+// The paper's online epoch LP (Fig. 4) is inherently a continuous
+// scheduler — jobs arrive, each epoch re-solves, overflow returns to the
+// queue — and this package is that operating regime: the batch harness
+// runs one workload to completion, the daemon never finishes.
+//
+// Concurrency model. Submissions land in an admission queue guarded by a
+// fast mutex (d.mu) that no solver work ever holds, so the submit path's
+// latency is independent of epoch solve time — the p99 submit SLO the
+// smoke gate asserts. A single epoch goroutine drains the queue: each
+// wall tick it takes a solver-pool token, applies pending cancellations,
+// admits a tenant-fair batch into the simulator, advances simulated time
+// by one epoch (sim.StepUntil — this is where the LiPS LP solves), and
+// publishes per-job progress back under d.mu. Admission control sheds
+// load with 429 + Retry-After when the queue is full, or at half-full
+// while every solver token is busy; draining shutdown answers 503.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"lips/internal/cluster"
+	"lips/internal/hdfs"
+	"lips/internal/obs"
+	"lips/internal/sim"
+	"lips/internal/workload"
+)
+
+// Config tunes the daemon. Zero values select the documented defaults.
+type Config struct {
+	// EpochSimSec is the simulated seconds the cluster advances per serve
+	// epoch. Default 60.
+	EpochSimSec float64
+	// EpochWallInterval paces the epoch loop in wall time. Default 25ms.
+	EpochWallInterval time.Duration
+	// QueueCap bounds the admission queue; submissions beyond it are
+	// rejected with 429. Default 4096.
+	QueueCap int
+	// AdmitPerEpoch bounds how many queued jobs enter the simulation per
+	// epoch. Default 512.
+	AdmitPerEpoch int
+	// SolverPool is the number of solver tokens; while all are held the
+	// daemon sheds load once the queue is half full. Default 1.
+	SolverPool int
+	// RetryAfterSec is the Retry-After header on 429/503. Default 1.
+	RetryAfterSec int
+	// DrainTimeout bounds how long Shutdown keeps stepping epochs to let
+	// in-flight jobs finish. Default 30s.
+	DrainTimeout time.Duration
+	// Weights are per-tenant fair-share weights for admission ordering;
+	// missing tenants weigh 1.
+	Weights map[string]float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.EpochSimSec <= 0 {
+		c.EpochSimSec = 60
+	}
+	if c.EpochWallInterval <= 0 {
+		c.EpochWallInterval = 25 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+	if c.AdmitPerEpoch <= 0 {
+		c.AdmitPerEpoch = 512
+	}
+	if c.SolverPool <= 0 {
+		c.SolverPool = 1
+	}
+	if c.RetryAfterSec <= 0 {
+		c.RetryAfterSec = 1
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Job lifecycle states as reported by /status.
+const (
+	StateQueued     = "queued"     // accepted, waiting for admission
+	StateAdmitted   = "admitted"   // in the simulator, nothing launched yet
+	StateRunning    = "running"    // at least one task has launched
+	StateDone       = "done"       // every task completed
+	StateCancelling = "cancelling" // cancel requested, not yet applied
+	StateCancelled  = "cancelled"  // withdrawn
+)
+
+// jobRecord is the daemon's view of one submission. Fields are guarded
+// by Daemon.mu; the epoch loop publishes simulator progress into them
+// once per epoch, so /status reads are cheap and at most one epoch stale.
+type jobRecord struct {
+	id     int
+	tenant string
+	name   string
+	spec   submitSpec
+
+	state          string
+	simJob         int // -1 until admitted
+	cancelPending  bool
+	submittedWall  time.Time
+	submittedSim   float64
+	firstLaunchSim float64 // 0 until a task launches
+	doneSim        float64
+
+	pending, queued, running, doneTasks int
+}
+
+// submitSpec is the validated payload of one submission.
+type submitSpec struct {
+	archetype     workload.Archetype
+	inputMB       float64
+	accessFrac    float64
+	tasks         int
+	cpuSecPerTask float64
+}
+
+type cancelReq struct{ recID, simJob int }
+
+// Daemon is the serve-mode scheduler instance. Create with New, start the
+// epoch loop with Start, mount Handler on an obs server, stop with
+// Shutdown.
+type Daemon struct {
+	cfg Config
+	reg *obs.Registry
+	sm  *obs.ServeMetrics
+	s   *sim.Sim
+
+	// mu guards the admission state: records, queue, cancels, active set,
+	// tenant bookkeeping and the draining flag. Never held during solver
+	// work.
+	mu        sync.Mutex
+	records   []*jobRecord
+	queue     []int // record IDs awaiting admission, submission order
+	cancels   []cancelReq
+	active    []int // record IDs admitted and not yet finished
+	tenants   map[string]bool
+	tenantCPU map[string]float64 // ECU-seconds per tenant, last epoch's copy
+	draining  bool
+	epochs    int64
+	loopErr   error
+
+	// simMu guards the simulator; sem is the solver pool (epoch work holds
+	// a token; the admission path only inspects token availability).
+	simMu sync.Mutex
+	sem   chan struct{}
+
+	originRR int // round-robin origin store for submitted inputs
+
+	running  bool // loop launched (guarded by mu)
+	stop     chan struct{}
+	stopOnce sync.Once
+	doneCh   chan struct{}
+}
+
+// New builds a daemon serving cluster c under the given scheduler. The
+// registry receives both the simulator families and the lips_serve_
+// families; pass the same registry to the obs HTTP server.
+func New(c *cluster.Cluster, sch sim.Scheduler, reg *obs.Registry, cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	w := &workload.Workload{}
+	s := sim.New(c, w, nil, sch, sim.Options{
+		Metrics:          reg,
+		MetricsSampleSec: cfg.EpochSimSec,
+		// A daemon's event count grows without bound by design; the batch
+		// runaway guard would otherwise kill it after a few busy days.
+		MaxEvents: math.MaxInt64 / 2,
+	})
+	if err := s.Start(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	d := &Daemon{
+		cfg:       cfg,
+		reg:       reg,
+		sm:        obs.RegisterServe(reg),
+		s:         s,
+		tenants:   make(map[string]bool),
+		tenantCPU: make(map[string]float64),
+		sem:       make(chan struct{}, cfg.SolverPool),
+		stop:      make(chan struct{}),
+		doneCh:    make(chan struct{}),
+	}
+	return d, nil
+}
+
+// Start launches the epoch loop. Calling it twice is a no-op.
+func (d *Daemon) Start() {
+	d.mu.Lock()
+	already := d.running
+	d.running = true
+	d.mu.Unlock()
+	if !already {
+		go d.loop()
+	}
+}
+
+// Err returns the first epoch-loop error (the loop stops on one).
+func (d *Daemon) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.loopErr
+}
+
+// SimNow returns the simulated clock (one epoch stale at most).
+func (d *Daemon) SimNow() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.simNowLocked()
+}
+
+func (d *Daemon) simNowLocked() float64 {
+	return float64(d.epochs) * d.cfg.EpochSimSec
+}
+
+// TenantCPU returns each tenant's accumulated ECU-seconds as of the last
+// epoch — the fairness view the admission order uses.
+func (d *Daemon) TenantCPU() map[string]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]float64, len(d.tenantCPU))
+	for k, v := range d.tenantCPU {
+		out[k] = v
+	}
+	return out
+}
+
+// Shutdown drains and stops the daemon: new submissions are refused with
+// 503, the epoch loop keeps stepping until every admitted job finishes
+// (bounded by DrainTimeout), then the loop exits. It returns the loop's
+// first error, if any.
+func (d *Daemon) Shutdown() error {
+	d.mu.Lock()
+	d.draining = true
+	running := d.running
+	d.mu.Unlock()
+	if running {
+		// Only a live loop can drain the queue; waiting on a stopped one
+		// would just burn the whole timeout (or, for <-doneCh, forever).
+		deadline := time.Now().Add(d.cfg.DrainTimeout)
+		for time.Now().Before(deadline) {
+			d.mu.Lock()
+			idle := len(d.queue) == 0 && len(d.active) == 0 && len(d.cancels) == 0
+			err := d.loopErr
+			d.mu.Unlock()
+			if idle || err != nil {
+				break
+			}
+			time.Sleep(d.cfg.EpochWallInterval)
+		}
+	}
+	d.stopOnce.Do(func() { close(d.stop) })
+	if running {
+		<-d.doneCh
+	}
+	return d.Err()
+}
+
+func (d *Daemon) loop() {
+	defer close(d.doneCh)
+	t := time.NewTicker(d.cfg.EpochWallInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			if err := d.epoch(); err != nil {
+				d.mu.Lock()
+				if d.loopErr == nil {
+					d.loopErr = err
+				}
+				d.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// solverIdleLocked reports whether a solver token is free. Callers hold
+// d.mu; the channel length is racy against the epoch loop by nature, which
+// is fine — admission control needs a load signal, not a linearizable one.
+func (d *Daemon) solverIdleLocked() bool { return len(d.sem) < cap(d.sem) }
+
+// takeBatchLocked removes up to AdmitPerEpoch records from the queue in
+// tenant-fair order: tenants are served cheapest-first by accumulated
+// ECU-seconds over weight, FIFO within a tenant. The remainder keeps its
+// submission order.
+func (d *Daemon) takeBatchLocked() []*jobRecord {
+	if len(d.queue) == 0 {
+		return nil
+	}
+	n := d.cfg.AdmitPerEpoch
+	if n > len(d.queue) {
+		n = len(d.queue)
+	}
+	// Rank each queued record by its tenant's normalized usage, keeping
+	// submission order as the tiebreak (the sort must be stable for
+	// determinism under equal usage).
+	type ranked struct {
+		pos     int
+		deficit float64
+	}
+	rank := make([]ranked, len(d.queue))
+	for i, id := range d.queue {
+		rec := d.records[id]
+		w := 1.0
+		if pw, ok := d.cfg.Weights[rec.tenant]; ok && pw > 0 {
+			w = pw
+		}
+		rank[i] = ranked{pos: i, deficit: d.tenantCPU[rec.tenant] / w}
+	}
+	// Insertion-style selection of the n smallest keeps the code free of
+	// sort.Slice closures over d; the queue is bounded by QueueCap.
+	selected := make([]bool, len(d.queue))
+	batch := make([]*jobRecord, 0, n)
+	for len(batch) < n {
+		best := -1
+		for i := range rank {
+			if selected[i] {
+				continue
+			}
+			if best == -1 || rank[i].deficit < rank[best].deficit {
+				best = i
+			}
+		}
+		selected[best] = true
+		batch = append(batch, d.records[d.queue[rank[best].pos]])
+	}
+	rest := d.queue[:0]
+	for i, id := range d.queue {
+		if !selected[i] {
+			rest = append(rest, id)
+		}
+	}
+	d.queue = rest
+	return batch
+}
+
+// epoch runs one serve epoch: cancellations, tenant-fair admission, one
+// simulated-time step, progress publication, metrics.
+func (d *Daemon) epoch() error {
+	d.sem <- struct{}{} // solver token; admission control watches occupancy
+	defer func() { <-d.sem }()
+
+	d.mu.Lock()
+	cancels := d.cancels
+	d.cancels = nil
+	batch := d.takeBatchLocked()
+	activePairs := make([]cancelReq, 0, len(d.active))
+	for _, id := range d.active {
+		activePairs = append(activePairs, cancelReq{recID: id, simJob: d.records[id].simJob})
+	}
+	d.mu.Unlock()
+
+	type admitResult struct {
+		rec    *jobRecord
+		simJob int
+		err    error
+	}
+
+	d.simMu.Lock()
+	for _, c := range cancels {
+		if err := d.s.CancelJob(c.simJob); err != nil {
+			d.simMu.Unlock()
+			return fmt.Errorf("serve: cancel job %d: %w", c.simJob, err)
+		}
+	}
+	now := d.s.Now()
+	admitted := make([]admitResult, 0, len(batch))
+	for _, rec := range batch {
+		job := workload.Job{
+			Name:          rec.name,
+			Archetype:     rec.spec.archetype.Name,
+			User:          rec.tenant,
+			ArrivalSec:    now,
+			NumTasks:      rec.spec.tasks,
+			AccessFrac:    rec.spec.accessFrac,
+			CPUSecPerMB:   rec.spec.archetype.CPUSecPerMB(),
+			CPUSecPerTask: rec.spec.cpuSecPerTask,
+		}
+		var obj *hdfs.DataObject
+		if rec.spec.archetype.HasInput() {
+			obj = &hdfs.DataObject{
+				Name:   rec.name,
+				SizeMB: rec.spec.inputMB,
+				Origin: d.nextOrigin(),
+			}
+		}
+		simJob, err := d.s.AddJob(job, obj)
+		admitted = append(admitted, admitResult{rec: rec, simJob: simJob, err: err})
+	}
+	target := d.s.Now() + d.cfg.EpochSimSec
+	stepErr := d.s.StepUntil(target)
+
+	// Collect post-step progress while still holding the simulator.
+	type progress struct {
+		recID                               int
+		pending, queued, running, doneTasks int
+		firstLaunch, doneAt                 float64
+		cancelled                           bool
+	}
+	collect := func(recID, simJob int) progress {
+		p := progress{recID: recID}
+		p.pending, p.queued, p.running, p.doneTasks = d.s.JobStateCounts(simJob)
+		if fl, ok := d.s.JobFirstLaunch(simJob); ok {
+			p.firstLaunch = fl
+		}
+		p.doneAt = d.s.JobDoneAt(simJob)
+		p.cancelled = d.s.JobCancelled(simJob)
+		return p
+	}
+	updates := make([]progress, 0, len(activePairs)+len(admitted))
+	for _, a := range admitted {
+		if a.err == nil {
+			updates = append(updates, collect(a.rec.id, a.simJob))
+		}
+	}
+	for _, p := range activePairs {
+		// A record cancelled this very epoch appears only once: the active
+		// list still holds it, the cancels slice carried the same ID.
+		updates = append(updates, collect(p.recID, p.simJob))
+	}
+	cpu := make(map[string]float64, len(d.s.UserCPU))
+	for u, v := range d.s.UserCPU {
+		cpu[u] = v
+	}
+	simNow := d.s.Now()
+	d.simMu.Unlock()
+
+	// Publish under the fast lock.
+	newlyDone, newlyCancelled := 0, 0
+	var launches []float64
+	d.mu.Lock()
+	for _, a := range admitted {
+		if a.err != nil {
+			// A malformed spec that slipped past validation: fail the
+			// record, not the daemon.
+			a.rec.state = StateCancelled
+			continue
+		}
+		a.rec.simJob = a.simJob
+		a.rec.submittedSim = now
+		if a.rec.cancelPending {
+			// Cancelled while mid-admission (between leaving the queue and
+			// this publish): now that the sim job ID exists, route it through
+			// the normal cancel path next epoch.
+			a.rec.cancelPending = false
+			a.rec.state = StateCancelling
+			d.cancels = append(d.cancels, cancelReq{recID: a.rec.id, simJob: a.simJob})
+		} else {
+			a.rec.state = StateAdmitted
+		}
+		d.active = append(d.active, a.rec.id)
+	}
+	stillActive := d.active[:0]
+	for _, p := range updates {
+		rec := d.records[p.recID]
+		rec.pending, rec.queued, rec.running, rec.doneTasks = p.pending, p.queued, p.running, p.doneTasks
+		if p.firstLaunch > 0 && rec.firstLaunchSim == 0 {
+			rec.firstLaunchSim = p.firstLaunch
+			launches = append(launches, p.firstLaunch-rec.submittedSim)
+		}
+		switch {
+		case p.cancelled:
+			rec.state = StateCancelled
+			rec.doneSim = p.doneAt
+			newlyCancelled++
+		case rec.state == StateCancelling:
+			// A cancel is in flight; don't flap the visible state back to
+			// running while the next epoch applies it.
+		case p.doneAt > 0 && p.pending+p.queued+p.running == 0:
+			rec.state = StateDone
+			rec.doneSim = p.doneAt
+			newlyDone++
+		case rec.firstLaunchSim > 0:
+			rec.state = StateRunning
+		default:
+			rec.state = StateAdmitted
+		}
+	}
+	for _, id := range d.active {
+		st := d.records[id].state
+		if st != StateDone && st != StateCancelled {
+			stillActive = append(stillActive, id)
+		}
+	}
+	d.active = stillActive
+	d.tenantCPU = cpu
+	d.epochs++
+	queueDepth := len(d.queue)
+	tenantCount := len(d.tenants)
+	d.mu.Unlock()
+
+	d.sm.Epochs.Inc()
+	d.sm.QueueDepth.Set(float64(queueDepth))
+	d.sm.SimSeconds.Set(simNow)
+	d.sm.Tenants.Set(float64(tenantCount))
+	if newlyDone > 0 {
+		d.sm.JobsDone.Add(float64(newlyDone))
+	}
+	if newlyCancelled > 0 {
+		d.sm.JobsCancelled.Add(float64(newlyCancelled))
+	}
+	for _, l := range launches {
+		d.sm.LaunchSeconds.Observe(l)
+	}
+	if stepErr != nil {
+		return fmt.Errorf("serve: epoch step: %w", stepErr)
+	}
+	return nil
+}
+
+// nextOrigin round-robins submitted inputs over the cluster's stores —
+// the serve-mode stand-in for "the tenant uploaded the file somewhere".
+// Only the epoch goroutine touches it.
+func (d *Daemon) nextOrigin() cluster.StoreID {
+	st := d.originRR % len(d.s.C.Stores)
+	d.originRR++
+	return d.s.C.Stores[st].ID
+}
+
+// Churn injects a node-down or node-up fault at the current simulated
+// time; the next epoch applies it and the scheduler reconfigures through
+// OnNodeDown/OnNodeUp (LiPS translates its warm-start basis).
+func (d *Daemon) Churn(node cluster.NodeID, down bool) error {
+	kind := sim.FaultNodeUp
+	label := "up"
+	if down {
+		kind = sim.FaultNodeDown
+		label = "down"
+	}
+	d.simMu.Lock()
+	err := d.s.InjectFault(sim.Fault{At: d.s.Now(), Kind: kind, Node: node})
+	d.simMu.Unlock()
+	if err == nil {
+		d.sm.Churn.With(label).Inc()
+	}
+	return err
+}

@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"lips/internal/cluster"
+	"lips/internal/obs"
+	"lips/internal/sched"
+)
+
+func newTestDaemon(t *testing.T, cfg Config) (*Daemon, *httptest.Server) {
+	t.Helper()
+	if cfg.EpochWallInterval == 0 {
+		cfg.EpochWallInterval = time.Millisecond
+	}
+	d, err := New(cluster.Paper20(0.5), sched.NewFair(), obs.NewRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+	return d, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return resp, buf.Bytes()
+}
+
+func submitOne(t *testing.T, url, tenant string) (int, int) {
+	t.Helper()
+	resp, body := postJSON(t, url+"/submit", SubmitRequest{
+		Tenant: tenant, Archetype: "grep", InputMB: 128,
+	})
+	var sr SubmitResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatalf("bad submit response %q: %v", body, err)
+		}
+		return sr.ID, resp.StatusCode
+	}
+	return -1, resp.StatusCode
+}
+
+func waitStats(t *testing.T, url string, ok func(*Stats) bool) *Stats {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st Stats
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok(&st) {
+			return &st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("stats condition never met")
+	return nil
+}
+
+// TestDaemonLifecycle walks one job through the full submit → admitted →
+// running → done pipeline over the HTTP API.
+func TestDaemonLifecycle(t *testing.T) {
+	d, ts := newTestDaemon(t, Config{EpochSimSec: 60})
+	d.Start()
+
+	id, code := submitOne(t, ts.URL, "alice")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitStats(t, ts.URL, func(st *Stats) bool { return st.Jobs[StateDone] == 1 })
+
+	resp, body := postJSON(t, fmt.Sprintf("%s/status?id=%d", ts.URL, id), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	var js JobStatus
+	if err := json.Unmarshal(body, &js); err != nil {
+		t.Fatal(err)
+	}
+	if js.State != StateDone || js.DoneTasks != 2 || js.DoneSim <= js.FirstLaunchSim {
+		t.Errorf("final status: %+v", js)
+	}
+	if js.FirstLaunchSim < js.SubmittedSim {
+		t.Errorf("launched at %g before submission at %g", js.FirstLaunchSim, js.SubmittedSim)
+	}
+	if err := d.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-drain the daemon answers 503 with Retry-After.
+	resp, _ = postJSON(t, ts.URL+"/submit", SubmitRequest{Tenant: "x", Archetype: "grep", InputMB: 64})
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("draining submit: %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	d, ts := newTestDaemon(t, Config{})
+	defer func() { _ = d.Shutdown() }()
+	for _, req := range []SubmitRequest{
+		{Archetype: "grep", InputMB: 64},                        // no tenant
+		{Tenant: "a", Archetype: "nosuch", InputMB: 64},         // unknown archetype
+		{Tenant: "a", Archetype: "grep"},                        // input archetype without input
+		{Tenant: "a", Archetype: "grep", InputMB: 64, Tasks: 3}, // tasks on an input archetype
+		{Tenant: "a", Archetype: "pi"},                          // pi without tasks
+		{Tenant: "a", Archetype: "grep", InputMB: 64, AccessFrac: 2},
+	} {
+		resp, _ := postJSON(t, ts.URL+"/submit", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: got %d, want 400", req, resp.StatusCode)
+		}
+	}
+	if _, code := submitOne(t, ts.URL, "a"); code != http.StatusAccepted {
+		t.Errorf("valid submit: %d", code)
+	}
+	resp, _ := postJSON(t, ts.URL+"/status?id=99", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status of unknown id: %d", resp.StatusCode)
+	}
+}
+
+// TestBackpressureExactQueueCap is the threshold property test: with the
+// epoch loop stopped (nothing drains) and an idle solver pool, exactly
+// QueueCap submissions are accepted and every one beyond that is shed
+// with 429 + Retry-After — never an error, never a hang.
+func TestBackpressureExactQueueCap(t *testing.T) {
+	const cap = 32
+	d, ts := newTestDaemon(t, Config{QueueCap: cap})
+	// No d.Start(): the queue can only grow, so the accept count is the
+	// threshold itself.
+	accepted, rejected := 0, 0
+	for i := 0; i < 3*cap; i++ {
+		_, code := submitOne(t, ts.URL, fmt.Sprintf("t%d", i%5))
+		switch code {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("submission %d: status %d", i, code)
+		}
+	}
+	if accepted != cap || rejected != 2*cap {
+		t.Errorf("accepted %d rejected %d, want exactly %d/%d", accepted, rejected, cap, 2*cap)
+	}
+	resp, _ := postJSON(t, ts.URL+"/submit", SubmitRequest{Tenant: "t", Archetype: "grep", InputMB: 64})
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	// Shutdown of a never-started daemon must return, not deadlock on the
+	// missing epoch loop.
+	if err := d.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRacedSubmitCancelStatus hammers the API from many goroutines while
+// the epoch loop runs full tilt — the -race gate for the daemon's lock
+// discipline — then verifies the terminal bookkeeping is coherent.
+func TestRacedSubmitCancelStatus(t *testing.T) {
+	d, ts := newTestDaemon(t, Config{EpochSimSec: 60, QueueCap: 10000, AdmitPerEpoch: 16})
+	d.Start()
+
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	cancelled := make([]int, workers) // per-worker count of cancel attempts
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(wk)))
+			tenant := fmt.Sprintf("tenant-%d", wk%3)
+			for i := 0; i < perWorker; i++ {
+				id, code := submitOne(t, ts.URL, tenant)
+				if code != http.StatusAccepted {
+					t.Errorf("worker %d: submit status %d", wk, code)
+					return
+				}
+				// Race status reads and cancels against the live epoch loop.
+				resp, _ := postJSON(t, fmt.Sprintf("%s/status?id=%d", ts.URL, id), nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status: %d", resp.StatusCode)
+				}
+				if rng.Intn(3) == 0 {
+					resp, _ := postJSON(t, fmt.Sprintf("%s/cancel?id=%d", ts.URL, id), nil)
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("cancel: %d", resp.StatusCode)
+					}
+					cancelled[wk]++
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+
+	total := workers * perWorker
+	st := waitStats(t, ts.URL, func(st *Stats) bool {
+		settled := st.Jobs[StateDone] + st.Jobs[StateCancelled]
+		return settled == total && st.QueueDepth == 0
+	})
+	wantCancels := 0
+	for _, c := range cancelled {
+		wantCancels += c
+	}
+	// Every cancel eventually lands in cancelled (cancelling a job that
+	// happened to finish first leaves it done — both are terminal).
+	if st.Jobs[StateCancelled] > wantCancels {
+		t.Errorf("%d cancelled records from %d cancel calls", st.Jobs[StateCancelled], wantCancels)
+	}
+	if err := d.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantFairShare: two equal-weight tenants submitting identical work
+// — one front-loading the queue — must converge to equal ECU-seconds, and
+// the latecomer must not wait behind the whole front-loaded backlog.
+func TestTenantFairShare(t *testing.T) {
+	const each = 20
+	d, ts := newTestDaemon(t, Config{EpochSimSec: 60, AdmitPerEpoch: 2})
+	// Queue everything before the loop starts so admission order is purely
+	// the fair-share ranking.
+	for i := 0; i < each; i++ {
+		if _, code := submitOne(t, ts.URL, "hog"); code != http.StatusAccepted {
+			t.Fatalf("submit: %d", code)
+		}
+	}
+	for i := 0; i < each; i++ {
+		if _, code := submitOne(t, ts.URL, "meek"); code != http.StatusAccepted {
+			t.Fatalf("submit: %d", code)
+		}
+	}
+	d.Start()
+	waitStats(t, ts.URL, func(st *Stats) bool { return st.Jobs[StateDone] == 2*each })
+
+	cpu := d.TenantCPU()
+	a, b := cpu["hog"], cpu["meek"]
+	if a <= 0 || b <= 0 {
+		t.Fatalf("tenant cpu: hog=%g meek=%g", a, b)
+	}
+	jain := (a + b) * (a + b) / (2 * (a*a + b*b))
+	if jain < 0.99 {
+		t.Errorf("equal tenants diverged: hog=%g meek=%g ECU-sec (Jain %.4f)", a, b, jain)
+	}
+	// Admission interleaved: meek's first job entered the sim well before
+	// hog's backlog drained, i.e. its first launch is in the first half of
+	// the run, not serialized after all of hog's work.
+	d.mu.Lock()
+	var meekFirst, lastDone float64
+	for _, rec := range d.records {
+		if rec.doneSim > lastDone {
+			lastDone = rec.doneSim
+		}
+		if rec.tenant == "meek" && (meekFirst == 0 || rec.firstLaunchSim < meekFirst) {
+			meekFirst = rec.firstLaunchSim
+		}
+	}
+	d.mu.Unlock()
+	if meekFirst == 0 || meekFirst > lastDone/2 {
+		t.Errorf("meek's first launch at %g of %g — starved behind the backlog", meekFirst, lastDone)
+	}
+	if err := d.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChurnMidRun downs a node over the admin API while jobs flow and
+// expects the daemon to keep scheduling epochs and finish everything.
+func TestChurnMidRun(t *testing.T) {
+	d, ts := newTestDaemon(t, Config{EpochSimSec: 60, AdmitPerEpoch: 4})
+	d.Start()
+	for i := 0; i < 10; i++ {
+		if _, code := submitOne(t, ts.URL, "a"); code != http.StatusAccepted {
+			t.Fatalf("submit: %d", code)
+		}
+	}
+	resp, body := postJSON(t, ts.URL+"/admin/churn?node=3&kind=down", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("churn down: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, ts.URL+"/admin/churn?node=3&kind=up", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("churn up: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/admin/churn?node=999&kind=down", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("churn of bad node: %d", resp.StatusCode)
+	}
+	waitStats(t, ts.URL, func(st *Stats) bool { return st.Jobs[StateDone] == 10 })
+	if err := d.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}

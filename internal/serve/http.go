@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lips/internal/cluster"
+	"lips/internal/obs"
+	"lips/internal/workload"
+)
+
+// SubmitRequest is the POST /submit payload. Input archetypes (grep,
+// stress1, stress2, wordcount) describe their input by size; the task
+// count follows from the 64 MB blocking. The pi archetype has no input
+// and names its task count directly.
+type SubmitRequest struct {
+	Tenant    string `json:"tenant"`
+	Name      string `json:"name,omitempty"`
+	Archetype string `json:"archetype"`
+	// InputMB sizes the input object of an input archetype.
+	InputMB float64 `json:"input_mb,omitempty"`
+	// AccessFrac is the fraction of each block the job reads (0 = all).
+	AccessFrac float64 `json:"access_frac,omitempty"`
+	// Tasks is the task count of a no-input (pi) job.
+	Tasks int `json:"tasks,omitempty"`
+	// CPUSecPerTask overrides the pi archetype's per-task CPU seconds.
+	CPUSecPerTask float64 `json:"cpu_sec_per_task,omitempty"`
+}
+
+// SubmitResponse answers an accepted submission.
+type SubmitResponse struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+}
+
+// JobStatus is the GET /status view of one submission. Task counts and
+// state are refreshed once per epoch, so they lag the simulator by at
+// most one epoch.
+type JobStatus struct {
+	ID             int     `json:"id"`
+	Tenant         string  `json:"tenant"`
+	Name           string  `json:"name"`
+	Archetype      string  `json:"archetype"`
+	State          string  `json:"state"`
+	SubmittedSim   float64 `json:"submitted_sim,omitempty"`
+	FirstLaunchSim float64 `json:"first_launch_sim,omitempty"`
+	DoneSim        float64 `json:"done_sim,omitempty"`
+	Pending        int     `json:"pending"`
+	Queued         int     `json:"queued"`
+	Running        int     `json:"running"`
+	DoneTasks      int     `json:"done_tasks"`
+}
+
+// Stats is the GET /stats snapshot of the whole daemon.
+type Stats struct {
+	SimSeconds float64            `json:"sim_seconds"`
+	Epochs     int64              `json:"epochs"`
+	QueueDepth int                `json:"queue_depth"`
+	Jobs       map[string]int     `json:"jobs"` // count per lifecycle state
+	Tenants    int                `json:"tenants"`
+	TenantCPU  map[string]float64 `json:"tenant_cpu_sec"`
+	Draining   bool               `json:"draining"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (d *Daemon) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(d.cfg.RetryAfterSec))
+	}
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// Handler returns the daemon's HTTP API mounted alongside the standard
+// observability endpoints (/metrics, /progress, /healthz, /debug/pprof):
+//
+//	POST /submit        accept a job (202; 429 under load, 503 draining)
+//	GET  /status?id=N   one submission's state
+//	POST /cancel?id=N   withdraw a submission
+//	GET  /stats         daemon-wide snapshot
+//	POST /admin/churn   ?node=N&kind=down|up — inject node churn
+func (d *Daemon) Handler() http.Handler {
+	mux := obs.Mux(d.reg)
+	mux.HandleFunc("/submit", d.handleSubmit)
+	mux.HandleFunc("/status", d.handleStatus)
+	mux.HandleFunc("/cancel", d.handleCancel)
+	mux.HandleFunc("/stats", d.handleStats)
+	mux.HandleFunc("/admin/churn", d.handleChurn)
+	return mux
+}
+
+// validateSubmit turns a request into a spec, normalizing defaults.
+func validateSubmit(req *SubmitRequest) (submitSpec, error) {
+	var spec submitSpec
+	if req.Tenant == "" {
+		return spec, fmt.Errorf("tenant is required")
+	}
+	a, err := workload.ByName(req.Archetype)
+	if err != nil {
+		return spec, err
+	}
+	spec.archetype = a
+	if a.HasInput() {
+		if req.InputMB <= 0 {
+			return spec, fmt.Errorf("archetype %q needs input_mb > 0", a.Name)
+		}
+		if req.Tasks != 0 {
+			return spec, fmt.Errorf("archetype %q derives tasks from input_mb", a.Name)
+		}
+		spec.inputMB = req.InputMB
+	} else {
+		if req.Tasks <= 0 {
+			return spec, fmt.Errorf("archetype %q needs tasks > 0", a.Name)
+		}
+		spec.tasks = req.Tasks
+		spec.cpuSecPerTask = req.CPUSecPerTask
+		if spec.cpuSecPerTask <= 0 {
+			spec.cpuSecPerTask = a.CPUSecPerTask
+		}
+	}
+	if req.AccessFrac < 0 || req.AccessFrac > 1 {
+		return spec, fmt.Errorf("access_frac %g outside [0, 1]", req.AccessFrac)
+	}
+	spec.accessFrac = req.AccessFrac
+	return spec, nil
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		d.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	start := time.Now()
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		d.writeError(w, http.StatusBadRequest, "bad submit body: %v", err)
+		return
+	}
+	spec, err := validateSubmit(&req)
+	if err != nil {
+		d.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = req.Archetype
+	}
+
+	d.mu.Lock()
+	var decision string
+	var rec *jobRecord
+	switch {
+	case d.draining:
+		decision = "draining"
+	case len(d.queue) >= d.cfg.QueueCap,
+		2*len(d.queue) >= d.cfg.QueueCap && !d.solverIdleLocked():
+		// Full queue always sheds; a half-full queue sheds while every
+		// solver token is busy — backpressure before breakdown.
+		decision = "rejected"
+	default:
+		decision = "accepted"
+		rec = &jobRecord{
+			id:            len(d.records),
+			tenant:        req.Tenant,
+			name:          fmt.Sprintf("%s-%d", name, len(d.records)),
+			spec:          spec,
+			state:         StateQueued,
+			simJob:        -1,
+			submittedWall: start,
+		}
+		d.records = append(d.records, rec)
+		d.queue = append(d.queue, rec.id)
+		d.tenants[req.Tenant] = true
+	}
+	queueDepth := len(d.queue)
+	d.mu.Unlock()
+
+	d.sm.Admissions.With(decision).Inc()
+	d.sm.QueueDepth.Set(float64(queueDepth))
+	d.sm.SubmitSeconds.Observe(time.Since(start).Seconds())
+	switch decision {
+	case "draining":
+		d.writeError(w, http.StatusServiceUnavailable, "draining")
+	case "rejected":
+		d.writeError(w, http.StatusTooManyRequests, "admission queue full")
+	default:
+		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: rec.id, State: StateQueued})
+	}
+}
+
+func (d *Daemon) recordByQuery(w http.ResponseWriter, r *http.Request) (*jobRecord, bool) {
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		d.writeError(w, http.StatusBadRequest, "bad id %q", r.URL.Query().Get("id"))
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 || id >= len(d.records) {
+		d.writeError(w, http.StatusNotFound, "no job %d", id)
+		return nil, false
+	}
+	return d.records[id], true
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rec, ok := d.recordByQuery(w, r)
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	st := JobStatus{
+		ID: rec.id, Tenant: rec.tenant, Name: rec.name,
+		Archetype: rec.spec.archetype.Name, State: rec.state,
+		SubmittedSim: rec.submittedSim, FirstLaunchSim: rec.firstLaunchSim,
+		DoneSim: rec.doneSim,
+		Pending: rec.pending, Queued: rec.queued,
+		Running: rec.running, DoneTasks: rec.doneTasks,
+	}
+	d.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		d.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	rec, ok := d.recordByQuery(w, r)
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	state := rec.state
+	switch state {
+	case StateQueued:
+		// Still in the admission queue: withdraw before it ever reaches
+		// the simulator. If it is not in the queue the epoch loop has it
+		// mid-admission (batch taken, not yet published) — flag it so the
+		// publish step routes it into the cancel path once its simulator
+		// job ID exists.
+		found := false
+		for i, id := range d.queue {
+			if id == rec.id {
+				d.queue = append(d.queue[:i], d.queue[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if found {
+			rec.state = StateCancelled
+			state = StateCancelled
+		} else {
+			rec.cancelPending = true
+			rec.state = StateCancelling
+			state = StateCancelling
+		}
+	case StateAdmitted, StateRunning:
+		d.cancels = append(d.cancels, cancelReq{recID: rec.id, simJob: rec.simJob})
+		rec.state = StateCancelling
+		state = StateCancelling
+	}
+	d.mu.Unlock()
+	if state == StateCancelled {
+		d.sm.JobsCancelled.Inc()
+	}
+	writeJSON(w, http.StatusOK, SubmitResponse{ID: rec.id, State: state})
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	st := Stats{
+		SimSeconds: d.simNowLocked(),
+		Epochs:     d.epochs,
+		QueueDepth: len(d.queue),
+		Jobs:       make(map[string]int),
+		Tenants:    len(d.tenants),
+		TenantCPU:  make(map[string]float64, len(d.tenantCPU)),
+		Draining:   d.draining,
+	}
+	for _, rec := range d.records {
+		st.Jobs[rec.state]++
+	}
+	for k, v := range d.tenantCPU {
+		st.TenantCPU[k] = v
+	}
+	d.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (d *Daemon) handleChurn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		d.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	node, err := strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil {
+		d.writeError(w, http.StatusBadRequest, "bad node %q", r.URL.Query().Get("node"))
+		return
+	}
+	kind := r.URL.Query().Get("kind")
+	if kind != "down" && kind != "up" {
+		d.writeError(w, http.StatusBadRequest, "kind must be down or up, got %q", kind)
+		return
+	}
+	if err := d.Churn(cluster.NodeID(node), kind == "down"); err != nil {
+		d.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"node": strconv.Itoa(node), "kind": kind})
+}

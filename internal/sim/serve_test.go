@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"lips/internal/cluster"
+	"lips/internal/cost"
+	"lips/internal/hdfs"
+	"lips/internal/workload"
+)
+
+// TestStepUntilMatchesRun pins the serve-mode contract: Start plus a
+// StepUntil loop must reproduce Run exactly — same makespan, same bill.
+func TestStepUntilMatchesRun(t *testing.T) {
+	batch := New(oneNodeCluster(), twoTaskJob(), nil, greedyStub(), Options{})
+	want, err := batch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(oneNodeCluster(), twoTaskJob(), nil, greedyStub(), Options{})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; !s.Drained(); i++ {
+		if err := s.StepUntil(float64(i) * 10); err != nil {
+			t.Fatal(err)
+		}
+		if i > 100 {
+			t.Fatal("run never drained")
+		}
+	}
+	got := s.CurrentResult()
+	if got.Makespan != want.Makespan {
+		t.Errorf("makespan = %g, want %g", got.Makespan, want.Makespan)
+	}
+	if got.Cost.Total() != want.Cost.Total() {
+		t.Errorf("cost = %v, want %v", got.Cost.Total(), want.Cost.Total())
+	}
+}
+
+func TestStepUntilAdvancesIdleClock(t *testing.T) {
+	s := New(oneNodeCluster(), &workload.Workload{}, nil, greedyStub(), Options{})
+	if err := s.StepUntil(10); err == nil {
+		t.Fatal("StepUntil before Start should fail")
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err == nil {
+		t.Fatal("second Start should fail")
+	}
+	if err := s.StepUntil(123); err != nil {
+		t.Fatal(err)
+	}
+	// An empty run still ages: serve epochs tick with nothing queued.
+	if s.Now() != 123 {
+		t.Errorf("clock = %g, want 123", s.Now())
+	}
+}
+
+// TestAddJobMidRun grows a live run: a job submitted at t=100 into an
+// initially empty workload must arrive, run and complete.
+func TestAddJobMidRun(t *testing.T) {
+	s := New(oneNodeCluster(), &workload.Workload{}, nil, greedyStub(), Options{})
+	if _, err := s.AddJob(workload.Job{Name: "early"}, nil); err == nil {
+		t.Fatal("AddJob before Start should fail")
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepUntil(100); err != nil {
+		t.Fatal(err)
+	}
+
+	arch := workload.Archetype{Name: "syn", Property: workload.Mixed, CPUSecPerBlock: 64}
+	j, err := s.AddJob(
+		workload.Job{Name: "mid", User: "u", Archetype: arch.Name, CPUSecPerMB: arch.CPUSecPerMB(), AccessFrac: 1},
+		&hdfs.DataObject{Name: "mid", SizeMB: 128, Origin: 0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.W.Jobs[j].NumTasks; n != 2 {
+		t.Fatalf("128 MB input → %d tasks, want 2", n)
+	}
+	for i := 1; !s.Drained() && i <= 100; i++ {
+		if err := s.StepUntil(100 + float64(i)*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Drained() {
+		t.Fatal("added job never completed")
+	}
+	if done := s.JobDoneAt(j); done <= 100 {
+		t.Errorf("doneAt = %g, want > 100 (arrival was clamped to the clock)", done)
+	}
+	_, _, _, done := s.JobStateCounts(j)
+	if done != 2 {
+		t.Errorf("done tasks = %d, want 2", done)
+	}
+	// Same work as TestSingleJobExactAccounting, just submitted late.
+	if got := s.CurrentResult().Cost.Category(cost.CatCPU); got != cost.Millicents(128) {
+		t.Errorf("cpu cost = %v, want 128 mc", got.ToMillicents())
+	}
+}
+
+func TestAddJobValidation(t *testing.T) {
+	s := New(oneNodeCluster(), &workload.Workload{}, nil, greedyStub(), Options{})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		job  workload.Job
+		obj  *hdfs.DataObject
+	}{
+		{"zero-size input", workload.Job{Name: "a"}, &hdfs.DataObject{SizeMB: 0, Origin: 0}},
+		{"bad origin", workload.Job{Name: "b"}, &hdfs.DataObject{SizeMB: 64, Origin: 99}},
+		{"no tasks", workload.Job{Name: "c"}, nil},
+		{"no cpu", workload.Job{Name: "d", NumTasks: 4}, nil},
+		{"bad access frac", workload.Job{Name: "e", AccessFrac: 1.5}, &hdfs.DataObject{SizeMB: 64, Origin: 0}},
+	}
+	for _, tc := range cases {
+		if _, err := s.AddJob(tc.job, tc.obj); err == nil {
+			t.Errorf("%s: AddJob accepted", tc.name)
+		}
+	}
+	if s.NumJobs() != 0 || !s.Drained() {
+		t.Errorf("rejected AddJobs left state behind: %d jobs", s.NumJobs())
+	}
+}
+
+// TestCancelJobMidRun kills a job with running attempts: the partial burn
+// is billed like a preempted speculative attempt, every task retires, and
+// the run drains without the job's remaining work.
+func TestCancelJobMidRun(t *testing.T) {
+	s := New(oneNodeCluster(), twoTaskJob(), nil, greedyStub(), Options{})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, running, _ := s.JobStateCounts(0); running != 2 {
+		t.Fatalf("want both tasks running at t=10, got %d", running)
+	}
+	if err := s.CancelJob(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.JobCancelled(0) || !s.Drained() {
+		t.Fatal("cancel did not retire the job")
+	}
+	if _, _, _, done := s.JobStateCounts(0); done != 2 {
+		t.Errorf("tasks not retired: done = %d", done)
+	}
+	if s.JobDoneAt(0) != 10 {
+		t.Errorf("doneAt = %g, want 10", s.JobDoneAt(0))
+	}
+	r := s.CurrentResult()
+	// Each attempt ran ~9.36 ECU-sec of its 64 before dying (launched
+	// after the 0.64 s transfer); the burn lands on the speculative/kill
+	// category, not CPU.
+	if got := r.Cost.Category(cost.CatSpeculative); got <= 0 {
+		t.Errorf("cancelled burn billed %v, want > 0", got)
+	}
+	if got := r.Cost.Category(cost.CatCPU); got != 0 {
+		t.Errorf("cpu cost = %v, want 0 (nothing completed)", got)
+	}
+	// Idempotent, and a second cancel adds no new charges.
+	before := r.Cost.Total()
+	if err := s.CancelJob(0); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.CurrentResult().Cost.Total(); after != before {
+		t.Errorf("second cancel changed the bill: %v -> %v", before, after)
+	}
+	if err := s.CancelJob(99); err == nil {
+		t.Error("out-of-range cancel accepted")
+	}
+}
+
+// TestCancelReleasesDependents: cancelling a prerequisite unblocks its
+// dependents exactly like completion would.
+func TestCancelReleasesDependents(t *testing.T) {
+	wb := workload.NewBuilder()
+	arch := workload.Archetype{Name: "syn", Property: workload.Mixed, CPUSecPerBlock: 64}
+	wb.AddInputJob("parent", "u", arch, 128, 0, 0)
+	wb.AddInputJob("child", "u", arch, 64, 0, 0)
+	w := wb.Build()
+	s := New(oneNodeCluster(), w, nil, greedyStub(), Options{Deps: [][]int{1: {0}}})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.JobArrived(1) {
+		t.Fatal("dependent arrived before its prerequisite finished")
+	}
+	if err := s.CancelJob(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; !s.Drained() && i <= 100; i++ {
+		if err := s.StepUntil(5 + float64(i)*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Drained() {
+		t.Fatal("dependent never completed after the prerequisite's cancel")
+	}
+	if s.JobCancelled(1) || s.JobDoneAt(1) <= 5 {
+		t.Errorf("dependent: cancelled=%v doneAt=%g", s.JobCancelled(1), s.JobDoneAt(1))
+	}
+}
+
+// TestInjectFaultMidRun delivers node churn into a live run; past firing
+// times clamp to the clock instead of corrupting the heap.
+func TestInjectFaultMidRun(t *testing.T) {
+	b := cluster.NewBuilder("za")
+	b.AddNode("za", "t", 2, 2, cost.Millicents(1), 1e6)
+	b.AddNode("za", "t", 2, 2, cost.Millicents(1), 1e6)
+	s := New(b.Build(), twoTaskJob(), nil, greedyStub(), Options{})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InjectFault(Fault{At: 3, Kind: FaultNodeDown, Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepUntil(11); err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeAlive(1) {
+		t.Fatal("node 1 still alive after clamped fault")
+	}
+	if err := s.InjectFault(Fault{At: s.Now(), Kind: FaultNodeUp, Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; !s.Drained() && i <= 200; i++ {
+		if err := s.StepUntil(11 + float64(i)*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Drained() || !s.NodeAlive(1) {
+		t.Fatalf("drained=%v alive=%v after recovery", s.Drained(), s.NodeAlive(1))
+	}
+	if err := s.InjectFault(Fault{At: s.Now(), Kind: FaultNodeDown, Node: 99}); err == nil {
+		t.Error("fault on a nonexistent node accepted")
+	}
+}
+
+// TestAddJobKeepsDeterminism: interleaving StepUntil boundaries must not
+// change the outcome — the same submissions at the same sim times yield
+// bit-identical results regardless of how the wall loop slices time.
+func TestAddJobKeepsDeterminism(t *testing.T) {
+	run := func(stride float64) *Result {
+		s := New(oneNodeCluster(), &workload.Workload{}, nil, greedyStub(), Options{})
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		arch := workload.Archetype{Name: "syn", Property: workload.Mixed, CPUSecPerBlock: 64}
+		if err := s.StepUntil(50); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddJob(
+			workload.Job{Name: "a", User: "u", Archetype: arch.Name, CPUSecPerMB: arch.CPUSecPerMB(), AccessFrac: 1},
+			&hdfs.DataObject{Name: "a", SizeMB: 128, Origin: 0},
+		); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; !s.Drained() && i <= 10000; i++ {
+			if err := s.StepUntil(50 + float64(i)*stride); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.CurrentResult()
+	}
+	a, b := run(1), run(97)
+	if math.Abs(a.Makespan-b.Makespan) != 0 || a.Cost.Total() != b.Cost.Total() {
+		t.Errorf("step stride changed the run: %g/%v vs %g/%v",
+			a.Makespan, a.Cost.Total(), b.Makespan, b.Cost.Total())
+	}
+}

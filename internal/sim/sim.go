@@ -325,12 +325,14 @@ type specAttempt struct {
 }
 
 type jobState struct {
-	arrived    bool
-	fifoPos    int // position in the arrival order (valid once arrived)
-	remaining  int
-	doneAt     float64
-	waitingOn  int   // unfinished prerequisite jobs
-	dependents []int // jobs gated on this one
+	arrived     bool
+	cancelled   bool // withdrawn via CancelJob; its arrival event is void
+	fifoPos     int  // position in the arrival order (valid once arrived)
+	remaining   int
+	doneAt      float64
+	firstLaunch float64 // first primary-attempt start; -1 until one launches
+	waitingOn   int     // unfinished prerequisite jobs
+	dependents  []int   // jobs gated on this one
 }
 
 type queueEntry struct {
@@ -377,6 +379,16 @@ type Sim struct {
 	seq    int64
 	events []event // binary heap ordered by (at, seq)
 	nevent int
+
+	// Serve-mode run state (serve.go): started guards the one-shot Start
+	// prelude; the Wanted/Live pairs track whether the self-rearming
+	// sample/gauge-refresh chains are configured and currently armed, so
+	// AddJob can revive a chain that died when the run drained.
+	started      bool
+	sampleWanted bool
+	sampleLive   bool
+	obsWanted    bool
+	obsLive      bool
 
 	nodes []nodeState
 	jobs  []jobState
@@ -476,6 +488,7 @@ func New(c *cluster.Cluster, w *workload.Workload, p *hdfs.Placement, sched Sche
 		s.taskBase[j] = int32(total)
 		total += job.NumTasks
 		s.jobs[j].remaining = job.NumTasks
+		s.jobs[j].firstLaunch = -1
 	}
 	s.taskBase[len(w.Jobs)] = int32(total)
 	s.tasks = make([]taskInfo, total)
@@ -545,57 +558,25 @@ func (s *Sim) exec(ev *event) {
 		s.emitSample()
 		if s.remaining > 0 {
 			s.schedule(s.clock+s.opts.SampleIntervalSec, evSample, 0, 0, 0, 0)
+		} else {
+			s.sampleLive = false // AddJob re-arms (serve.go)
 		}
 	case evObsRefresh:
 		s.obsRefresh()
 		if s.remaining > 0 {
 			s.schedule(s.clock+s.opts.MetricsSampleSec, evObsRefresh, 0, 0, 0, 0)
+		} else {
+			s.obsLive = false // AddJob re-arms (serve.go)
 		}
 	}
 }
 
-// Run executes the simulation to completion and returns the result.
+// Run executes the simulation to completion and returns the result. It is
+// the batch driver: Start's prelude, then the event loop until the heap
+// drains. Long-running callers use Start + StepUntil instead (serve.go).
 func (s *Sim) Run() (*Result, error) {
-	if s.opts.Faults != nil {
-		if err := s.opts.Faults.validate(s.C); err != nil {
-			return nil, err
-		}
-		for _, f := range s.opts.Faults.Faults {
-			f := f
-			s.At(f.At, func() { s.inject(f) })
-		}
-	}
-	s.noteRun()
-	sampling := s.traceOn && s.opts.SampleIntervalSec > 0
-	if sampling {
-		s.emitSample()
-		s.schedule(s.clock+s.opts.SampleIntervalSec, evSample, 0, 0, 0, 0)
-	}
-	// When trace sampling already refreshes the gauges on the same
-	// cadence, a second refresh chain would only race it at coincident
-	// ticks; run one only when the cadences differ.
-	if s.om != nil && !(sampling && s.opts.SampleIntervalSec == s.opts.MetricsSampleSec) {
-		s.obsRefresh()
-		s.schedule(s.clock+s.opts.MetricsSampleSec, evObsRefresh, 0, 0, 0, 0)
-	}
-	s.sched.Init(s)
-	for j, deps := range s.opts.Deps {
-		if j >= len(s.jobs) {
-			return nil, fmt.Errorf("sim: Deps refers to job %d of %d", j, len(s.jobs))
-		}
-		for _, d := range deps {
-			if d < 0 || d >= len(s.jobs) {
-				return nil, fmt.Errorf("sim: job %d depends on out-of-range job %d", j, d)
-			}
-			s.jobs[j].waitingOn++
-			s.jobs[d].dependents = append(s.jobs[d].dependents, j)
-		}
-	}
-	for j := range s.W.Jobs {
-		if s.jobs[j].waitingOn > 0 {
-			continue // gated on dependencies
-		}
-		s.schedule(s.W.Jobs[j].ArrivalSec, evArrive, int32(j), 0, 0, 0)
+	if err := s.Start(); err != nil {
+		return nil, err
 	}
 	for len(s.events) > 0 {
 		s.nevent++
@@ -614,6 +595,9 @@ func (s *Sim) Run() (*Result, error) {
 
 func (s *Sim) arrive(job int) {
 	js := &s.jobs[job]
+	if js.cancelled {
+		return // withdrawn before arrival; unarrived already corrected
+	}
 	js.arrived = true
 	js.fifoPos = len(s.fifo)
 	s.unarrived -= s.W.Jobs[job].NumTasks

@@ -119,6 +119,9 @@ func (s *Sim) startAttempt(job, task int, n cluster.NodeID, store cluster.StoreI
 		sp.runPos = s.trackRunning(flat<<1 | 1)
 	} else {
 		s.setStateFlat(flat, Running)
+		if js := &s.jobs[job]; js.firstLaunch < 0 {
+			js.firstLaunch = s.clock
+		}
 		ti.node = n
 		ti.store = store
 		ti.attempts++

@@ -91,9 +91,20 @@ END {
 }' > "$TMP"
 
 # Fold the previous file (and its accumulated history) into the new
-# one's "history" array, newest first. Without jq, or with no previous
-# file, the current run stands alone.
-if [ -s "$OUT" ] && command -v jq >/dev/null 2>&1; then
+# one's "history" array, newest first. When a previous file exists this
+# step is mandatory: silently writing the new run alone (the old
+# behaviour when jq was missing or the previous file was malformed)
+# truncated the whole trajectory, which is the one thing this harness
+# exists to preserve.
+if [ -s "$OUT" ]; then
+	if ! command -v jq >/dev/null 2>&1; then
+		echo "bench.sh: jq is required to append to $OUT's history; refusing to overwrite it" >&2
+		exit 1
+	fi
+	if ! jq empty "$OUT" 2>/dev/null; then
+		echo "bench.sh: $OUT is not valid JSON; fix or remove it before re-running" >&2
+		exit 1
+	fi
 	jq --slurpfile prev "$OUT" \
 		'. + {history: ([($prev[0] | del(.history))] + ($prev[0].history // []))[:50]}' \
 		"$TMP" > "$OUT.tmp"
