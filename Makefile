@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench perfsmoke lpsmoke faultsmoke tracesmoke obssmoke scalesmoke servesmoke
+.PHONY: all build test race vet bench perfsmoke lpsmoke faultsmoke tracesmoke obssmoke scalesmoke servesmoke spansmoke
 
 all: vet build test
 
@@ -54,3 +54,9 @@ scalesmoke:
 # and a clean SIGTERM drain.
 servesmoke:
 	scripts/servesmoke.sh
+
+# Drives a live daemon and checks the span surface: /jobs/{id}/trace
+# phases telescope to the e2e latency, /debug/epochs carries typed
+# deferral reasons, and per-tenant histograms agree with span counts.
+spansmoke:
+	scripts/spansmoke.sh

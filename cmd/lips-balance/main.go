@@ -30,7 +30,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	tracePath := flag.String("trace", "", "write the planned moves as JSONL trace events to this file")
 	listen := flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address")
+	logOpts := obs.LogFlags()
 	flag.Parse()
+	logger, lerr := logOpts.Logger(os.Stderr)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "lips-balance:", lerr)
+		os.Exit(2)
+	}
+	logger.Debug("balance config", "cluster", *clusterKind, "tasks", *tasks,
+		"threshold", *threshold, "seed", *seed)
 	if err := run(os.Stdout, *clusterKind, *tasks, *threshold, *seed, *tracePath, *listen); err != nil {
 		fmt.Fprintln(os.Stderr, "lips-balance:", err)
 		os.Exit(1)

@@ -43,7 +43,13 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /progress, /healthz and /debug/pprof on this address")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	logOpts := obs.LogFlags()
 	flag.Parse()
+	logger, lerr := logOpts.Logger(os.Stderr)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "lips-bench:", lerr)
+		os.Exit(2)
+	}
 
 	cfg := experiments.Config{
 		Seed: *seed, Trials: *trials, Quick: !*full,
@@ -51,6 +57,7 @@ func main() {
 		ColGen: *colGen, DualSimplex: *dual,
 		FaultCrashes: *faults, FaultSeed: *faultSeed,
 	}
+	logger.Debug("bench config", "seed", cfg.Seed, "trials", cfg.Trials, "quick", cfg.Quick)
 	var sink trace.Sink
 	if *tracePath != "" {
 		var terr error

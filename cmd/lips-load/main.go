@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -21,8 +22,11 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	"lips/internal/obs"
 )
 
 type summary struct {
@@ -47,12 +51,20 @@ func main() {
 		tasks    = flag.Int("tasks", 8, "tasks per job (pi archetype)")
 		seed     = flag.Int64("seed", 1, "seed for the tenant rotation jitter")
 		sloP99Ms = flag.Float64("slo-p99-ms", 0, "exit 1 if p99 submit latency exceeds this (0 = off)")
+		outCSV   = flag.String("out-csv", "", "write one CSV row per request (seq,tenant,status,latency_ms,retry_after_sec)")
 	)
+	logOpts := obs.LogFlags()
 	flag.Parse()
+	logger, err := logOpts.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lips-load: %v\n", err)
+		os.Exit(2)
+	}
 	if *rate <= 0 || *total <= 0 || *tenants <= 0 {
 		fmt.Fprintln(os.Stderr, "lips-load: -rate, -total and -tenants must be positive")
 		os.Exit(2)
 	}
+	logger.Debug("load config", "addr", *addr, "rate", *rate, "total", *total, "tenants", *tenants)
 
 	client := &http.Client{Timeout: 10 * time.Second}
 	rng := rand.New(rand.NewSource(*seed))
@@ -64,7 +76,11 @@ func main() {
 		mu        sync.Mutex
 		sum       summary
 		latencies = make([]float64, 0, *total)
+		rows      []requestRow
 	)
+	if *outCSV != "" {
+		rows = make([]requestRow, *total)
+	}
 	for i := 0; i < *total; i++ {
 		// Open loop: pace off the schedule, not off responses.
 		next := start.Add(time.Duration(i) * interval)
@@ -73,11 +89,14 @@ func main() {
 		}
 		tenant := fmt.Sprintf("tenant-%d", rng.Intn(*tenants))
 		wg.Add(1)
-		go func(tenant string) {
+		go func(seq int, tenant string) {
 			defer wg.Done()
-			code, ms := submit(client, *addr, tenant, *arch, *inputMB, *tasks)
+			code, ms, retryAfter := submit(client, *addr, tenant, *arch, *inputMB, *tasks)
 			mu.Lock()
 			defer mu.Unlock()
+			if rows != nil {
+				rows[seq] = requestRow{tenant: tenant, status: code, ms: ms, retryAfter: retryAfter}
+			}
 			sum.Sent++
 			switch {
 			case code == http.StatusAccepted:
@@ -92,9 +111,16 @@ func main() {
 			if ms >= 0 {
 				latencies = append(latencies, ms)
 			}
-		}(tenant)
+		}(i, tenant)
 	}
 	wg.Wait()
+
+	if *outCSV != "" {
+		if err := writeCSV(*outCSV, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "lips-load: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	sort.Float64s(latencies)
 	if n := len(latencies); n > 0 {
@@ -115,9 +141,38 @@ func main() {
 	}
 }
 
+// requestRow is one per-request CSV record, indexed by send order.
+type requestRow struct {
+	tenant     string
+	status     int
+	ms         float64
+	retryAfter int
+}
+
+// writeCSV dumps the per-request log: one row per submission in send
+// order, with the Retry-After seconds the daemon attached to 429/503
+// responses (0 otherwise).
+func writeCSV(path string, rows []requestRow) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "seq,tenant,status,latency_ms,retry_after_sec")
+	for i, r := range rows {
+		fmt.Fprintf(w, "%d,%s,%d,%.3f,%d\n", i, r.tenant, r.status, r.ms, r.retryAfter)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // submit POSTs one job and returns the HTTP status (0 on transport
-// failure) and the wall latency in milliseconds (-1 on failure).
-func submit(client *http.Client, addr, tenant, arch string, inputMB float64, tasks int) (int, float64) {
+// failure), the wall latency in milliseconds (-1 on failure), and the
+// Retry-After header seconds (0 when absent).
+func submit(client *http.Client, addr, tenant, arch string, inputMB float64, tasks int) (int, float64, int) {
 	req := map[string]any{"tenant": tenant, "archetype": arch}
 	if arch == "pi" {
 		req["tasks"] = tasks
@@ -129,9 +184,10 @@ func submit(client *http.Client, addr, tenant, arch string, inputMB float64, tas
 	resp, err := client.Post(addr+"/submit", "application/json", bytes.NewReader(body))
 	ms := float64(time.Since(t0).Microseconds()) / 1000
 	if err != nil {
-		return 0, -1
+		return 0, -1, 0
 	}
+	retryAfter, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 	_, _ = io.Copy(io.Discard, resp.Body)
 	_ = resp.Body.Close()
-	return resp.StatusCode, ms
+	return resp.StatusCode, ms, retryAfter
 }

@@ -49,7 +49,14 @@ func main() {
 	flag.StringVar(&o.factor, "factor", "lu", "basis factorization: lu (sparse) or dense")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	logOpts := obs.LogFlags()
 	flag.Parse()
+	logger, lerr := logOpts.Logger(os.Stderr)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "lips-lp:", lerr)
+		os.Exit(2)
+	}
+	logger.Debug("lp config", "colgen", o.colgen, "dual", o.dual, "presolve", o.presolve)
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {

@@ -3,7 +3,10 @@
 // per-tenant fair-share admission), a continuously advancing simulated
 // cluster, and an epoch loop re-solving the scheduling plan on a bounded
 // solver pool. The observability endpoints (/metrics, /progress,
-// /healthz, /debug/pprof) share the same listener.
+// /healthz, /readyz, /debug/pprof) and the explainability endpoints
+// (/jobs/{id}/trace, /debug/epochs, /debug/spans) share the same
+// listener; -log-level and -log-format tune the structured log stream
+// on stderr.
 //
 //	lips-serve -listen 127.0.0.1:8080 -cluster random -nodes 1000
 //	curl -XPOST -d '{"tenant":"t0","archetype":"grep","input_mb":256}' \
@@ -48,7 +51,12 @@ func main() {
 		retryAfter  = flag.Int("retry-after", 1, "Retry-After seconds on 429/503")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "max drain time at shutdown")
 	)
+	logOpts := obs.LogFlags()
 	flag.Parse()
+	logger, err := logOpts.Logger(os.Stderr)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	var c *cluster.Cluster
 	switch *clusterKind {
@@ -88,6 +96,7 @@ func main() {
 		SolverPool:        *solverPool,
 		RetryAfterSec:     *retryAfter,
 		DrainTimeout:      *drain,
+		Logger:            logger,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -100,6 +109,7 @@ func main() {
 	fmt.Printf("lips-serve: %d nodes, scheduler %s, epoch %.0fs sim / %s wall\n",
 		len(c.Nodes), sch.Name(), *epochSim, *epochWall)
 	fmt.Printf("lips-serve: listening on %s\n", srv.URL())
+	logger.Info("listening", "url", srv.URL(), "nodes", len(c.Nodes), "scheduler", sch.Name())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -71,7 +71,13 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
+	logOpts := obs.LogFlags()
 	flag.Parse()
+	logger, lerr := logOpts.Logger(os.Stderr)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "lips-sim:", lerr)
+		os.Exit(2)
+	}
 	if *scale > 0 {
 		*clusterKind, *nodes, *wlKind = "random", *scale, "random"
 		tasksSet := false
@@ -98,6 +104,9 @@ func main() {
 		SampleInterval: *sampleEvery, TraceTimings: *traceTimings,
 		Listen: *listen,
 	}
+	logger.Debug("run config",
+		"cluster", cfg.Cluster, "nodes", cfg.Nodes, "workload", cfg.Workload,
+		"jobs", cfg.Jobs, "scheduler", cfg.Scheduler, "seed", cfg.Seed)
 	err = runCfg(cfg)
 	if perr := prof.Stop(); perr != nil && err == nil {
 		err = perr

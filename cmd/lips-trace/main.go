@@ -34,11 +34,18 @@ func main() {
 	csvPath := flag.String("csv", "", "write the sampled time series as CSV to this file")
 	validate := flag.Bool("validate", false, "schema-check the trace and print the event census only")
 	metrics := flag.Bool("metrics", false, "replay the trace into the metrics registry and print the Prometheus exposition")
+	logOpts := obs.LogFlags()
 	flag.Parse()
+	logger, lerr := logOpts.Logger(os.Stderr)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "lips-trace:", lerr)
+		os.Exit(2)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lips-trace [-top N] [-csv FILE] [-validate] [-metrics] trace.jsonl")
 		os.Exit(2)
 	}
+	logger.Debug("trace config", "path", flag.Arg(0), "top", *top, "validate", *validate)
 	if err := run(os.Stdout, flag.Arg(0), *top, *csvPath, *validate, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "lips-trace:", err)
 		os.Exit(1)

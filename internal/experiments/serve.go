@@ -20,6 +20,11 @@ type ServiceRow struct {
 	Scheduler string
 	Jobs      int
 	Cancelled int
+	// MeanQueueWaitSec is the mean submission-to-first-plan latency in
+	// simulated seconds over completed jobs — how long a job waited
+	// before any scheduler epoch pinned one of its tasks (the span's
+	// queue-wait + plan-wait segment).
+	MeanQueueWaitSec float64
 	// MeanLaunchSec is the mean submission-to-first-launch latency in
 	// simulated seconds over completed jobs.
 	MeanLaunchSec float64
@@ -36,12 +41,12 @@ type ServiceResult struct {
 // Render formats the comparison as an aligned table.
 func (r *ServiceResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %6s %10s %12s %10s %12s\n",
-		"scheduler", "jobs", "cancelled", "launch(s)", "drain(s)", "cost")
+	fmt.Fprintf(&b, "%-12s %6s %10s %10s %12s %10s %12s\n",
+		"scheduler", "jobs", "cancelled", "queue(s)", "launch(s)", "drain(s)", "cost")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-12s %6d %10d %12.1f %10.0f %12s\n",
-			row.Scheduler, row.Jobs, row.Cancelled, row.MeanLaunchSec,
-			row.DrainSec, row.Cost)
+		fmt.Fprintf(&b, "%-12s %6d %10d %10.1f %12.1f %10.0f %12s\n",
+			row.Scheduler, row.Jobs, row.Cancelled, row.MeanQueueWaitSec,
+			row.MeanLaunchSec, row.DrainSec, row.Cost)
 	}
 	return b.String()
 }
@@ -122,22 +127,34 @@ func Service(cfg Config) (*ServiceResult, error) {
 				return nil, fmt.Errorf("service %s: never drained", m.label)
 			}
 		}
-		var launchSum float64
-		launched := 0
+		// Latency means come from the per-job spans, so this table and
+		// the daemon's /jobs/{id}/trace agree on phase definitions; a
+		// differential test pins the span fields against the raw
+		// JobFirstLaunch/JobDoneAt accessors.
+		var launchSum, queueSum float64
+		launched, planned := 0, 0
 		for j := 0; j < s.NumJobs(); j++ {
 			if s.JobCancelled(j) {
 				continue
 			}
-			if fl, ok := s.JobFirstLaunch(j); ok {
-				launchSum += fl - s.W.Jobs[j].ArrivalSec
+			sp := s.JobSpan(j)
+			if sp.FirstLaunchSim >= 0 {
+				launchSum += sp.FirstLaunchSim - sp.SubmittedSim
 				launched++
 			}
-			if d := s.JobDoneAt(j); d > row.DrainSec {
-				row.DrainSec = d
+			if sp.PlannedSim >= 0 {
+				queueSum += sp.PlannedSim - sp.SubmittedSim
+				planned++
+			}
+			if sp.DoneSim > row.DrainSec {
+				row.DrainSec = sp.DoneSim
 			}
 		}
 		if launched > 0 {
 			row.MeanLaunchSec = launchSum / float64(launched)
+		}
+		if planned > 0 {
+			row.MeanQueueWaitSec = queueSum / float64(planned)
 		}
 		r := s.CurrentResult()
 		row.Cost = r.Cost.Total()

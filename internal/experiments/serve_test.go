@@ -17,6 +17,18 @@ func TestServiceStreamsAndCancels(t *testing.T) {
 		if row.DrainSec <= 0 || row.Cost <= 0 {
 			t.Errorf("%s: drain=%g cost=%v", row.Scheduler, row.DrainSec, row.Cost)
 		}
+		// The span-derived latency columns stay inside the run. Fair
+		// launches at arrival so its means can be exactly zero; the
+		// epoch-batched LiPS row must show real queueing below.
+		if row.MeanLaunchSec < 0 || row.MeanQueueWaitSec < 0 ||
+			row.MeanQueueWaitSec > row.DrainSec || row.MeanLaunchSec > row.DrainSec {
+			t.Errorf("%s: queue=%g launch=%g drain=%g", row.Scheduler,
+				row.MeanQueueWaitSec, row.MeanLaunchSec, row.DrainSec)
+		}
+		if row.Scheduler == "lips" && row.MeanLaunchSec <= 0 {
+			t.Errorf("lips: epoch batching should delay launches, got mean %g",
+				row.MeanLaunchSec)
+		}
 	}
 	// Identical seeds reproduce the table exactly.
 	r2, err := Service(Config{Quick: true, Seed: 1})

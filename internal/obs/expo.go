@@ -66,13 +66,23 @@ func writeChild(w io.Writer, f *family, labelValue string, m interface{}) error 
 		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(f, labelValue, "+Inf"), cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n", f.name, formatVal(v.Sum())); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %s\n", suffixedName(f, labelValue, "_sum"), formatVal(v.Sum())); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count %d\n", f.name, v.Count())
+		_, err := fmt.Fprintf(w, "%s %d\n", suffixedName(f, labelValue, "_count"), v.Count())
 		return err
 	}
 	return nil
+}
+
+// suffixedName builds `name_sum{label="value"}`-style series names for a
+// histogram's _sum and _count trailers, carrying the family label (when
+// any) but no le.
+func suffixedName(f *family, labelValue, suffix string) string {
+	if f.labelKey == "" {
+		return f.name + suffix
+	}
+	return f.name + suffix + "{" + f.labelKey + `="` + escapeLabel.Replace(labelValue) + `"}`
 }
 
 // seriesName builds `name{label="value"}`, `name_bucket{le="..."}` and

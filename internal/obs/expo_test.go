@@ -48,3 +48,37 @@ d_seconds_count 3
 		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
 	}
 }
+
+// TestWritePromLabeledHistogram pins the labeled-histogram exposition: a
+// tenant name with backslash, quote and newline must appear escaped on
+// every bucket line AND on the _sum/_count trailers (the trailers used
+// to drop the label, which merges all tenants into one series).
+func TestWritePromLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("h_seconds", "A labeled histogram.", "tenant", []float64{1, 10})
+	v.With("plain").Observe(0.5)
+	weird := "a\\b\"c\nd"
+	v.With(weird).Observe(5)
+	v.With(weird).Observe(50)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP h_seconds A labeled histogram.
+# TYPE h_seconds histogram
+h_seconds_bucket{tenant="a\\b\"c\nd",le="1"} 0
+h_seconds_bucket{tenant="a\\b\"c\nd",le="10"} 1
+h_seconds_bucket{tenant="a\\b\"c\nd",le="+Inf"} 2
+h_seconds_sum{tenant="a\\b\"c\nd"} 55
+h_seconds_count{tenant="a\\b\"c\nd"} 2
+h_seconds_bucket{tenant="plain",le="1"} 1
+h_seconds_bucket{tenant="plain",le="10"} 1
+h_seconds_bucket{tenant="plain",le="+Inf"} 1
+h_seconds_sum{tenant="plain"} 0.5
+h_seconds_count{tenant="plain"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("labeled histogram exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -15,7 +15,8 @@ import (
 //
 //	/metrics        Prometheus text exposition of the registry
 //	/progress       JSON Progress snapshot (see Snapshot)
-//	/healthz        200 "ok"
+//	/healthz        liveness: 200 "ok" while the process serves
+//	/readyz         readiness: 503 while the owner reports not-ready
 //	/debug/pprof/*  the standard runtime profiles
 //
 // on its own mux (net/http/pprof's DefaultServeMux side effects are not
@@ -29,7 +30,14 @@ type Server struct {
 // Mux returns the standard observability mux over a registry — the
 // handler Serve installs. Daemons that mount their own endpoints next to
 // /metrics compose with it via ServeHandler.
-func Mux(reg *Registry) *http.ServeMux {
+func Mux(reg *Registry) *http.ServeMux { return MuxReady(reg, nil) }
+
+// MuxReady is Mux with an explicit readiness probe: /healthz stays pure
+// liveness (the process is up and serving), while /readyz answers 503
+// whenever ready() reports false — a draining daemon flips it the moment
+// Shutdown begins, so load balancers stop routing before the listener
+// closes. A nil ready means always ready (the batch-CLI case).
+func MuxReady(reg *Registry, ready func() bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -40,6 +48,13 @@ func Mux(reg *Registry) *http.ServeMux {
 		_ = json.NewEncoder(w).Encode(Snapshot(reg))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if ready != nil && !ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

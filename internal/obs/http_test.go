@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -71,6 +72,45 @@ func TestServerEndpoints(t *testing.T) {
 
 	if code, body, _ := get("/debug/pprof/cmdline"); code != 200 || body == "" {
 		t.Errorf("/debug/pprof/cmdline = %d, %d bytes", code, len(body))
+	}
+
+	// Serve's default mux has no readiness probe: /readyz is always ok.
+	if code, body, _ := get("/readyz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/readyz = %d %q", code, body)
+	}
+}
+
+// TestMuxReady splits liveness from readiness: /healthz stays 200 while
+// the ready callback flips /readyz between 200 and 503.
+func TestMuxReady(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	mux := MuxReady(NewRegistry(), ready.Load)
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/readyz"); code != 200 {
+		t.Errorf("ready /readyz = %d", code)
+	}
+	ready.Store(false)
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("not-ready /readyz = %d, want 503", code)
+	}
+	if code := get("/healthz"); code != 200 {
+		t.Errorf("/healthz = %d during not-ready — liveness must not flip", code)
 	}
 }
 

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestLoggerLevels: each named level gates records at the slog boundary
+// and "off" yields a logger whose handler rejects everything.
+func TestLoggerLevels(t *testing.T) {
+	for _, tc := range []struct {
+		level     string
+		wantDebug bool
+		wantWarn  bool
+	}{
+		{"debug", true, true},
+		{"info", false, true},
+		{"warn", false, true},
+		{"error", false, false},
+		{"off", false, false},
+		{"", false, true}, // empty means info
+	} {
+		var b strings.Builder
+		log, err := LogOptions{Level: tc.level, Format: "text"}.Logger(&b)
+		if err != nil {
+			t.Fatalf("level %q: %v", tc.level, err)
+		}
+		log.Debug("dbg")
+		log.Warn("wrn")
+		out := b.String()
+		if got := strings.Contains(out, "dbg"); got != tc.wantDebug {
+			t.Errorf("level %q: debug emitted=%v, want %v", tc.level, got, tc.wantDebug)
+		}
+		if got := strings.Contains(out, "wrn"); got != tc.wantWarn {
+			t.Errorf("level %q: warn emitted=%v, want %v", tc.level, got, tc.wantWarn)
+		}
+	}
+	if _, err := (LogOptions{Level: "loud"}).Logger(&strings.Builder{}); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := (LogOptions{Level: "info", Format: "xml"}).Logger(&strings.Builder{}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// TestLoggerJSONFormat: the json handler emits one parseable object per
+// record carrying the shared attribute keys.
+func TestLoggerJSONFormat(t *testing.T) {
+	var b strings.Builder
+	log, err := LogOptions{Level: "info", Format: "json"}.Logger(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("epoch planned", LogEpoch, 7, LogTenant, "alice", LogJob, 3, LogRun, "r1")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("not JSON: %q: %v", b.String(), err)
+	}
+	if rec["msg"] != "epoch planned" || rec[LogEpoch] != float64(7) ||
+		rec[LogTenant] != "alice" || rec[LogJob] != float64(3) || rec[LogRun] != "r1" {
+		t.Errorf("record %v missing shared attrs", rec)
+	}
+}
+
+// TestNopLogger: the disabled logger's handler reports not-enabled for
+// every level, so callers pay one comparison and build no record.
+func TestNopLogger(t *testing.T) {
+	log := NopLogger()
+	for _, lv := range []slog.Level{slog.LevelDebug, slog.LevelInfo, slog.LevelWarn, slog.LevelError} {
+		if log.Enabled(nil, lv) {
+			t.Errorf("nop logger enabled at %v", lv)
+		}
+	}
+	// With* must stay nops too.
+	log.With("k", "v").WithGroup("g").Error("dropped")
+}
+
+// TestLogFlagsRegister: Register puts both flags on a flag set with the
+// documented defaults.
+func TestLogFlagsRegister(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var o LogOptions
+	o.Register(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Level != "debug" || o.Format != "json" {
+		t.Errorf("parsed %+v", o)
+	}
+	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
+	var d LogOptions
+	d.Register(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.Level != "info" || d.Format != "text" {
+		t.Errorf("defaults %+v, want info/text", d)
+	}
+}

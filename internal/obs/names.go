@@ -61,6 +61,16 @@ const (
 	MServeChurn         = "lips_serve_churn_total"
 	MServeSubmitSeconds = "lips_serve_submit_latency_seconds"
 	MServeLaunchSeconds = "lips_serve_first_launch_seconds"
+
+	// Span-derived serve families (PR 9): per-tenant latency histograms
+	// in simulated seconds, the shed/span taxonomy counters, and the
+	// share of each epoch's wall budget spent inside the solver step.
+	MServeQueueWait    = "lips_serve_tenant_queue_wait_seconds"
+	MServeTenantLaunch = "lips_serve_tenant_first_launch_seconds"
+	MServeTenantE2E    = "lips_serve_tenant_e2e_seconds"
+	MServeSheds        = "lips_serve_shed_total"
+	MServeSpans        = "lips_serve_spans_total"
+	MServeSolveShare   = "lips_serve_epoch_solve_share"
 )
 
 // Label vocabularies, pre-registered so expositions show every series
@@ -191,12 +201,20 @@ func RegisterLP(r *Registry) *LPMetrics {
 // ServeMetrics bundles the lips-serve daemon's handles. Submit latency is
 // wall-clock (the daemon's SLO); first-launch latency is simulated time
 // (submit arrival to the task's first slot, the queueing delay the epoch
-// planner imposes).
+// planner imposes). The per-tenant histograms are observed exactly once
+// per completed span (QueueWait when the job was admitted, TenantLaunch
+// when it launched, TenantE2E on every done/cancelled terminal), so
+// their counts reconcile with the span ring and the Spans counter.
 type ServeMetrics struct {
 	QueueDepth, Tenants, SimSeconds *Gauge
 	Epochs, JobsDone, JobsCancelled *Counter
 	Admissions, Churn               *CounterVec // by decision / by kind
 	SubmitSeconds, LaunchSeconds    *Histogram
+
+	QueueWait, TenantLaunch, TenantE2E *HistogramVec // by tenant, sim seconds
+	Sheds                              *CounterVec   // by typed reason
+	Spans                              *CounterVec   // by outcome
+	SolveShare                         *Histogram    // step wall / epoch wall budget
 }
 
 // RegisterServe registers (or fetches) the daemon families. Calling it
@@ -220,12 +238,28 @@ func registerServe(r *Registry) *ServeMetrics {
 			[]float64{1e-4, 3.16e-4, 1e-3, 3.16e-3, 0.01, 0.0316, 0.1, 0.316, 1, 3.16, 10}),
 		LaunchSeconds: r.Histogram(MServeLaunchSeconds, "Simulated seconds from submission to a job's first task launch.",
 			ExpBuckets(1, 2, 14)), // 1s … 8192s, epoch-scale queueing delays
+		QueueWait: r.HistogramVec(MServeQueueWait, "Simulated seconds a job waited in the admission queue, by tenant.",
+			"tenant", ExpBuckets(1, 2, 14)),
+		TenantLaunch: r.HistogramVec(MServeTenantLaunch, "Simulated seconds from submission to first task launch, by tenant.",
+			"tenant", ExpBuckets(1, 2, 14)),
+		TenantE2E: r.HistogramVec(MServeTenantE2E, "Simulated seconds from submission to a terminal state, by tenant.",
+			"tenant", ExpBuckets(1, 2, 16)),
+		Sheds: r.CounterVec(MServeSheds, "Submissions refused at admission, by typed reason.", "reason"),
+		Spans: r.CounterVec(MServeSpans, "Completed job spans recorded, by outcome.", "outcome"),
+		SolveShare: r.Histogram(MServeSolveShare, "Fraction of the epoch wall budget spent stepping the simulator (solver included).",
+			[]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 1, 1.5, 2, 5, 10}),
 	}
 	for _, d := range AdmissionDecisions {
 		m.Admissions.With(d)
 	}
 	for _, k := range []string{"down", "up"} {
 		m.Churn.With(k)
+	}
+	for _, k := range []string{ReasonQueueCap, ReasonSolverBackpressure, ReasonDraining} {
+		m.Sheds.With(k)
+	}
+	for _, o := range SpanOutcomes {
+		m.Spans.With(o)
 	}
 	return m
 }

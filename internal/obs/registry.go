@@ -219,6 +219,17 @@ func (v *GaugeVec) With(labelValue string) *Gauge {
 	return v.f.child(labelValue).(*Gauge)
 }
 
+// HistogramVec is a histogram family keyed by one label — e.g. the
+// serve daemon's per-tenant latency families. Every child shares the
+// family's bucket bounds.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for one label value, creating it on first
+// use. Cache the result on hot paths: With takes the family lock.
+func (v *HistogramVec) With(labelValue string) *Histogram {
+	return v.f.child(labelValue).(*Histogram)
+}
+
 // Registry holds metric families. Safe for concurrent registration,
 // mutation and scraping.
 type Registry struct {
@@ -307,6 +318,15 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 		panic(fmt.Sprintf("obs: %s: buckets not ascending", name))
 	}
 	return r.family(name, help, histogramType, "", buckets).child("").(*Histogram)
+}
+
+// HistogramVec registers (or fetches) a one-label histogram family with
+// the given ascending bucket upper bounds (+Inf is implicit).
+func (r *Registry) HistogramVec(name, help, labelKey string, buckets []float64) *HistogramVec {
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("obs: %s: buckets not ascending", name))
+	}
+	return &HistogramVec{r.family(name, help, histogramType, labelKey, buckets)}
 }
 
 // Value reads one metric's current value: counters and gauges return

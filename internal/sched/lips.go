@@ -83,6 +83,8 @@ type LiPS struct {
 	prevHot     []string       // hot machine unit names (ColGen seed hints)
 	topoChanged bool           // a node went down or up since the last solve
 
+	lastEpoch EpochStats // most recent epoch's snapshot (see EpochReporter)
+
 	om    *obs.SchedMetrics // live epoch metrics; nil when metrics are off
 	lpReg *obs.Registry     // passed to each solve via lp.Options.Metrics
 }
@@ -110,6 +112,7 @@ func (l *LiPS) Init(s *sim.Sim) {
 	l.TasksMoved = 0
 	l.BlocksMoved = 0
 	l.Solver = metrics.SolverStats{}
+	l.lastEpoch = EpochStats{}
 	l.Err = nil
 	l.stale = 0
 	l.prevBasis = nil
@@ -332,6 +335,11 @@ func (l *LiPS) planEpoch(s *sim.Sim, queued []int) int {
 	}
 	blocksBefore := l.BlocksMoved
 	launched := l.apply(s, in, plan.Round(), queued, pendingOf)
+	l.lastEpoch = EpochStats{
+		Epoch: l.Epochs, Jobs: len(queued), Pending: pending,
+		Launched: launched, Deferred: pending - launched,
+		Solver: l.Solver.String(),
+	}
 	if l.om != nil {
 		l.om.Epochs.Inc()
 		l.om.EpochNumber.Set(float64(l.Epochs))

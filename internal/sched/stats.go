@@ -1,0 +1,25 @@
+package sched
+
+// EpochStats is the snapshot of one scheduling epoch that a daemon can
+// read back after stepping the simulator — the bridge between the
+// scheduler's per-epoch accounting and the serve layer's /debug/epochs
+// decision ring.
+type EpochStats struct {
+	Epoch    int    // 1-based epoch counter within this run
+	Jobs     int    // queued jobs the epoch's LP covered
+	Pending  int    // pending tasks across those jobs at epoch start
+	Launched int    // tasks enqueued by the epoch's plan
+	Deferred int    // Pending - Launched: work the LP left for later epochs
+	Solver   string // SolverStats one-liner for the run so far
+}
+
+// EpochReporter is implemented by schedulers that can report their most
+// recent epoch. ok is false before the first epoch of a run plans.
+type EpochReporter interface {
+	LastEpochStats() (EpochStats, bool)
+}
+
+// LastEpochStats implements EpochReporter.
+func (l *LiPS) LastEpochStats() (EpochStats, bool) {
+	return l.lastEpoch, l.lastEpoch.Epoch > 0
+}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"lips/internal/sim"
+)
+
+// TestLastEpochStats: before any run LiPS reports no epoch; after a run
+// the snapshot reflects the final planning epoch — a positive epoch
+// counter within the run's total, the solver one-liner, and a
+// launched/deferred split consistent with the pending count. Init must
+// reset it so a reused scheduler does not leak the previous run's view.
+func TestLastEpochStats(t *testing.T) {
+	l := NewLiPS(200)
+	if _, ok := l.LastEpochStats(); ok {
+		t.Fatal("stats reported before any epoch ran")
+	}
+
+	c := mixedCluster()
+	w := smallJobSet(rand.New(rand.NewSource(3)), 3)
+	runSched(t, c, w, nil, l, sim.Options{})
+
+	es, ok := l.LastEpochStats()
+	if !ok {
+		t.Fatal("no stats after a completed run")
+	}
+	if es.Epoch <= 0 || es.Epoch > l.Epochs {
+		t.Errorf("last epoch %d outside (0, %d]", es.Epoch, l.Epochs)
+	}
+	if es.Jobs <= 0 || es.Pending <= 0 {
+		t.Errorf("empty epoch snapshot: %+v", es)
+	}
+	if es.Deferred != es.Pending-es.Launched {
+		t.Errorf("deferred %d != pending %d - launched %d", es.Deferred, es.Pending, es.Launched)
+	}
+	if es.Solver == "" {
+		t.Error("solver one-liner empty")
+	}
+
+	// Init (a new run) resets the snapshot.
+	s := sim.New(mixedCluster(), smallJobSet(rand.New(rand.NewSource(4)), 3), nil, l, sim.Options{})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.LastEpochStats(); ok {
+		t.Error("stats survived Init — run-scoped state leaked")
+	}
+}

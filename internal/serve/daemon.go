@@ -22,6 +22,7 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"lips/internal/cluster"
 	"lips/internal/hdfs"
 	"lips/internal/obs"
+	"lips/internal/sched"
 	"lips/internal/sim"
 	"lips/internal/workload"
 )
@@ -57,6 +59,14 @@ type Config struct {
 	// Weights are per-tenant fair-share weights for admission ordering;
 	// missing tenants weigh 1.
 	Weights map[string]float64
+	// Logger receives structured lifecycle, shed and slow-epoch events.
+	// nil selects a no-op logger, keeping the hot paths silent.
+	Logger *slog.Logger
+	// EpochRing bounds the /debug/epochs decision ring. Default 128.
+	EpochRing int
+	// SpanRing bounds the completed-span ring behind /debug/spans.
+	// Default 1024.
+	SpanRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +91,15 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	if c.EpochRing <= 0 {
+		c.EpochRing = 128
+	}
+	if c.SpanRing <= 0 {
+		c.SpanRing = 1024
+	}
 	return c
 }
 
@@ -103,13 +122,24 @@ type jobRecord struct {
 	name   string
 	spec   submitSpec
 
-	state          string
-	simJob         int // -1 until admitted
-	cancelPending  bool
-	submittedWall  time.Time
+	state         string
+	simJob        int // -1 until admitted
+	cancelPending bool
+	submittedWall time.Time
+
+	// Span milestones, simulated seconds. submittedSim is stamped at
+	// submit time from the (one-epoch-stale) serve clock; the rest are
+	// published by the epoch loop. The booleans distinguish "unset" from
+	// a legal zero timestamp.
 	submittedSim   float64
-	firstLaunchSim float64 // 0 until a task launches
-	doneSim        float64
+	admittedSim    float64 // valid once simJob >= 0
+	admittedEpoch  int64   // serve epoch that admitted the job; 0 = none
+	plannedSim     float64 // valid once planned
+	planned        bool    // a scheduler epoch pinned a task
+	firstLaunchSim float64 // valid once launched
+	launched       bool
+	doneSim        float64 // valid in a terminal state
+	costUC         int64   // ledger charge so far, microcents
 
 	pending, queued, running, doneTasks int
 }
@@ -133,20 +163,28 @@ type Daemon struct {
 	reg *obs.Registry
 	sm  *obs.ServeMetrics
 	s   *sim.Sim
+	sch sim.Scheduler // for the sched.EpochReporter view, when implemented
+	log *slog.Logger
+
+	// spans is the bounded ring of completed spans (done, cancelled,
+	// shed). It has its own lock and never takes d.mu.
+	spans *obs.SpanRing
 
 	// mu guards the admission state: records, queue, cancels, active set,
 	// tenant bookkeeping and the draining flag. Never held during solver
 	// work.
-	mu        sync.Mutex
-	records   []*jobRecord
-	queue     []int // record IDs awaiting admission, submission order
-	cancels   []cancelReq
-	active    []int // record IDs admitted and not yet finished
-	tenants   map[string]bool
-	tenantCPU map[string]float64 // ECU-seconds per tenant, last epoch's copy
-	draining  bool
-	epochs    int64
-	loopErr   error
+	mu         sync.Mutex
+	records    []*jobRecord
+	queue      []int // record IDs awaiting admission, submission order
+	cancels    []cancelReq
+	active     []int // record IDs admitted and not yet finished
+	tenants    map[string]bool
+	tenantCPU  map[string]float64 // ECU-seconds per tenant, last epoch's copy
+	draining   bool
+	epochs     int64
+	loopErr    error
+	decisions  *decisionRing  // /debug/epochs ring
+	shedCounts map[string]int // 429/503 sheds since the last recorded epoch
 
 	// simMu guards the simulator; sem is the solver pool (epoch work holds
 	// a token; the admission path only inspects token availability).
@@ -182,14 +220,32 @@ func New(c *cluster.Cluster, sch sim.Scheduler, reg *obs.Registry, cfg Config) (
 		reg:       reg,
 		sm:        obs.RegisterServe(reg),
 		s:         s,
+		sch:       sch,
+		log:       cfg.Logger,
+		spans:     obs.NewSpanRing(cfg.SpanRing),
 		tenants:   make(map[string]bool),
 		tenantCPU: make(map[string]float64),
+		decisions: newDecisionRing(cfg.EpochRing),
 		sem:       make(chan struct{}, cfg.SolverPool),
 		stop:      make(chan struct{}),
 		doneCh:    make(chan struct{}),
 	}
 	return d, nil
 }
+
+// Ready reports whether the daemon should receive traffic: the epoch
+// loop is running, not draining, and has not died on an error. /readyz
+// serves 503 the moment this turns false, so load balancers stop
+// routing before Shutdown closes anything.
+func (d *Daemon) Ready() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.running && !d.draining && d.loopErr == nil
+}
+
+// Spans returns the completed-span ring (done, cancelled and shed
+// submissions, oldest evicted first).
+func (d *Daemon) Spans() *obs.SpanRing { return d.spans }
 
 // Start launches the epoch loop. Calling it twice is a no-op.
 func (d *Daemon) Start() {
@@ -198,6 +254,10 @@ func (d *Daemon) Start() {
 	d.running = true
 	d.mu.Unlock()
 	if !already {
+		d.log.Info("epoch loop started",
+			"epoch_sim_sec", d.cfg.EpochSimSec,
+			"epoch_wall_interval", d.cfg.EpochWallInterval.String(),
+			"queue_cap", d.cfg.QueueCap, "solver_pool", d.cfg.SolverPool)
 		go d.loop()
 	}
 }
@@ -240,7 +300,9 @@ func (d *Daemon) Shutdown() error {
 	d.mu.Lock()
 	d.draining = true
 	running := d.running
+	queued, active := len(d.queue), len(d.active)
 	d.mu.Unlock()
+	d.log.Info("drain started", "queued", queued, "active", active)
 	if running {
 		// Only a live loop can drain the queue; waiting on a stopped one
 		// would just burn the whole timeout (or, for <-doneCh, forever).
@@ -260,7 +322,13 @@ func (d *Daemon) Shutdown() error {
 	if running {
 		<-d.doneCh
 	}
-	return d.Err()
+	err := d.Err()
+	if err != nil {
+		d.log.Error("daemon stopped", "err", err)
+	} else {
+		d.log.Info("daemon stopped")
+	}
+	return err
 }
 
 func (d *Daemon) loop() {
@@ -345,7 +413,8 @@ func (d *Daemon) takeBatchLocked() []*jobRecord {
 }
 
 // epoch runs one serve epoch: cancellations, tenant-fair admission, one
-// simulated-time step, progress publication, metrics.
+// simulated-time step, progress publication, metrics, and one entry in
+// the /debug/epochs decision ring.
 func (d *Daemon) epoch() error {
 	d.sem <- struct{}{} // solver token; admission control watches occupancy
 	defer func() { <-d.sem }()
@@ -354,6 +423,19 @@ func (d *Daemon) epoch() error {
 	cancels := d.cancels
 	d.cancels = nil
 	batch := d.takeBatchLocked()
+	// Queue leftovers lost this epoch's fair-share ranking to the
+	// AdmitPerEpoch bound — the first class of typed deferrals.
+	var deferred []Deferral
+	for _, id := range d.queue {
+		if len(deferred) == maxDecisionRefs {
+			break
+		}
+		rec := d.records[id]
+		deferred = append(deferred, Deferral{JobRef{rec.id, rec.tenant}, obs.ReasonFairShare})
+	}
+	deferredTotal := len(d.queue)
+	shed := d.shedCounts
+	d.shedCounts = nil
 	activePairs := make([]cancelReq, 0, len(d.active))
 	for _, id := range d.active {
 		activePairs = append(activePairs, cancelReq{recID: id, simJob: d.records[id].simJob})
@@ -366,6 +448,7 @@ func (d *Daemon) epoch() error {
 		err    error
 	}
 
+	stepStart := time.Now()
 	d.simMu.Lock()
 	for _, c := range cancels {
 		if err := d.s.CancelJob(c.simJob); err != nil {
@@ -404,17 +487,22 @@ func (d *Daemon) epoch() error {
 	type progress struct {
 		recID                               int
 		pending, queued, running, doneTasks int
-		firstLaunch, doneAt                 float64
-		cancelled                           bool
+		firstLaunch, plannedAt, doneAt      float64
+		launched, planned, cancelled        bool
+		costUC                              int64
 	}
 	collect := func(recID, simJob int) progress {
 		p := progress{recID: recID}
 		p.pending, p.queued, p.running, p.doneTasks = d.s.JobStateCounts(simJob)
 		if fl, ok := d.s.JobFirstLaunch(simJob); ok {
-			p.firstLaunch = fl
+			p.firstLaunch, p.launched = fl, true
+		}
+		if fe, ok := d.s.JobFirstEnqueue(simJob); ok {
+			p.plannedAt, p.planned = fe, true
 		}
 		p.doneAt = d.s.JobDoneAt(simJob)
 		p.cancelled = d.s.JobCancelled(simJob)
+		p.costUC = d.s.JobCostUC(simJob)
 		return p
 	}
 	updates := make([]progress, 0, len(activePairs)+len(admitted))
@@ -432,22 +520,43 @@ func (d *Daemon) epoch() error {
 	for u, v := range d.s.UserCPU {
 		cpu[u] = v
 	}
+	var schedStats sched.EpochStats
+	var haveSched bool
+	if er, ok := d.sch.(sched.EpochReporter); ok {
+		schedStats, haveSched = er.LastEpochStats()
+	}
 	simNow := d.s.Now()
 	d.simMu.Unlock()
+	stepWall := time.Since(stepStart)
 
-	// Publish under the fast lock.
+	// Publish under the fast lock. The obs calls inside the critical
+	// section are lock-free atomics (plus a family mutex on first child
+	// creation) and never take d.mu, so no ordering hazard.
+	epochNum := d.epochs + 1
 	newlyDone, newlyCancelled := 0, 0
 	var launches []float64
+	var completed []obs.Span // spans to push into the ring after unlock
+	admittedRefs := make([]JobRef, 0, len(admitted))
+	admittedTotal := 0
 	d.mu.Lock()
 	for _, a := range admitted {
 		if a.err != nil {
 			// A malformed spec that slipped past validation: fail the
 			// record, not the daemon.
 			a.rec.state = StateCancelled
+			a.rec.doneSim = now
+			completed = append(completed, d.spanLocked(a.rec))
+			newlyCancelled++
 			continue
 		}
 		a.rec.simJob = a.simJob
-		a.rec.submittedSim = now
+		a.rec.admittedSim = now
+		a.rec.admittedEpoch = epochNum
+		d.sm.QueueWait.With(a.rec.tenant).Observe(now - a.rec.submittedSim)
+		admittedTotal++
+		if len(admittedRefs) < maxDecisionRefs {
+			admittedRefs = append(admittedRefs, JobRef{a.rec.id, a.rec.tenant})
+		}
 		if a.rec.cancelPending {
 			// Cancelled while mid-admission (between leaving the queue and
 			// this publish): now that the sim job ID exists, route it through
@@ -461,18 +570,26 @@ func (d *Daemon) epoch() error {
 		d.active = append(d.active, a.rec.id)
 	}
 	stillActive := d.active[:0]
+	noCapTotal := 0
 	for _, p := range updates {
 		rec := d.records[p.recID]
 		rec.pending, rec.queued, rec.running, rec.doneTasks = p.pending, p.queued, p.running, p.doneTasks
-		if p.firstLaunch > 0 && rec.firstLaunchSim == 0 {
-			rec.firstLaunchSim = p.firstLaunch
-			launches = append(launches, p.firstLaunch-rec.submittedSim)
+		rec.costUC = p.costUC
+		if p.planned && !rec.planned {
+			rec.planned, rec.plannedSim = true, p.plannedAt
+		}
+		if p.launched && !rec.launched {
+			rec.launched, rec.firstLaunchSim = true, p.firstLaunch
+			launches = append(launches, p.firstLaunch-rec.admittedSim)
+			d.sm.TenantLaunch.With(rec.tenant).Observe(p.firstLaunch - rec.submittedSim)
 		}
 		switch {
 		case p.cancelled:
 			rec.state = StateCancelled
 			rec.doneSim = p.doneAt
 			newlyCancelled++
+			completed = append(completed, d.spanLocked(rec))
+			d.sm.TenantE2E.With(rec.tenant).Observe(p.doneAt - rec.submittedSim)
 		case rec.state == StateCancelling:
 			// A cancel is in flight; don't flap the visible state back to
 			// running while the next epoch applies it.
@@ -480,12 +597,23 @@ func (d *Daemon) epoch() error {
 			rec.state = StateDone
 			rec.doneSim = p.doneAt
 			newlyDone++
-		case rec.firstLaunchSim > 0:
+			completed = append(completed, d.spanLocked(rec))
+			d.sm.TenantE2E.With(rec.tenant).Observe(p.doneAt - rec.submittedSim)
+		case rec.launched:
 			rec.state = StateRunning
 		default:
 			rec.state = StateAdmitted
+			if p.pending > 0 {
+				// Admitted, never launched, work still pending: the epoch
+				// plan found no capacity for it.
+				noCapTotal++
+				if len(deferred) < maxDecisionRefs {
+					deferred = append(deferred, Deferral{JobRef{rec.id, rec.tenant}, obs.ReasonNoCapacity})
+				}
+			}
 		}
 	}
+	deferredTotal += noCapTotal
 	for _, id := range d.active {
 		st := d.records[id].state
 		if st != StateDone && st != StateCancelled {
@@ -497,8 +625,30 @@ func (d *Daemon) epoch() error {
 	d.epochs++
 	queueDepth := len(d.queue)
 	tenantCount := len(d.tenants)
+	if len(admitted) > 0 || len(cancels) > 0 || len(updates) > 0 ||
+		len(shed) > 0 || deferredTotal > 0 {
+		// Idle ticks are not recorded; the ring holds epochs that decided
+		// something.
+		dec := EpochDecision{
+			Epoch: epochNum, SimStart: now, SimEnd: simNow,
+			WallMS:   float64(stepWall.Microseconds()) / 1e3,
+			Admitted: admittedRefs, AdmittedCount: admittedTotal,
+			Deferred: deferred, DeferredCount: deferredTotal,
+			Shed: shed, QueueDepth: queueDepth,
+		}
+		if haveSched {
+			dec.SchedEpoch = schedStats.Epoch
+			dec.SchedDeferredTasks = schedStats.Deferred
+			dec.Solver = schedStats.Solver
+		}
+		d.decisions.add(dec)
+	}
 	d.mu.Unlock()
 
+	for _, sp := range completed {
+		d.spans.Add(sp)
+		d.sm.Spans.With(sp.Outcome).Inc()
+	}
 	d.sm.Epochs.Inc()
 	d.sm.QueueDepth.Set(float64(queueDepth))
 	d.sm.SimSeconds.Set(simNow)
@@ -511,6 +661,20 @@ func (d *Daemon) epoch() error {
 	}
 	for _, l := range launches {
 		d.sm.LaunchSeconds.Observe(l)
+	}
+	d.sm.SolveShare.Observe(stepWall.Seconds() / d.cfg.EpochWallInterval.Seconds())
+	if stepWall > d.cfg.EpochWallInterval {
+		d.log.Warn("slow epoch",
+			obs.LogEpoch, epochNum,
+			"step_wall_ms", float64(stepWall.Microseconds())/1e3,
+			"interval_ms", float64(d.cfg.EpochWallInterval.Microseconds())/1e3,
+			"queue_depth", queueDepth)
+	}
+	if admittedTotal > 0 || newlyDone > 0 || newlyCancelled > 0 {
+		d.log.Debug("epoch",
+			obs.LogEpoch, epochNum, "sim_sec", simNow,
+			"admitted", admittedTotal, "done", newlyDone,
+			"cancelled", newlyCancelled, "queue_depth", queueDepth)
 	}
 	if stepErr != nil {
 		return fmt.Errorf("serve: epoch step: %w", stepErr)

@@ -46,12 +46,37 @@ type JobStatus struct {
 	Archetype      string  `json:"archetype"`
 	State          string  `json:"state"`
 	SubmittedSim   float64 `json:"submitted_sim,omitempty"`
+	AdmittedSim    float64 `json:"admitted_sim,omitempty"`
 	FirstLaunchSim float64 `json:"first_launch_sim,omitempty"`
 	DoneSim        float64 `json:"done_sim,omitempty"`
 	Pending        int     `json:"pending"`
 	Queued         int     `json:"queued"`
 	Running        int     `json:"running"`
 	DoneTasks      int     `json:"done_tasks"`
+}
+
+// JobTrace is the GET /jobs/{id}/trace view: the job's span, its phase
+// decomposition, and the end-to-end latency (simulated seconds; -1
+// while the job is still in flight).
+type JobTrace struct {
+	obs.Span
+	State         string      `json:"state"`
+	AdmittedEpoch int64       `json:"admitted_epoch,omitempty"`
+	E2ESim        float64     `json:"e2e_sim"`
+	Phases        []obs.Phase `json:"phases"`
+}
+
+// EpochsResponse is the GET /debug/epochs view: the retained decision
+// ring oldest-first plus how many decisions were ever recorded.
+type EpochsResponse struct {
+	Total  int64           `json:"total"`
+	Epochs []EpochDecision `json:"epochs"`
+}
+
+// SpansResponse is the GET /debug/spans view of the completed-span ring.
+type SpansResponse struct {
+	Total int64      `json:"total"`
+	Spans []obs.Span `json:"spans"`
 }
 
 // Stats is the GET /stats snapshot of the whole daemon.
@@ -83,19 +108,26 @@ func (d *Daemon) writeError(w http.ResponseWriter, code int, format string, args
 }
 
 // Handler returns the daemon's HTTP API mounted alongside the standard
-// observability endpoints (/metrics, /progress, /healthz, /debug/pprof):
+// observability endpoints (/metrics, /progress, /healthz, /readyz,
+// /debug/pprof). /readyz reports 503 once draining begins.
 //
-//	POST /submit        accept a job (202; 429 under load, 503 draining)
-//	GET  /status?id=N   one submission's state
-//	POST /cancel?id=N   withdraw a submission
-//	GET  /stats         daemon-wide snapshot
-//	POST /admin/churn   ?node=N&kind=down|up — inject node churn
+//	POST /submit           accept a job (202; 429 under load, 503 draining)
+//	GET  /status?id=N      one submission's state
+//	GET  /jobs/{id}/trace  one submission's span and phase breakdown
+//	POST /cancel?id=N      withdraw a submission
+//	GET  /stats            daemon-wide snapshot
+//	GET  /debug/epochs     recent epoch decisions (admitted/deferred/shed)
+//	GET  /debug/spans      recent completed spans
+//	POST /admin/churn      ?node=N&kind=down|up — inject node churn
 func (d *Daemon) Handler() http.Handler {
-	mux := obs.Mux(d.reg)
+	mux := obs.MuxReady(d.reg, d.Ready)
 	mux.HandleFunc("/submit", d.handleSubmit)
 	mux.HandleFunc("/status", d.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/trace", d.handleTrace)
 	mux.HandleFunc("/cancel", d.handleCancel)
 	mux.HandleFunc("/stats", d.handleStats)
+	mux.HandleFunc("GET /debug/epochs", d.handleEpochs)
+	mux.HandleFunc("GET /debug/spans", d.handleSpans)
 	mux.HandleFunc("/admin/churn", d.handleChurn)
 	return mux
 }
@@ -158,16 +190,18 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	d.mu.Lock()
-	var decision string
+	var decision, shedReason string
 	var rec *jobRecord
 	switch {
 	case d.draining:
-		decision = "draining"
-	case len(d.queue) >= d.cfg.QueueCap,
-		2*len(d.queue) >= d.cfg.QueueCap && !d.solverIdleLocked():
-		// Full queue always sheds; a half-full queue sheds while every
-		// solver token is busy — backpressure before breakdown.
-		decision = "rejected"
+		decision, shedReason = "draining", obs.ReasonDraining
+	case len(d.queue) >= d.cfg.QueueCap:
+		// A full queue always sheds.
+		decision, shedReason = "rejected", obs.ReasonQueueCap
+	case 2*len(d.queue) >= d.cfg.QueueCap && !d.solverIdleLocked():
+		// A half-full queue sheds while every solver token is busy —
+		// backpressure before breakdown.
+		decision, shedReason = "rejected", obs.ReasonSolverBackpressure
 	default:
 		decision = "accepted"
 		rec = &jobRecord{
@@ -178,10 +212,22 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			state:         StateQueued,
 			simJob:        -1,
 			submittedWall: start,
+			submittedSim:  d.simNowLocked(),
 		}
 		d.records = append(d.records, rec)
 		d.queue = append(d.queue, rec.id)
 		d.tenants[req.Tenant] = true
+	}
+	var shedSpan obs.Span
+	if shedReason != "" {
+		if d.shedCounts == nil {
+			d.shedCounts = make(map[string]int)
+		}
+		d.shedCounts[shedReason]++
+		shedSpan = obs.NewSpan(-1)
+		shedSpan.Name, shedSpan.Tenant = name, req.Tenant
+		shedSpan.Outcome, shedSpan.Reason = obs.OutcomeShed, shedReason
+		shedSpan.SubmittedSim, shedSpan.DoneSim = d.simNowLocked(), d.simNowLocked()
 	}
 	queueDepth := len(d.queue)
 	d.mu.Unlock()
@@ -189,6 +235,14 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	d.sm.Admissions.With(decision).Inc()
 	d.sm.QueueDepth.Set(float64(queueDepth))
 	d.sm.SubmitSeconds.Observe(time.Since(start).Seconds())
+	if shedReason != "" {
+		d.spans.Add(shedSpan)
+		d.sm.Sheds.With(shedReason).Inc()
+		d.sm.Spans.With(obs.OutcomeShed).Inc()
+		d.log.Warn("submission shed",
+			obs.LogTenant, req.Tenant, "name", name,
+			"reason", shedReason, "queue_depth", queueDepth)
+	}
 	switch decision {
 	case "draining":
 		d.writeError(w, http.StatusServiceUnavailable, "draining")
@@ -228,8 +282,47 @@ func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Pending: rec.pending, Queued: rec.queued,
 		Running: rec.running, DoneTasks: rec.doneTasks,
 	}
+	if rec.simJob >= 0 {
+		st.AdmittedSim = rec.admittedSim
+	}
 	d.mu.Unlock()
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleTrace serves GET /jobs/{id}/trace: the job's span assembled
+// from the live record, decomposed into phases.
+func (d *Daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		d.writeError(w, http.StatusBadRequest, "bad id %q", r.PathValue("id"))
+		return
+	}
+	d.mu.Lock()
+	if id < 0 || id >= len(d.records) {
+		d.mu.Unlock()
+		d.writeError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	rec := d.records[id]
+	tr := JobTrace{Span: d.spanLocked(rec), State: rec.state, AdmittedEpoch: rec.admittedEpoch}
+	d.mu.Unlock()
+	tr.E2ESim = tr.Span.E2ESim()
+	tr.Phases = tr.Span.Phases()
+	writeJSON(w, http.StatusOK, tr)
+}
+
+// handleEpochs serves GET /debug/epochs: the recent epoch decisions,
+// oldest first.
+func (d *Daemon) handleEpochs(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	resp := EpochsResponse{Total: d.decisions.total, Epochs: d.decisions.snapshot()}
+	d.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSpans serves GET /debug/spans: the completed-span ring.
+func (d *Daemon) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, SpansResponse{Total: d.spans.Total(), Spans: d.spans.Snapshot()})
 }
 
 func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -242,6 +335,7 @@ func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	d.mu.Lock()
+	var cancelSpan obs.Span
 	state := rec.state
 	switch state {
 	case StateQueued:
@@ -260,7 +354,9 @@ func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 		}
 		if found {
 			rec.state = StateCancelled
+			rec.doneSim = d.simNowLocked()
 			state = StateCancelled
+			cancelSpan = d.spanLocked(rec)
 		} else {
 			rec.cancelPending = true
 			rec.state = StateCancelling
@@ -274,6 +370,9 @@ func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 	d.mu.Unlock()
 	if state == StateCancelled {
 		d.sm.JobsCancelled.Inc()
+		d.spans.Add(cancelSpan)
+		d.sm.Spans.With(obs.OutcomeCancelled).Inc()
+		d.sm.TenantE2E.With(rec.tenant).Observe(cancelSpan.DoneSim - cancelSpan.SubmittedSim)
 	}
 	writeJSON(w, http.StatusOK, SubmitResponse{ID: rec.id, State: state})
 }

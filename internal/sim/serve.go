@@ -18,6 +18,7 @@ import (
 	"lips/internal/cluster"
 	"lips/internal/cost"
 	"lips/internal/hdfs"
+	"lips/internal/obs"
 	"lips/internal/workload"
 )
 
@@ -123,6 +124,44 @@ func (s *Sim) JobFirstLaunch(job int) (t float64, ok bool) {
 	return fl, fl >= 0
 }
 
+// JobFirstEnqueue returns when a scheduler first pinned any task of the
+// job to a node queue — the "epoch-planned" span milestone; ok is false
+// while no task has ever been enqueued.
+func (s *Sim) JobFirstEnqueue(job int) (t float64, ok bool) {
+	fe := s.jobs[job].firstEnqueue
+	return fe, fe >= 0
+}
+
+// JobCostUC returns the job's exact ledger charge so far, in microcents.
+func (s *Sim) JobCostUC(job int) int64 {
+	return int64(s.Ledger.Job(s.W.Jobs[job].Name))
+}
+
+// JobSpan assembles the job's phase span from simulator state — the
+// batch-frame view, where submission and admission both coincide with
+// the workload arrival (a batch run has no admission queue). The serve
+// daemon overlays its own submit/admit stamps on top. Milestones that
+// have not happened are -1.
+func (s *Sim) JobSpan(job int) obs.Span {
+	j := &s.W.Jobs[job]
+	js := &s.jobs[job]
+	sp := obs.NewSpan(job)
+	sp.Name, sp.Tenant = j.Name, j.User
+	sp.SubmittedSim, sp.AdmittedSim = j.ArrivalSec, j.ArrivalSec
+	sp.PlannedSim = js.firstEnqueue
+	sp.FirstLaunchSim = js.firstLaunch
+	sp.CostUC = int64(s.Ledger.Job(j.Name))
+	if js.remaining == 0 {
+		sp.DoneSim = js.doneAt
+		if js.cancelled {
+			sp.Outcome = obs.OutcomeCancelled
+		} else {
+			sp.Outcome = obs.OutcomeDone
+		}
+	}
+	return sp
+}
+
 // JobStateCounts returns how many tasks of one job sit in each lifecycle
 // state — O(NumTasks), for per-job status reporting.
 func (s *Sim) JobStateCounts(job int) (pending, queued, running, done int) {
@@ -188,7 +227,7 @@ func (s *Sim) AddJob(job workload.Job, obj *hdfs.DataObject) (int, error) {
 		job.ArrivalSec = s.clock
 	}
 	s.W.Jobs = append(s.W.Jobs, job)
-	s.jobs = append(s.jobs, jobState{remaining: job.NumTasks, firstLaunch: -1})
+	s.jobs = append(s.jobs, jobState{remaining: job.NumTasks, firstLaunch: -1, firstEnqueue: -1})
 	s.taskBase = append(s.taskBase, s.taskBase[j]+int32(job.NumTasks))
 	for t := 0; t < job.NumTasks; t++ {
 		s.tasks = append(s.tasks, taskInfo{

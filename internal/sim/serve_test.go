@@ -285,3 +285,94 @@ func TestAddJobKeepsDeterminism(t *testing.T) {
 			a.Makespan, a.Cost.Total(), b.Makespan, b.Cost.Total())
 	}
 }
+
+// TestJobSpanMatchesAccessors is the differential gate for the span
+// surface: every JobSpan milestone must equal the raw accessor it is
+// derived from (JobFirstEnqueue, JobFirstLaunch, JobDoneAt, the
+// ledger), the batch frame must report submitted == admitted ==
+// arrival, and the phase durations must telescope to the end-to-end
+// latency.
+func TestJobSpanMatchesAccessors(t *testing.T) {
+	s := New(oneNodeCluster(), &workload.Workload{}, nil, greedyStub(), Options{})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	arch := workload.Archetype{Name: "syn", Property: workload.Mixed, CPUSecPerBlock: 64}
+	j, err := s.AddJob(
+		workload.Job{Name: "sp", User: "tenant-a", Archetype: arch.Name, CPUSecPerMB: arch.CPUSecPerMB(), AccessFrac: 1},
+		&hdfs.DataObject{Name: "sp", SizeMB: 128, Origin: 0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-run, before anything finishes: terminal fields must be unset.
+	early := s.JobSpan(j)
+	if early.Outcome != "" || early.DoneSim != -1 || early.E2ESim() != -1 {
+		t.Errorf("in-flight span has terminal state: %+v", early)
+	}
+	if early.SubmittedSim != s.W.Jobs[j].ArrivalSec || early.AdmittedSim != early.SubmittedSim {
+		t.Errorf("batch frame: submitted %g admitted %g, want both %g",
+			early.SubmittedSim, early.AdmittedSim, s.W.Jobs[j].ArrivalSec)
+	}
+
+	for i := 1; !s.Drained() && i <= 1000; i++ {
+		if err := s.StepUntil(50 + float64(i)*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Drained() {
+		t.Fatal("never drained")
+	}
+
+	sp := s.JobSpan(j)
+	if sp.Outcome != "done" || sp.Job != j || sp.Name != "sp" || sp.Tenant != "tenant-a" {
+		t.Fatalf("span identity: %+v", sp)
+	}
+	if fe, ok := s.JobFirstEnqueue(j); !ok || sp.PlannedSim != fe {
+		t.Errorf("planned %g, accessor %g (ok=%v)", sp.PlannedSim, fe, ok)
+	}
+	if fl, ok := s.JobFirstLaunch(j); !ok || sp.FirstLaunchSim != fl {
+		t.Errorf("first launch %g, accessor %g (ok=%v)", sp.FirstLaunchSim, fl, ok)
+	}
+	if sp.DoneSim != s.JobDoneAt(j) {
+		t.Errorf("done %g, accessor %g", sp.DoneSim, s.JobDoneAt(j))
+	}
+	if sp.CostUC != s.JobCostUC(j) || sp.CostUC != int64(s.Ledger.Job("sp")) || sp.CostUC <= 0 {
+		t.Errorf("cost %d µc, accessor %d, ledger %d", sp.CostUC, s.JobCostUC(j), int64(s.Ledger.Job("sp")))
+	}
+	var sum float64
+	for _, ph := range sp.Phases() {
+		sum += ph.DurSim
+	}
+	if e2e := sp.E2ESim(); math.Abs(sum-e2e) > 1e-9 || e2e <= 0 {
+		t.Errorf("phases sum %g, e2e %g", sum, e2e)
+	}
+}
+
+// TestJobSpanCancelled: a cancelled job's span carries the cancelled
+// outcome and its done milestone equals JobDoneAt.
+func TestJobSpanCancelled(t *testing.T) {
+	s := New(oneNodeCluster(), twoTaskJob(), nil, greedyStub(), Options{})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CancelJob(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; !s.Drained() && i <= 100; i++ {
+		if err := s.StepUntil(10 + float64(i)*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp := s.JobSpan(0)
+	if sp.Outcome != "cancelled" || sp.DoneSim != s.JobDoneAt(0) || sp.DoneSim < 0 {
+		t.Errorf("cancelled span: %+v (doneAt %g)", sp, s.JobDoneAt(0))
+	}
+}

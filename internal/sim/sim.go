@@ -325,14 +325,15 @@ type specAttempt struct {
 }
 
 type jobState struct {
-	arrived     bool
-	cancelled   bool // withdrawn via CancelJob; its arrival event is void
-	fifoPos     int  // position in the arrival order (valid once arrived)
-	remaining   int
-	doneAt      float64
-	firstLaunch float64 // first primary-attempt start; -1 until one launches
-	waitingOn   int     // unfinished prerequisite jobs
-	dependents  []int   // jobs gated on this one
+	arrived      bool
+	cancelled    bool // withdrawn via CancelJob; its arrival event is void
+	fifoPos      int  // position in the arrival order (valid once arrived)
+	remaining    int
+	doneAt       float64
+	firstLaunch  float64 // first primary-attempt start; -1 until one launches
+	firstEnqueue float64 // first scheduler pin of any task; -1 until one is enqueued
+	waitingOn    int     // unfinished prerequisite jobs
+	dependents   []int   // jobs gated on this one
 }
 
 type queueEntry struct {
@@ -489,6 +490,7 @@ func New(c *cluster.Cluster, w *workload.Workload, p *hdfs.Placement, sched Sche
 		total += job.NumTasks
 		s.jobs[j].remaining = job.NumTasks
 		s.jobs[j].firstLaunch = -1
+		s.jobs[j].firstEnqueue = -1
 	}
 	s.taskBase[len(w.Jobs)] = int32(total)
 	s.tasks = make([]taskInfo, total)

@@ -121,6 +121,11 @@ func (s *Sim) startAttempt(job, task int, n cluster.NodeID, store cluster.StoreI
 		s.setStateFlat(flat, Running)
 		if js := &s.jobs[job]; js.firstLaunch < 0 {
 			js.firstLaunch = s.clock
+			if js.firstEnqueue < 0 {
+				// A direct Launch with no queue stop still counts as the
+				// job's first scheduler pin (the epoch-planned milestone).
+				js.firstEnqueue = s.clock
+			}
 		}
 		ti.node = n
 		ti.store = store
@@ -585,6 +590,9 @@ func (s *Sim) Enqueue(job, task int, n cluster.NodeID, store cluster.StoreID, re
 		return fmt.Errorf("sim: task %d/%d enqueued on down node %d", job, task, n)
 	}
 	s.setStateFlat(flat, Queued)
+	if js := &s.jobs[job]; js.firstEnqueue < 0 {
+		js.firstEnqueue = s.clock // the job's epoch-planned span milestone
+	}
 	ti.qSeq++
 	ti.qNode = int32(n)
 	s.nodes[n].queue = append(s.nodes[n].queue, queueEntry{
