@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench perfsmoke lpsmoke faultsmoke tracesmoke obssmoke scalesmoke servesmoke spansmoke
+.PHONY: all build test race vet bench perfsmoke lpsmoke faultsmoke tracesmoke obssmoke scalesmoke servesmoke spansmoke costsmoke
 
 all: vet build test
 
@@ -60,3 +60,10 @@ servesmoke:
 # deferral reasons, and per-tenant histograms agree with span counts.
 spansmoke:
 	scripts/spansmoke.sh
+
+# Proves the chargeback pipeline to the exact microcent: raced ledger
+# tests, lips-trace -audit on a traced faulty run, and a live daemon
+# under churn/cancels where /tenants sums to /audit and a burn-rate
+# alert fires and resolves.
+costsmoke:
+	scripts/costsmoke.sh

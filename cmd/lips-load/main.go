@@ -8,7 +8,8 @@
 // It prints a JSON summary with latency quantiles over every submission
 // that got an HTTP response — 429s included, since fast load-shedding is
 // exactly what backpressure promises. With -slo-p99-ms set, a p99 above
-// the bound exits 1.
+// the bound exits 1. -tenant-weights skews the tenant mix (5,1,1,1 puts
+// ~5/8 of submissions on tenant-0) without changing the pacing schedule.
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +48,7 @@ func main() {
 		rate     = flag.Float64("rate", 200, "submissions per second (open loop)")
 		total    = flag.Int("total", 1000, "submissions to send")
 		tenants  = flag.Int("tenants", 4, "tenant names to rotate through")
+		weights  = flag.String("tenant-weights", "", "comma-separated integer weights skewing the tenant mix (e.g. 5,1,1,1); the count overrides -tenants")
 		arch     = flag.String("archetype", "grep", "archetype to submit")
 		inputMB  = flag.Float64("input-mb", 256, "input size per job (input archetypes)")
 		tasks    = flag.Int("tasks", 8, "tasks per job (pi archetype)")
@@ -64,7 +67,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lips-load: -rate, -total and -tenants must be positive")
 		os.Exit(2)
 	}
-	logger.Debug("load config", "addr", *addr, "rate", *rate, "total", *total, "tenants", *tenants)
+	pick, err := tenantPicker(*tenants, *weights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lips-load: %v\n", err)
+		os.Exit(2)
+	}
+	logger.Debug("load config", "addr", *addr, "rate", *rate, "total", *total, "tenants", *tenants, "weights", *weights)
 
 	client := &http.Client{Timeout: 10 * time.Second}
 	rng := rand.New(rand.NewSource(*seed))
@@ -87,7 +95,7 @@ func main() {
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
-		tenant := fmt.Sprintf("tenant-%d", rng.Intn(*tenants))
+		tenant := fmt.Sprintf("tenant-%d", pick(rng))
 		wg.Add(1)
 		go func(seq int, tenant string) {
 			defer wg.Done()
@@ -139,6 +147,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lips-load: p99 %.2fms over SLO %.2fms\n", sum.P99Ms, *sloP99Ms)
 		os.Exit(1)
 	}
+}
+
+// tenantPicker returns the tenant-index sampler. With no -tenant-weights
+// the n tenants are uniform; with weights like "5,1,1,1" each index is
+// drawn in proportion to its weight (and the weight count sets the
+// tenant count), so a chargeback test can steer most of the spend onto
+// one hog tenant without touching the submission schedule.
+func tenantPicker(n int, weights string) (func(*rand.Rand) int, error) {
+	if weights == "" {
+		return func(rng *rand.Rand) int { return rng.Intn(n) }, nil
+	}
+	parts := strings.Split(weights, ",")
+	w := make([]int, len(parts))
+	sum := 0
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("-tenant-weights: want positive integers, got %q", p)
+		}
+		w[i] = v
+		sum += v
+	}
+	return func(rng *rand.Rand) int {
+		r := rng.Intn(sum)
+		for i, v := range w {
+			if r < v {
+				return i
+			}
+			r -= v
+		}
+		return len(w) - 1 // unreachable: the weights sum to sum
+	}, nil
 }
 
 // requestRow is one per-request CSV record, indexed by send order.

@@ -4,9 +4,11 @@
 // cluster, and an epoch loop re-solving the scheduling plan on a bounded
 // solver pool. The observability endpoints (/metrics, /progress,
 // /healthz, /readyz, /debug/pprof) and the explainability endpoints
-// (/jobs/{id}/trace, /debug/epochs, /debug/spans) share the same
-// listener; -log-level and -log-format tune the structured log stream
-// on stderr.
+// (/jobs/{id}/trace, /debug/epochs, /debug/spans, /tenants, /alerts,
+// /audit) share the same listener; -log-level and -log-format tune the
+// structured log stream on stderr. -slo-e2e/-slo-queue-wait arm the
+// per-tenant burn-rate alerting, and repeatable -budget tenant=dollars
+// caps a tenant's spend (exhausted tenants defer with budget-exhausted).
 //
 //	lips-serve -listen 127.0.0.1:8080 -cluster random -nodes 1000
 //	curl -XPOST -d '{"tenant":"t0","archetype":"grep","input_mb":256}' \
@@ -23,6 +25,8 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,7 +54,25 @@ func main() {
 		solverPool  = flag.Int("solver-pool", 1, "solver tokens; all busy + half-full queue sheds load")
 		retryAfter  = flag.Int("retry-after", 1, "Retry-After seconds on 429/503")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "max drain time at shutdown")
+		sloE2E      = flag.Float64("slo-e2e", 0, "per-tenant e2e latency objective in simulated seconds (0 = off)")
+		sloQueue    = flag.Float64("slo-queue-wait", 0, "per-tenant queue-wait objective in simulated seconds (0 = off)")
+		sloBudget   = flag.Float64("slo-budget", 0.05, "SLO error budget (allowed violation fraction)")
+		sloShort    = flag.Float64("slo-short", 300, "short burn-rate window in simulated seconds")
+		sloLong     = flag.Float64("slo-long", 1800, "long burn-rate window in simulated seconds")
 	)
+	budgets := make(map[string]float64)
+	flag.Func("budget", "tenant=dollars spend cap, repeatable (e.g. -budget alice=2.50)", func(v string) error {
+		tenant, usd, ok := strings.Cut(v, "=")
+		if !ok || tenant == "" {
+			return fmt.Errorf("want tenant=dollars, got %q", v)
+		}
+		amount, err := strconv.ParseFloat(usd, 64)
+		if err != nil || amount <= 0 {
+			return fmt.Errorf("bad dollar amount %q", usd)
+		}
+		budgets[tenant] = amount
+		return nil
+	})
 	logOpts := obs.LogFlags()
 	flag.Parse()
 	logger, err := logOpts.Logger(os.Stderr)
@@ -97,6 +119,12 @@ func main() {
 		RetryAfterSec:     *retryAfter,
 		DrainTimeout:      *drain,
 		Logger:            logger,
+		SLOE2ESec:         *sloE2E,
+		SLOQueueWaitSec:   *sloQueue,
+		SLOBudget:         *sloBudget,
+		SLOShortSec:       *sloShort,
+		SLOLongSec:        *sloLong,
+		Budgets:           budgets,
 	})
 	if err != nil {
 		fatalf("%v", err)

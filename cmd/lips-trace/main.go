@@ -5,14 +5,18 @@
 //
 // Usage:
 //
-//	lips-trace [-top 10] [-csv FILE] [-validate] [-metrics] trace.jsonl
+//	lips-trace [-top 10] [-csv FILE] [-validate] [-metrics] [-by-job N] [-audit] trace.jsonl
 //
 // -csv exports the sampled time series (cost by category in microcents,
 // queue depth, slot counts, locality mix) as CSV; -validate only
 // schema-checks the file and reports the event census; -metrics replays
 // the trace into the live metrics registry and prints the resulting
 // Prometheus text exposition — the same families a lips-sim -listen
-// scrape of that run would show.
+// scrape of that run would show. -by-job rolls charges up to the N most
+// expensive jobs (with -csv, the full rollup is exported instead of the
+// time series); -audit rebuilds the ledger from the money-bearing
+// events and proves it, to the exact microcent, against every embedded
+// sample snapshot — any drift exits 1.
 package main
 
 import (
@@ -34,6 +38,8 @@ func main() {
 	csvPath := flag.String("csv", "", "write the sampled time series as CSV to this file")
 	validate := flag.Bool("validate", false, "schema-check the trace and print the event census only")
 	metrics := flag.Bool("metrics", false, "replay the trace into the metrics registry and print the Prometheus exposition")
+	byJob := flag.Int("by-job", 0, "roll charges up to the N most expensive jobs per run (with -csv, export the full rollup)")
+	audit := flag.Bool("audit", false, "rebuild the ledger from the events and reconcile it against every sample snapshot")
 	logOpts := obs.LogFlags()
 	flag.Parse()
 	logger, lerr := logOpts.Logger(os.Stderr)
@@ -42,17 +48,17 @@ func main() {
 		os.Exit(2)
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lips-trace [-top N] [-csv FILE] [-validate] [-metrics] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: lips-trace [-top N] [-csv FILE] [-validate] [-metrics] [-by-job N] [-audit] trace.jsonl")
 		os.Exit(2)
 	}
-	logger.Debug("trace config", "path", flag.Arg(0), "top", *top, "validate", *validate)
-	if err := run(os.Stdout, flag.Arg(0), *top, *csvPath, *validate, *metrics); err != nil {
+	logger.Debug("trace config", "path", flag.Arg(0), "top", *top, "validate", *validate, "by_job", *byJob, "audit", *audit)
+	if err := run(os.Stdout, flag.Arg(0), *top, *csvPath, *validate, *metrics, *byJob, *audit); err != nil {
 		fmt.Fprintln(os.Stderr, "lips-trace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, path string, top int, csvPath string, validateOnly, metricsOnly bool) error {
+func run(out io.Writer, path string, top int, csvPath string, validateOnly, metricsOnly bool, byJob int, audit bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -92,6 +98,35 @@ func run(out io.Writer, path string, top int, csvPath string, validateOnly, metr
 		return nil
 	}
 
+	runs := splitRuns(events)
+
+	if audit {
+		for _, r := range runs {
+			if err := auditRun(out, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if byJob > 0 {
+		if csvPath != "" {
+			if err := writeByJobCSV(csvPath, runs); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "job rollup written to %s\n", csvPath)
+		}
+		for i, r := range runs {
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			if err := printByJob(out, r, byJob); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	if csvPath != "" {
 		if err := writeCSV(csvPath, events); err != nil {
 			return err
@@ -99,7 +134,7 @@ func run(out io.Writer, path string, top int, csvPath string, validateOnly, metr
 		fmt.Fprintf(out, "time series written to %s\n\n", csvPath)
 	}
 
-	for i, r := range splitRuns(events) {
+	for i, r := range runs {
 		if i > 0 {
 			fmt.Fprintln(out)
 		}

@@ -55,7 +55,7 @@ func writeTrace(t *testing.T) string {
 func TestRunReport(t *testing.T) {
 	path := writeTrace(t)
 	var out strings.Builder
-	if err := run(&out, path, 5, "", false, false); err != nil {
+	if err := run(&out, path, 5, "", false, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -85,7 +85,7 @@ func TestRunReport(t *testing.T) {
 func TestRunValidate(t *testing.T) {
 	path := writeTrace(t)
 	var out strings.Builder
-	if err := run(&out, path, 5, "", true, false); err != nil {
+	if err := run(&out, path, 5, "", true, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -103,7 +103,7 @@ func TestRunCSV(t *testing.T) {
 	path := writeTrace(t)
 	csvPath := t.TempDir() + "/series.csv"
 	var out strings.Builder
-	if err := run(&out, path, 5, csvPath, false, false); err != nil {
+	if err := run(&out, path, 5, csvPath, false, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csvPath)
@@ -129,7 +129,7 @@ func TestRunCSV(t *testing.T) {
 func TestRunMetricsGolden(t *testing.T) {
 	path := writeTrace(t)
 	var out strings.Builder
-	if err := run(&out, path, 5, "", false, true); err != nil {
+	if err := run(&out, path, 5, "", false, true, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	if *updateGolden {
@@ -148,21 +148,21 @@ func TestRunMetricsGolden(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(&strings.Builder{}, t.TempDir()+"/nope.jsonl", 5, "", false, false); err == nil {
+	if err := run(&strings.Builder{}, t.TempDir()+"/nope.jsonl", 5, "", false, false, 0, false); err == nil {
 		t.Error("missing file accepted")
 	}
 	empty := t.TempDir() + "/empty.jsonl"
 	if err := os.WriteFile(empty, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&strings.Builder{}, empty, 5, "", false, false); err == nil {
+	if err := run(&strings.Builder{}, empty, 5, "", false, false, 0, false); err == nil {
 		t.Error("empty trace accepted")
 	}
 	bad := t.TempDir() + "/bad.jsonl"
 	if err := os.WriteFile(bad, []byte("{\"t\":-1,\"kind\":\"done\"}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&strings.Builder{}, bad, 5, "", false, false); err == nil {
+	if err := run(&strings.Builder{}, bad, 5, "", false, false, 0, false); err == nil {
 		t.Error("invalid event accepted")
 	}
 }

@@ -140,6 +140,57 @@ func TestLedger(t *testing.T) {
 	}
 }
 
+func TestLedgerTenantDimension(t *testing.T) {
+	l := NewLedger()
+	l.ChargeTenant(CatCPU, "j1", "alice", Millicents(10))
+	l.ChargeTenant(CatCPU, "j2", "bob", Millicents(5))
+	l.ChargeTenant(CatTransfer, "j1", "alice", Millicents(3))
+	l.Charge(CatPlacement, "", Millicents(2)) // unowned → _system
+	l.ChargeTenant(CatFault, "", "", Millicents(1))
+
+	if got := l.TenantCategory("alice", CatCPU); got != Millicents(10) {
+		t.Errorf("alice cpu = %v", got)
+	}
+	if got := l.TenantTotal("alice"); got != Millicents(13) {
+		t.Errorf("alice total = %v", got)
+	}
+	if got := l.TenantTotal(UnattributedTenant); got != Millicents(3) {
+		t.Errorf("_system total = %v", got)
+	}
+	if got := l.Unattributed(); got != Millicents(3) {
+		t.Errorf("unattributed = %v", got)
+	}
+	want := []string{UnattributedTenant, "alice", "bob"}
+	got := l.Tenants()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("Tenants = %v, want %v", got, want)
+	}
+	bd := l.TenantBreakdown("alice")
+	if bd[CatCPU] != Millicents(10) || bd[CatTransfer] != Millicents(3) {
+		t.Errorf("breakdown = %v", bd)
+	}
+	if err := l.Reconcile(); err != nil {
+		t.Errorf("Reconcile: %v", err)
+	}
+}
+
+func TestLedgerReconcileCatchesDrift(t *testing.T) {
+	l := NewLedger()
+	l.ChargeTenant(CatCPU, "j", "alice", Millicents(10))
+	l.byCategory[CatCPU] += Microcent // cook the books by one microcent
+	if err := l.Reconcile(); err == nil {
+		t.Error("Reconcile missed a one-microcent drift")
+	}
+	l.byCategory[CatCPU] -= Microcent
+	if err := l.Reconcile(); err != nil {
+		t.Errorf("Reconcile after repair: %v", err)
+	}
+	l.total += Microcent
+	if err := l.Reconcile(); err == nil {
+		t.Error("Reconcile missed a total drift")
+	}
+}
+
 func TestLedgerPanicsOnNegative(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -31,6 +31,16 @@ type ServiceRow struct {
 	// DrainSec is when the last job finished.
 	DrainSec float64
 	Cost     cost.Money
+	// Tenants is the chargeback breakdown: each tenant's exact share of
+	// Cost, in the ledger's canonical (sorted) tenant order. The sum is
+	// verified against Cost when the row is built.
+	Tenants []TenantSpend
+}
+
+// TenantSpend is one tenant's line in a row's chargeback breakdown.
+type TenantSpend struct {
+	Tenant string
+	Cost   cost.Money
 }
 
 // ServiceResult compares schedulers under the streaming regime.
@@ -47,6 +57,13 @@ func (r *ServiceResult) Render() string {
 		fmt.Fprintf(&b, "%-12s %6d %10d %10.1f %12.1f %10.0f %12s\n",
 			row.Scheduler, row.Jobs, row.Cancelled, row.MeanQueueWaitSec,
 			row.MeanLaunchSec, row.DrainSec, row.Cost)
+		if len(row.Tenants) > 0 {
+			fmt.Fprintf(&b, "%-12s   chargeback:", "")
+			for _, ts := range row.Tenants {
+				fmt.Fprintf(&b, " %s=%s", ts.Tenant, ts.Cost)
+			}
+			fmt.Fprintln(&b)
+		}
 	}
 	return b.String()
 }
@@ -158,6 +175,20 @@ func Service(cfg Config) (*ServiceResult, error) {
 		}
 		r := s.CurrentResult()
 		row.Cost = r.Cost.Total()
+		// Chargeback lines, with the conservation invariant enforced at
+		// the harness level: tenant shares must sum to the run total.
+		var tenantSum cost.Money
+		for _, tn := range r.Cost.Tenants() {
+			spend := r.Cost.TenantTotal(tn)
+			tenantSum += spend
+			if spend > 0 { // zero-dollar lines (e.g. the _system bucket) add noise
+				row.Tenants = append(row.Tenants, TenantSpend{Tenant: tn, Cost: spend})
+			}
+		}
+		if tenantSum != row.Cost {
+			return nil, fmt.Errorf("service %s: tenant chargebacks sum to %s, ledger total is %s",
+				m.label, tenantSum, row.Cost)
+		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil

@@ -29,6 +29,22 @@ func TestServiceStreamsAndCancels(t *testing.T) {
 			t.Errorf("lips: epoch batching should delay launches, got mean %g",
 				row.MeanLaunchSec)
 		}
+		// The chargeback breakdown covers the three submitting tenants
+		// and conserves the row total (Service errors on drift, but pin
+		// the shape here too).
+		if len(row.Tenants) != 3 {
+			t.Errorf("%s: chargeback lines = %+v, want the 3 tenants", row.Scheduler, row.Tenants)
+		}
+		var sum int64
+		for _, ts := range row.Tenants {
+			if ts.Cost <= 0 {
+				t.Errorf("%s: tenant %s charged %v", row.Scheduler, ts.Tenant, ts.Cost)
+			}
+			sum += int64(ts.Cost)
+		}
+		if sum != int64(row.Cost) {
+			t.Errorf("%s: chargebacks sum to %d, total %d", row.Scheduler, sum, int64(row.Cost))
+		}
 	}
 	// Identical seeds reproduce the table exactly.
 	r2, err := Service(Config{Quick: true, Seed: 1})

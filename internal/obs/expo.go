@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // WriteProm renders every family in the Prometheus text exposition
@@ -75,36 +76,48 @@ func writeChild(w io.Writer, f *family, labelValue string, m interface{}) error 
 	return nil
 }
 
+// labelPairs renders a family's `key="value"` pairs in registration
+// order from a child's labelSep-joined key.
+func labelPairs(f *family, labelValue string) []string {
+	if len(f.labelKeys) == 0 {
+		return nil
+	}
+	vals := strings.SplitN(labelValue, labelSep, len(f.labelKeys))
+	pairs := make([]string, len(f.labelKeys))
+	for i, k := range f.labelKeys {
+		v := ""
+		if i < len(vals) {
+			v = vals[i]
+		}
+		pairs[i] = k + `="` + escapeLabel.Replace(v) + `"`
+	}
+	return pairs
+}
+
 // suffixedName builds `name_sum{label="value"}`-style series names for a
-// histogram's _sum and _count trailers, carrying the family label (when
+// histogram's _sum and _count trailers, carrying the family labels (when
 // any) but no le.
 func suffixedName(f *family, labelValue, suffix string) string {
-	if f.labelKey == "" {
+	pairs := labelPairs(f, labelValue)
+	if len(pairs) == 0 {
 		return f.name + suffix
 	}
-	return f.name + suffix + "{" + f.labelKey + `="` + escapeLabel.Replace(labelValue) + `"}`
+	return f.name + suffix + "{" + strings.Join(pairs, ",") + "}"
 }
 
 // seriesName builds `name{label="value"}`, `name_bucket{le="..."}` and
 // the combined forms for labeled histograms.
 func seriesName(f *family, labelValue, le string) string {
 	name := f.name
-	var labels []string
+	labels := labelPairs(f, labelValue)
 	if le != "" {
 		name += "_bucket"
 		labels = append(labels, `le="`+le+`"`)
 	}
-	if f.labelKey != "" {
-		labels = append([]string{f.labelKey + `="` + escapeLabel.Replace(labelValue) + `"`}, labels...)
-	}
 	if len(labels) == 0 {
 		return name
 	}
-	out := name + "{" + labels[0]
-	for _, l := range labels[1:] {
-		out += "," + l
-	}
-	return out + "}"
+	return name + "{" + strings.Join(labels, ",") + "}"
 }
 
 // formatVal renders a sample value: integers without an exponent, +Inf

@@ -15,6 +15,7 @@ const (
 	MSimLiveSlots       = "lips_sim_live_slots"
 	MSimBusySlotSeconds = "lips_sim_busy_slot_seconds"
 	MSimCost            = "lips_sim_cost_microcents_total"
+	MCost               = "lips_cost_microcents_total"
 	MSimEnqueued        = "lips_sim_tasks_enqueued_total"
 	MSimLaunched        = "lips_sim_tasks_launched_total"
 	MSimDone            = "lips_sim_tasks_done_total"
@@ -71,6 +72,13 @@ const (
 	MServeSheds        = "lips_serve_shed_total"
 	MServeSpans        = "lips_serve_spans_total"
 	MServeSolveShare   = "lips_serve_epoch_solve_share"
+
+	// SLO burn-rate engine (PR 10): per-tenant burn-rate gauges over the
+	// short and long rolling windows, alert state transitions, and the
+	// count of currently firing alerts.
+	MServeBurnRate         = "lips_serve_slo_burn_rate"
+	MServeAlertTransitions = "lips_serve_slo_alert_transitions_total"
+	MServeAlertsFiring     = "lips_serve_slo_alerts_firing"
 )
 
 // Label vocabularies, pre-registered so expositions show every series
@@ -91,6 +99,9 @@ var (
 	FaultKinds = []string{"node-down", "node-up", "store-loss", "slowdown"}
 	// AdmissionDecisions label lips_serve_admission_total.
 	AdmissionDecisions = []string{"accepted", "rejected", "draining"}
+	// AlertStates label lips_serve_slo_alert_transitions_total: the
+	// burn-rate state machine's pending → firing → resolved lifecycle.
+	AlertStates = []string{AlertPending, AlertFiring, AlertResolved}
 )
 
 // SimMetrics bundles the simulator's metric handles. Counters are exact
@@ -102,6 +113,7 @@ type SimMetrics struct {
 	Tasks                                 *GaugeVec // by state
 	Enqueued, Done, MovedMB               *Counter
 	Cost                                  map[string]*Counter // by category
+	TenantCost                            *CounterVec2        // by tenant, category
 	Launched                              map[string]*Counter // by locality
 	Killed, Moves, Faults                 *CounterVec         // by reason / reason / kind
 }
@@ -132,6 +144,8 @@ func registerSim(r *Registry) *SimMetrics {
 	for _, c := range CostCategories {
 		m.Cost[c] = costVec.With(c)
 	}
+	m.TenantCost = r.CounterVec2(MCost, "Chargeback ledger in exact microcents, by owning tenant and category.",
+		"tenant", "category")
 	launchVec := r.CounterVec(MSimLaunched, "Attempt launches, by input locality.", "locality")
 	for _, l := range Localities {
 		m.Launched[l] = launchVec.With(l)
@@ -215,6 +229,10 @@ type ServeMetrics struct {
 	Sheds                              *CounterVec   // by typed reason
 	Spans                              *CounterVec   // by outcome
 	SolveShare                         *Histogram    // step wall / epoch wall budget
+
+	BurnRate         *GaugeVec2  // by tenant, window (short/long)
+	AlertTransitions *CounterVec // by state entered
+	AlertsFiring     *Gauge
 }
 
 // RegisterServe registers (or fetches) the daemon families. Calling it
@@ -260,6 +278,13 @@ func registerServe(r *Registry) *ServeMetrics {
 	}
 	for _, o := range SpanOutcomes {
 		m.Spans.With(o)
+	}
+	m.BurnRate = r.GaugeVec2(MServeBurnRate, "SLO error-budget burn rate at the last evaluation, by tenant and window.",
+		"tenant", "window")
+	m.AlertTransitions = r.CounterVec(MServeAlertTransitions, "SLO alert state-machine transitions, by state entered.", "state")
+	m.AlertsFiring = r.Gauge(MServeAlertsFiring, "SLO alerts currently in the firing state.")
+	for _, s := range AlertStates {
+		m.AlertTransitions.With(s)
 	}
 	return m
 }

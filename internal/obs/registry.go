@@ -1,5 +1,5 @@
 // Package obs is the live-observability layer: a concurrency-safe metrics
-// registry (counters, gauges, fixed-bucket histograms, single-label
+// registry (counters, gauges, fixed-bucket histograms, one- and two-label
 // families) with a Prometheus text-format exposition writer, an
 // embeddable HTTP server (/metrics, /healthz, /progress, /debug/pprof/*)
 // and a trace-replay sink that rebuilds the same metric families from an
@@ -170,18 +170,25 @@ func (t metricType) String() string {
 	return "untyped"
 }
 
-// family is one named metric with zero or one label dimension.
+// labelSep joins multi-label child keys. 0xff never appears in valid
+// UTF-8 label values, and sorts after every printable byte, so joined
+// keys keep the (first label, second label) lexicographic order the
+// exposition writer relies on.
+const labelSep = "\xff"
+
+// family is one named metric with zero, one, or two label dimensions.
 type family struct {
 	name, help string
 	typ        metricType
-	labelKey   string // "" for a plain (single-child) metric
+	labelKeys  []string // nil for a plain (single-child) metric
 	buckets    []float64
 
 	mu   sync.Mutex
-	kids map[string]interface{} // label value ("" when plain) → metric
+	kids map[string]interface{} // labelSep-joined label values ("" when plain) → metric
 }
 
-// child returns (creating on first use) the metric for one label value.
+// child returns (creating on first use) the metric for one label value
+// (or a labelSep-joined tuple for multi-label families).
 func (f *family) child(labelValue string) interface{} {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -209,6 +216,25 @@ type CounterVec struct{ f *family }
 // Cache the result on hot paths: With takes the family lock.
 func (v *CounterVec) With(labelValue string) *Counter {
 	return v.f.child(labelValue).(*Counter)
+}
+
+// CounterVec2 is a counter family keyed by two labels — e.g. the
+// per-tenant, per-category chargeback counters.
+type CounterVec2 struct{ f *family }
+
+// With returns the counter for one (v1, v2) label pair, creating it on
+// first use. Cache the result on hot paths: With takes the family lock.
+func (v *CounterVec2) With(v1, v2 string) *Counter {
+	return v.f.child(v1 + labelSep + v2).(*Counter)
+}
+
+// GaugeVec2 is a gauge family keyed by two labels.
+type GaugeVec2 struct{ f *family }
+
+// With returns the gauge for one (v1, v2) label pair, creating it on
+// first use.
+func (v *GaugeVec2) With(v1, v2 string) *Gauge {
+	return v.f.child(v1 + labelSep + v2).(*Gauge)
 }
 
 // GaugeVec is a gauge family keyed by one label.
@@ -268,7 +294,7 @@ func (r *Registry) bundle(key string, build func() any) any {
 
 // family registers (or fetches) a family, panicking on a name reuse with
 // a different shape — a programmer error, not a runtime condition.
-func (r *Registry) family(name, help string, typ metricType, labelKey string, buckets []float64) *family {
+func (r *Registry) family(name, help string, typ metricType, labelKeys []string, buckets []float64) *family {
 	r.mu.RLock()
 	f := r.fams[name]
 	r.mu.RUnlock()
@@ -277,38 +303,48 @@ func (r *Registry) family(name, help string, typ metricType, labelKey string, bu
 		f = r.fams[name]
 		if f == nil {
 			f = &family{
-				name: name, help: help, typ: typ, labelKey: labelKey,
+				name: name, help: help, typ: typ, labelKeys: labelKeys,
 				buckets: buckets, kids: make(map[string]interface{}),
 			}
 			r.fams[name] = f
 		}
 		r.mu.Unlock()
 	}
-	if f.typ != typ || f.labelKey != labelKey {
-		panic(fmt.Sprintf("obs: %s re-registered as %v label=%q (was %v label=%q)",
-			name, typ, labelKey, f.typ, f.labelKey))
+	if f.typ != typ || strings.Join(f.labelKeys, ",") != strings.Join(labelKeys, ",") {
+		panic(fmt.Sprintf("obs: %s re-registered as %v labels=%v (was %v labels=%v)",
+			name, typ, labelKeys, f.typ, f.labelKeys))
 	}
 	return f
 }
 
 // Counter registers (or fetches) a plain counter.
 func (r *Registry) Counter(name, help string) *Counter {
-	return r.family(name, help, counterType, "", nil).child("").(*Counter)
+	return r.family(name, help, counterType, nil, nil).child("").(*Counter)
 }
 
 // CounterVec registers (or fetches) a one-label counter family.
 func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {
-	return &CounterVec{r.family(name, help, counterType, labelKey, nil)}
+	return &CounterVec{r.family(name, help, counterType, []string{labelKey}, nil)}
+}
+
+// CounterVec2 registers (or fetches) a two-label counter family.
+func (r *Registry) CounterVec2(name, help, key1, key2 string) *CounterVec2 {
+	return &CounterVec2{r.family(name, help, counterType, []string{key1, key2}, nil)}
 }
 
 // Gauge registers (or fetches) a plain gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	return r.family(name, help, gaugeType, "", nil).child("").(*Gauge)
+	return r.family(name, help, gaugeType, nil, nil).child("").(*Gauge)
 }
 
 // GaugeVec registers (or fetches) a one-label gauge family.
 func (r *Registry) GaugeVec(name, help, labelKey string) *GaugeVec {
-	return &GaugeVec{r.family(name, help, gaugeType, labelKey, nil)}
+	return &GaugeVec{r.family(name, help, gaugeType, []string{labelKey}, nil)}
+}
+
+// GaugeVec2 registers (or fetches) a two-label gauge family.
+func (r *Registry) GaugeVec2(name, help, key1, key2 string) *GaugeVec2 {
+	return &GaugeVec2{r.family(name, help, gaugeType, []string{key1, key2}, nil)}
 }
 
 // Histogram registers (or fetches) a plain histogram with the given
@@ -317,7 +353,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	if !sort.Float64sAreSorted(buckets) {
 		panic(fmt.Sprintf("obs: %s: buckets not ascending", name))
 	}
-	return r.family(name, help, histogramType, "", buckets).child("").(*Histogram)
+	return r.family(name, help, histogramType, nil, buckets).child("").(*Histogram)
 }
 
 // HistogramVec registers (or fetches) a one-label histogram family with
@@ -326,18 +362,16 @@ func (r *Registry) HistogramVec(name, help, labelKey string, buckets []float64) 
 	if !sort.Float64sAreSorted(buckets) {
 		panic(fmt.Sprintf("obs: %s: buckets not ascending", name))
 	}
-	return &HistogramVec{r.family(name, help, histogramType, labelKey, buckets)}
+	return &HistogramVec{r.family(name, help, histogramType, []string{labelKey}, buckets)}
 }
 
 // Value reads one metric's current value: counters and gauges return
 // their value, histograms their observation count. labelValue selects the
-// child of a labeled family (omit for plain metrics). The second result
-// is false when the family or child does not exist.
+// child of a labeled family — pass one value per label key, in
+// registration order (omit for plain metrics). The second result is
+// false when the family or child does not exist.
 func (r *Registry) Value(name string, labelValue ...string) (float64, bool) {
-	lv := ""
-	if len(labelValue) > 0 {
-		lv = labelValue[0]
-	}
+	lv := strings.Join(labelValue, labelSep)
 	r.mu.RLock()
 	f := r.fams[name]
 	r.mu.RUnlock()

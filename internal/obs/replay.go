@@ -19,6 +19,9 @@ type TraceSink struct {
 	// lastCost is the previous sample's cumulative microcents per
 	// category, the baseline for the next delta; reset by a run header.
 	lastCost map[string]float64
+	// lastTenant is the same baseline for the per-tenant chargeback
+	// counters, keyed by tenant then category.
+	lastTenant map[string]map[string]float64
 }
 
 // NewTraceSink returns a sink feeding reg. The sim and sched families
@@ -26,9 +29,10 @@ type TraceSink struct {
 // all-zero exposition.
 func NewTraceSink(reg *Registry) *TraceSink {
 	return &TraceSink{
-		sim:      RegisterSim(reg),
-		sched:    RegisterSched(reg),
-		lastCost: make(map[string]float64),
+		sim:        RegisterSim(reg),
+		sched:      RegisterSched(reg),
+		lastCost:   make(map[string]float64),
+		lastTenant: make(map[string]map[string]float64),
 	}
 }
 
@@ -40,6 +44,7 @@ func (t *TraceSink) Emit(e trace.Event) {
 	switch e.Kind {
 	case trace.KindRun:
 		t.lastCost = make(map[string]float64)
+		t.lastTenant = make(map[string]map[string]float64)
 	case trace.KindEnqueue:
 		t.sim.Enqueued.Inc()
 	case trace.KindLaunch:
@@ -88,6 +93,22 @@ func (t *TraceSink) Emit(e trace.Event) {
 			if d := float64(uc) - t.lastCost[cat]; d > 0 {
 				t.sim.Cost[cat].Add(d)
 				t.lastCost[cat] = float64(uc)
+			}
+		}
+		for _, tc := range s.Tenants {
+			base := t.lastTenant[tc.Tenant]
+			if base == nil {
+				base = make(map[string]float64)
+				t.lastTenant[tc.Tenant] = base
+			}
+			for cat, uc := range map[string]int64{
+				"cpu": tc.CPUUC, "transfer": tc.TransferUC, "placement": tc.PlacementUC,
+				"speculative": tc.SpeculativeUC, "fault": tc.FaultUC,
+			} {
+				if d := float64(uc) - base[cat]; d > 0 {
+					t.sim.TenantCost.With(tc.Tenant, cat).Add(d)
+					base[cat] = float64(uc)
+				}
 			}
 		}
 	}

@@ -36,13 +36,17 @@ const (
 	// ReasonNoCapacity: the job is admitted but the epoch LP parked part
 	// of its work on the fake overflow node (no capacity this epoch).
 	ReasonNoCapacity = "no-capacity"
+	// ReasonBudgetExhausted: the tenant's configured dollar budget is
+	// spent, so its queued jobs sit out the admission ranking until the
+	// operator raises the budget.
+	ReasonBudgetExhausted = "budget-exhausted"
 )
 
 // DeferralReasons is the closed vocabulary of Span.Reason and epoch
 // deferral reasons, for pre-registration and validation.
 var DeferralReasons = []string{
 	ReasonQueueCap, ReasonSolverBackpressure, ReasonDraining,
-	ReasonFairShare, ReasonNoCapacity,
+	ReasonFairShare, ReasonNoCapacity, ReasonBudgetExhausted,
 }
 
 // SpanOutcomes is the closed vocabulary of Span.Outcome.

@@ -115,6 +115,7 @@ func TestDeferralReasonsClosed(t *testing.T) {
 	want := map[string]bool{
 		ReasonQueueCap: true, ReasonSolverBackpressure: true,
 		ReasonDraining: true, ReasonFairShare: true, ReasonNoCapacity: true,
+		ReasonBudgetExhausted: true,
 	}
 	if len(DeferralReasons) != len(want) {
 		t.Fatalf("DeferralReasons %v does not match the documented taxonomy", DeferralReasons)

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"lips/internal/cluster"
+	"lips/internal/cost"
 	"lips/internal/hdfs"
 	"lips/internal/obs"
 	"lips/internal/sched"
@@ -67,6 +68,23 @@ type Config struct {
 	// SpanRing bounds the completed-span ring behind /debug/spans.
 	// Default 1024.
 	SpanRing int
+	// SLOE2ESec bounds submission→terminal latency per tenant in
+	// simulated seconds; 0 disables the e2e objective.
+	SLOE2ESec float64
+	// SLOQueueWaitSec bounds submission→admission latency per tenant in
+	// simulated seconds; 0 disables the queue-wait objective.
+	SLOQueueWaitSec float64
+	// SLOBudget is the allowed violation fraction for both objectives.
+	// Default 0.05.
+	SLOBudget float64
+	// SLOShortSec and SLOLongSec are the burn-rate windows in simulated
+	// seconds. Defaults 300 and 6× the short window.
+	SLOShortSec, SLOLongSec float64
+	// Budgets caps per-tenant spend in dollars. Once a tenant's ledger
+	// charges reach its cap, its queued jobs sit out admission with the
+	// budget-exhausted deferral reason until the operator raises the cap.
+	// Missing or non-positive entries mean unlimited.
+	Budgets map[string]float64
 }
 
 func (c Config) withDefaults() Config {
@@ -170,21 +188,32 @@ type Daemon struct {
 	// shed). It has its own lock and never takes d.mu.
 	spans *obs.SpanRing
 
+	// burn is the SLO burn-rate engine (own lock, never takes d.mu);
+	// disabled when no objective is configured. budgets holds the
+	// per-tenant dollar caps converted to exact microcents, immutable
+	// after New.
+	burn    *obs.BurnEngine
+	budgets map[string]cost.Money
+
 	// mu guards the admission state: records, queue, cancels, active set,
 	// tenant bookkeeping and the draining flag. Never held during solver
 	// work.
-	mu         sync.Mutex
-	records    []*jobRecord
-	queue      []int // record IDs awaiting admission, submission order
-	cancels    []cancelReq
-	active     []int // record IDs admitted and not yet finished
-	tenants    map[string]bool
-	tenantCPU  map[string]float64 // ECU-seconds per tenant, last epoch's copy
-	draining   bool
-	epochs     int64
-	loopErr    error
-	decisions  *decisionRing  // /debug/epochs ring
-	shedCounts map[string]int // 429/503 sheds since the last recorded epoch
+	mu        sync.Mutex
+	records   []*jobRecord
+	queue     []int // record IDs awaiting admission, submission order
+	cancels   []cancelReq
+	active    []int // record IDs admitted and not yet finished
+	tenants   map[string]bool
+	tenantCPU map[string]float64 // ECU-seconds per tenant, last epoch's copy
+	// tenantSpend is the chargeback ledger's tenant×category view, copied
+	// from the simulator once per epoch (so /tenants and the budget gate
+	// never touch simMu and lag by at most one epoch).
+	tenantSpend map[string]map[cost.Category]cost.Money
+	draining    bool
+	epochs      int64
+	loopErr     error
+	decisions   *decisionRing  // /debug/epochs ring
+	shedCounts  map[string]int // 429/503 sheds since the last recorded epoch
 
 	// simMu guards the simulator; sem is the solver pool (epoch work holds
 	// a token; the admission path only inspects token availability).
@@ -215,20 +244,38 @@ func New(c *cluster.Cluster, sch sim.Scheduler, reg *obs.Registry, cfg Config) (
 	if err := s.Start(); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
+	var slos []obs.SLO
+	if cfg.SLOE2ESec > 0 {
+		slos = append(slos, obs.SLO{Kind: obs.SLOE2E, ObjectiveSec: cfg.SLOE2ESec,
+			Budget: cfg.SLOBudget, ShortSec: cfg.SLOShortSec, LongSec: cfg.SLOLongSec})
+	}
+	if cfg.SLOQueueWaitSec > 0 {
+		slos = append(slos, obs.SLO{Kind: obs.SLOQueueWait, ObjectiveSec: cfg.SLOQueueWaitSec,
+			Budget: cfg.SLOBudget, ShortSec: cfg.SLOShortSec, LongSec: cfg.SLOLongSec})
+	}
+	budgets := make(map[string]cost.Money, len(cfg.Budgets))
+	for tenant, usd := range cfg.Budgets {
+		if usd > 0 {
+			budgets[tenant] = cost.Dollars(usd)
+		}
+	}
 	d := &Daemon{
-		cfg:       cfg,
-		reg:       reg,
-		sm:        obs.RegisterServe(reg),
-		s:         s,
-		sch:       sch,
-		log:       cfg.Logger,
-		spans:     obs.NewSpanRing(cfg.SpanRing),
-		tenants:   make(map[string]bool),
-		tenantCPU: make(map[string]float64),
-		decisions: newDecisionRing(cfg.EpochRing),
-		sem:       make(chan struct{}, cfg.SolverPool),
-		stop:      make(chan struct{}),
-		doneCh:    make(chan struct{}),
+		cfg:         cfg,
+		reg:         reg,
+		sm:          obs.RegisterServe(reg),
+		s:           s,
+		sch:         sch,
+		log:         cfg.Logger,
+		spans:       obs.NewSpanRing(cfg.SpanRing),
+		burn:        obs.NewBurnEngine(slos...),
+		budgets:     budgets,
+		tenants:     make(map[string]bool),
+		tenantCPU:   make(map[string]float64),
+		tenantSpend: make(map[string]map[cost.Category]cost.Money),
+		decisions:   newDecisionRing(cfg.EpochRing),
+		sem:         make(chan struct{}, cfg.SolverPool),
+		stop:        make(chan struct{}),
+		doneCh:      make(chan struct{}),
 	}
 	return d, nil
 }
@@ -357,49 +404,80 @@ func (d *Daemon) loop() {
 // is fine — admission control needs a load signal, not a linearizable one.
 func (d *Daemon) solverIdleLocked() bool { return len(d.sem) < cap(d.sem) }
 
+// overBudgetLocked reports whether the tenant's ledger spend (as of the
+// last epoch's copy) has reached its configured dollar cap.
+func (d *Daemon) overBudgetLocked(tenant string) bool {
+	limit, ok := d.budgets[tenant]
+	if !ok {
+		return false
+	}
+	var spent cost.Money
+	for _, m := range d.tenantSpend[tenant] {
+		spent += m
+	}
+	return spent >= limit
+}
+
 // takeBatchLocked removes up to AdmitPerEpoch records from the queue in
 // tenant-fair order: tenants are served cheapest-first by accumulated
-// ECU-seconds over weight, FIFO within a tenant. The remainder keeps its
-// submission order.
-func (d *Daemon) takeBatchLocked() []*jobRecord {
+// ECU-seconds over weight, FIFO within a tenant. Records of tenants that
+// exhausted their dollar budget are passed over entirely (returned in
+// overBudget, keyed by record ID) and stay queued. The remainder keeps
+// its submission order.
+func (d *Daemon) takeBatchLocked() (batch []*jobRecord, overBudget map[int]bool) {
 	if len(d.queue) == 0 {
-		return nil
+		return nil, nil
 	}
-	n := d.cfg.AdmitPerEpoch
-	if n > len(d.queue) {
-		n = len(d.queue)
-	}
-	// Rank each queued record by its tenant's normalized usage, keeping
-	// submission order as the tiebreak (the sort must be stable for
-	// determinism under equal usage).
+	// Rank each eligible queued record by its tenant's normalized usage,
+	// keeping submission order as the tiebreak (the selection must be
+	// stable for determinism under equal usage).
 	type ranked struct {
 		pos     int
 		deficit float64
 	}
-	rank := make([]ranked, len(d.queue))
+	rank := make([]ranked, 0, len(d.queue))
+	blockedTenant := make(map[string]bool)
 	for i, id := range d.queue {
 		rec := d.records[id]
+		if len(d.budgets) > 0 {
+			over, seen := blockedTenant[rec.tenant]
+			if !seen {
+				over = d.overBudgetLocked(rec.tenant)
+				blockedTenant[rec.tenant] = over
+			}
+			if over {
+				if overBudget == nil {
+					overBudget = make(map[int]bool)
+				}
+				overBudget[id] = true
+				continue
+			}
+		}
 		w := 1.0
 		if pw, ok := d.cfg.Weights[rec.tenant]; ok && pw > 0 {
 			w = pw
 		}
-		rank[i] = ranked{pos: i, deficit: d.tenantCPU[rec.tenant] / w}
+		rank = append(rank, ranked{pos: i, deficit: d.tenantCPU[rec.tenant] / w})
+	}
+	n := d.cfg.AdmitPerEpoch
+	if n > len(rank) {
+		n = len(rank)
 	}
 	// Insertion-style selection of the n smallest keeps the code free of
 	// sort.Slice closures over d; the queue is bounded by QueueCap.
 	selected := make([]bool, len(d.queue))
-	batch := make([]*jobRecord, 0, n)
+	batch = make([]*jobRecord, 0, n)
 	for len(batch) < n {
 		best := -1
 		for i := range rank {
-			if selected[i] {
+			if selected[rank[i].pos] {
 				continue
 			}
 			if best == -1 || rank[i].deficit < rank[best].deficit {
 				best = i
 			}
 		}
-		selected[best] = true
+		selected[rank[best].pos] = true
 		batch = append(batch, d.records[d.queue[rank[best].pos]])
 	}
 	rest := d.queue[:0]
@@ -409,7 +487,7 @@ func (d *Daemon) takeBatchLocked() []*jobRecord {
 		}
 	}
 	d.queue = rest
-	return batch
+	return batch, overBudget
 }
 
 // epoch runs one serve epoch: cancellations, tenant-fair admission, one
@@ -422,16 +500,21 @@ func (d *Daemon) epoch() error {
 	d.mu.Lock()
 	cancels := d.cancels
 	d.cancels = nil
-	batch := d.takeBatchLocked()
-	// Queue leftovers lost this epoch's fair-share ranking to the
-	// AdmitPerEpoch bound — the first class of typed deferrals.
+	batch, overBudget := d.takeBatchLocked()
+	// Queue leftovers either sat out on an exhausted tenant budget or
+	// lost this epoch's fair-share ranking to the AdmitPerEpoch bound —
+	// the queue-side classes of typed deferrals.
 	var deferred []Deferral
 	for _, id := range d.queue {
 		if len(deferred) == maxDecisionRefs {
 			break
 		}
 		rec := d.records[id]
-		deferred = append(deferred, Deferral{JobRef{rec.id, rec.tenant}, obs.ReasonFairShare})
+		reason := obs.ReasonFairShare
+		if overBudget[id] {
+			reason = obs.ReasonBudgetExhausted
+		}
+		deferred = append(deferred, Deferral{JobRef{rec.id, rec.tenant}, reason})
 	}
 	deferredTotal := len(d.queue)
 	shed := d.shedCounts
@@ -520,6 +603,10 @@ func (d *Daemon) epoch() error {
 	for u, v := range d.s.UserCPU {
 		cpu[u] = v
 	}
+	spend := make(map[string]map[cost.Category]cost.Money)
+	for _, tn := range d.s.Ledger.Tenants() {
+		spend[tn] = d.s.Ledger.TenantBreakdown(tn)
+	}
 	var schedStats sched.EpochStats
 	var haveSched bool
 	if er, ok := d.sch.(sched.EpochReporter); ok {
@@ -553,6 +640,7 @@ func (d *Daemon) epoch() error {
 		a.rec.admittedSim = now
 		a.rec.admittedEpoch = epochNum
 		d.sm.QueueWait.With(a.rec.tenant).Observe(now - a.rec.submittedSim)
+		d.burn.Observe(a.rec.tenant, obs.SLOQueueWait, now, now-a.rec.submittedSim)
 		admittedTotal++
 		if len(admittedRefs) < maxDecisionRefs {
 			admittedRefs = append(admittedRefs, JobRef{a.rec.id, a.rec.tenant})
@@ -590,6 +678,7 @@ func (d *Daemon) epoch() error {
 			newlyCancelled++
 			completed = append(completed, d.spanLocked(rec))
 			d.sm.TenantE2E.With(rec.tenant).Observe(p.doneAt - rec.submittedSim)
+			d.burn.Observe(rec.tenant, obs.SLOE2E, p.doneAt, p.doneAt-rec.submittedSim)
 		case rec.state == StateCancelling:
 			// A cancel is in flight; don't flap the visible state back to
 			// running while the next epoch applies it.
@@ -599,6 +688,7 @@ func (d *Daemon) epoch() error {
 			newlyDone++
 			completed = append(completed, d.spanLocked(rec))
 			d.sm.TenantE2E.With(rec.tenant).Observe(p.doneAt - rec.submittedSim)
+			d.burn.Observe(rec.tenant, obs.SLOE2E, p.doneAt, p.doneAt-rec.submittedSim)
 		case rec.launched:
 			rec.state = StateRunning
 		default:
@@ -622,6 +712,7 @@ func (d *Daemon) epoch() error {
 	}
 	d.active = stillActive
 	d.tenantCPU = cpu
+	d.tenantSpend = spend
 	d.epochs++
 	queueDepth := len(d.queue)
 	tenantCount := len(d.tenants)
@@ -663,6 +754,40 @@ func (d *Daemon) epoch() error {
 		d.sm.LaunchSeconds.Observe(l)
 	}
 	d.sm.SolveShare.Observe(stepWall.Seconds() / d.cfg.EpochWallInterval.Seconds())
+	if d.burn.Enabled() {
+		for _, ev := range d.burn.Evaluate(simNow) {
+			d.sm.AlertTransitions.With(ev.State).Inc()
+			attrs := []any{
+				obs.LogTenant, ev.Tenant, "slo", ev.SLO, "state", ev.State,
+				"objective_sec", ev.ObjectiveSec,
+				"burn_short", ev.BurnShort, "burn_long", ev.BurnLong,
+				"sim_sec", simNow,
+			}
+			if ev.State == obs.AlertFiring {
+				d.log.Warn("slo alert firing", attrs...)
+			} else {
+				d.log.Info("slo alert "+ev.State, attrs...)
+			}
+		}
+		// The gauge holds each tenant's worst burn across configured
+		// objectives — the page-worthiness signal, not the per-SLO detail
+		// (that lives on /alerts).
+		worstShort := make(map[string]float64)
+		worstLong := make(map[string]float64)
+		for _, a := range d.burn.BurnRates() {
+			if a.BurnShort > worstShort[a.Tenant] || worstShort[a.Tenant] == 0 {
+				worstShort[a.Tenant] = a.BurnShort
+			}
+			if a.BurnLong > worstLong[a.Tenant] || worstLong[a.Tenant] == 0 {
+				worstLong[a.Tenant] = a.BurnLong
+			}
+		}
+		for tenant, b := range worstShort {
+			d.sm.BurnRate.With(tenant, obs.WindowShort).Set(b)
+			d.sm.BurnRate.With(tenant, obs.WindowLong).Set(worstLong[tenant])
+		}
+		d.sm.AlertsFiring.Set(float64(d.burn.Firing()))
+	}
 	if stepWall > d.cfg.EpochWallInterval {
 		d.log.Warn("slow epoch",
 			obs.LogEpoch, epochNum,

@@ -182,7 +182,12 @@ func TestBackpressureExactQueueCap(t *testing.T) {
 // the epoch loop runs full tilt — the -race gate for the daemon's lock
 // discipline — then verifies the terminal bookkeeping is coherent.
 func TestRacedSubmitCancelStatus(t *testing.T) {
-	d, ts := newTestDaemon(t, Config{EpochSimSec: 60, QueueCap: 10000, AdmitPerEpoch: 16})
+	d, ts := newTestDaemon(t, Config{
+		EpochSimSec: 60, QueueCap: 10000, AdmitPerEpoch: 16,
+		// Exercise the burn engine and budget gate under the same race.
+		SLOE2ESec: 30, SLOQueueWaitSec: 30,
+		Budgets: map[string]float64{"tenant-0": 1000},
+	})
 	d.Start()
 
 	const workers, perWorker = 8, 25
@@ -211,6 +216,24 @@ func TestRacedSubmitCancelStatus(t *testing.T) {
 						t.Errorf("cancel: %d", resp.StatusCode)
 					}
 					cancelled[wk]++
+				}
+				// Race the chargeback and alerting reads against the loop.
+				switch rng.Intn(4) {
+				case 0:
+					var tr TenantsResponse
+					if code := getJSON(t, ts.URL+"/tenants", &tr); code != http.StatusOK {
+						t.Errorf("/tenants: %d", code)
+					}
+				case 1:
+					var ar AuditResponse
+					if code := getJSON(t, ts.URL+"/audit", &ar); code != http.StatusOK || !ar.OK {
+						t.Errorf("/audit: %d ok=%v err=%q", code, ar.OK, ar.Error)
+					}
+				case 2:
+					var al AlertsResponse
+					if code := getJSON(t, ts.URL+"/alerts", &al); code != http.StatusOK {
+						t.Errorf("/alerts: %d", code)
+					}
 				}
 			}
 		}(wk)

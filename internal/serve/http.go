@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
 	"lips/internal/cluster"
+	"lips/internal/cost"
 	"lips/internal/obs"
 	"lips/internal/workload"
 )
@@ -90,6 +92,83 @@ type Stats struct {
 	Draining   bool               `json:"draining"`
 }
 
+// TenantSummary is one row of GET /tenants: the tenant's chargeback
+// breakdown, unit economics and lifetime SLO attainment. Cost figures
+// come from the epoch loop's ledger copy, so they lag the simulator by
+// at most one epoch; microcent fields are exact, dollar fields are the
+// same numbers scaled for reading.
+type TenantSummary struct {
+	Tenant string `json:"tenant"`
+	// Jobs counts the tenant's submissions by lifecycle state (absent
+	// for the reserved unattributed tenant, which never submits).
+	Jobs   map[string]int `json:"jobs,omitempty"`
+	CPUSec float64        `json:"cpu_sec"` // accumulated ECU-seconds
+	// TotalUC is the tenant's exact chargeback in microcents; TotalUSD is
+	// the same number in dollars.
+	TotalUC    int64            `json:"total_uc"`
+	TotalUSD   float64          `json:"total_usd"`
+	Categories map[string]int64 `json:"categories_uc,omitempty"`
+	// USDPerDoneJob divides the chargeback over completed submissions
+	// (0 until the first completion).
+	USDPerDoneJob float64 `json:"usd_per_done_job,omitempty"`
+	// BudgetUSD and OverBudget surface the configured dollar cap; an
+	// over-budget tenant's queued jobs defer with budget-exhausted.
+	BudgetUSD  float64 `json:"budget_usd,omitempty"`
+	OverBudget bool    `json:"over_budget,omitempty"`
+	// Attainment is the lifetime good/total ratio per configured SLO.
+	Attainment []obs.Attainment `json:"slo_attainment,omitempty"`
+}
+
+// TenantsResponse is the GET /tenants view, sorted by tenant name.
+type TenantsResponse struct {
+	Tenants []TenantSummary `json:"tenants"`
+}
+
+// TenantDetail is the GET /tenants/{tenant} view: the summary plus the
+// tenant's current burn rates, its active alerts, and its most recent
+// submissions.
+type TenantDetail struct {
+	TenantSummary
+	// Burn is the tenant's burn rate per SLO as of the last evaluation.
+	Burn []obs.Alert `json:"burn,omitempty"`
+	// Alerts are the tenant's alerts: active first, then resolved history.
+	Alerts []obs.Alert `json:"alerts,omitempty"`
+	// Recent lists the tenant's latest submissions, newest first.
+	Recent []JobStatus `json:"recent_jobs,omitempty"`
+}
+
+// AlertsResponse is the GET /alerts view of the SLO burn-rate engine.
+type AlertsResponse struct {
+	Enabled bool        `json:"enabled"`
+	Firing  int         `json:"firing"`
+	Alerts  []obs.Alert `json:"alerts"`
+}
+
+// AuditResponse is the GET /audit reconciliation report: the ledger's
+// conservation invariants checked to the exact microcent against both
+// its own books and the live metric counters. The handler answers 500
+// when any check fails, so `curl -f /audit` is a smoke gate.
+type AuditResponse struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	SimSeconds float64 `json:"sim_seconds"`
+	TotalUC    int64   `json:"total_uc"`
+	TotalUSD   float64 `json:"total_usd"`
+	// UnattributedJobUC is money charged with no job key (background
+	// replication, plan moves); it still lands in a tenant bucket.
+	UnattributedJobUC int64            `json:"unattributed_job_uc"`
+	Categories        map[string]int64 `json:"categories_uc"`
+	Tenants           map[string]int64 `json:"tenants_uc"`
+	// TenantSumUC re-adds the tenant totals; MetricTenantUC and
+	// MetricCategoryUC sum the lips_cost_microcents_total and
+	// lips_sim_cost_microcents_total counter families. All three must
+	// equal TotalUC.
+	TenantSumUC      int64 `json:"tenant_sum_uc"`
+	MetricTenantUC   int64 `json:"metric_tenant_uc"`
+	MetricCategoryUC int64 `json:"metric_category_uc"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -111,14 +190,18 @@ func (d *Daemon) writeError(w http.ResponseWriter, code int, format string, args
 // observability endpoints (/metrics, /progress, /healthz, /readyz,
 // /debug/pprof). /readyz reports 503 once draining begins.
 //
-//	POST /submit           accept a job (202; 429 under load, 503 draining)
-//	GET  /status?id=N      one submission's state
-//	GET  /jobs/{id}/trace  one submission's span and phase breakdown
-//	POST /cancel?id=N      withdraw a submission
-//	GET  /stats            daemon-wide snapshot
-//	GET  /debug/epochs     recent epoch decisions (admitted/deferred/shed)
-//	GET  /debug/spans      recent completed spans
-//	POST /admin/churn      ?node=N&kind=down|up — inject node churn
+//	POST /submit            accept a job (202; 429 under load, 503 draining)
+//	GET  /status?id=N       one submission's state
+//	GET  /jobs/{id}/trace   one submission's span and phase breakdown
+//	POST /cancel?id=N       withdraw a submission
+//	GET  /stats             daemon-wide snapshot
+//	GET  /tenants           per-tenant chargeback, unit economics, SLO attainment
+//	GET  /tenants/{tenant}  one tenant: chargeback, burn rates, alerts, recent jobs
+//	GET  /alerts            SLO burn-rate alerts (active + resolved history)
+//	GET  /audit             exact-microcent ledger reconciliation (500 on drift)
+//	GET  /debug/epochs      recent epoch decisions (admitted/deferred/shed)
+//	GET  /debug/spans       recent completed spans
+//	POST /admin/churn       ?node=N&kind=down|up — inject node churn
 func (d *Daemon) Handler() http.Handler {
 	mux := obs.MuxReady(d.reg, d.Ready)
 	mux.HandleFunc("/submit", d.handleSubmit)
@@ -126,6 +209,10 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/trace", d.handleTrace)
 	mux.HandleFunc("/cancel", d.handleCancel)
 	mux.HandleFunc("/stats", d.handleStats)
+	mux.HandleFunc("GET /tenants", d.handleTenants)
+	mux.HandleFunc("GET /tenants/{tenant}", d.handleTenant)
+	mux.HandleFunc("GET /alerts", d.handleAlerts)
+	mux.HandleFunc("GET /audit", d.handleAudit)
 	mux.HandleFunc("GET /debug/epochs", d.handleEpochs)
 	mux.HandleFunc("GET /debug/spans", d.handleSpans)
 	mux.HandleFunc("/admin/churn", d.handleChurn)
@@ -268,12 +355,8 @@ func (d *Daemon) recordByQuery(w http.ResponseWriter, r *http.Request) (*jobReco
 	return d.records[id], true
 }
 
-func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
-	rec, ok := d.recordByQuery(w, r)
-	if !ok {
-		return
-	}
-	d.mu.Lock()
+// statusLocked assembles the /status view of one record. Callers hold d.mu.
+func (d *Daemon) statusLocked(rec *jobRecord) JobStatus {
 	st := JobStatus{
 		ID: rec.id, Tenant: rec.tenant, Name: rec.name,
 		Archetype: rec.spec.archetype.Name, State: rec.state,
@@ -285,8 +368,168 @@ func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if rec.simJob >= 0 {
 		st.AdmittedSim = rec.admittedSim
 	}
+	return st
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rec, ok := d.recordByQuery(w, r)
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	st := d.statusLocked(rec)
 	d.mu.Unlock()
 	writeJSON(w, http.StatusOK, st)
+}
+
+// tenantSummaryLocked assembles one tenant's chargeback row. Callers
+// hold d.mu; the burn engine carries its own lock.
+func (d *Daemon) tenantSummaryLocked(tenant string) TenantSummary {
+	ts := TenantSummary{Tenant: tenant, CPUSec: d.tenantCPU[tenant]}
+	var total cost.Money
+	if spend := d.tenantSpend[tenant]; len(spend) > 0 {
+		ts.Categories = make(map[string]int64, len(spend))
+		for c, m := range spend {
+			ts.Categories[string(c)] = int64(m)
+			total += m
+		}
+	}
+	ts.TotalUC, ts.TotalUSD = int64(total), total.ToDollars()
+	doneJobs := 0
+	for _, rec := range d.records {
+		if rec.tenant != tenant {
+			continue
+		}
+		if ts.Jobs == nil {
+			ts.Jobs = make(map[string]int)
+		}
+		ts.Jobs[rec.state]++
+		if rec.state == StateDone {
+			doneJobs++
+		}
+	}
+	if doneJobs > 0 {
+		ts.USDPerDoneJob = total.ToDollars() / float64(doneJobs)
+	}
+	if limit, ok := d.budgets[tenant]; ok {
+		ts.BudgetUSD = limit.ToDollars()
+		ts.OverBudget = d.overBudgetLocked(tenant)
+	}
+	ts.Attainment = d.burn.Attainments(tenant)
+	return ts
+}
+
+// handleTenants serves GET /tenants: every tenant that ever submitted or
+// was ever charged (including the reserved unattributed bucket), sorted.
+func (d *Daemon) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	names := make(map[string]bool, len(d.tenants)+len(d.tenantSpend))
+	for tn := range d.tenants {
+		names[tn] = true
+	}
+	for tn := range d.tenantSpend {
+		names[tn] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for tn := range names {
+		sorted = append(sorted, tn)
+	}
+	sort.Strings(sorted)
+	resp := TenantsResponse{Tenants: make([]TenantSummary, 0, len(sorted))}
+	for _, tn := range sorted {
+		resp.Tenants = append(resp.Tenants, d.tenantSummaryLocked(tn))
+	}
+	d.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxRecentJobs bounds the recent-submission list on /tenants/{tenant}.
+const maxRecentJobs = 32
+
+// handleTenant serves GET /tenants/{tenant}: the summary plus burn
+// rates, alerts and recent submissions for one tenant.
+func (d *Daemon) handleTenant(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	d.mu.Lock()
+	if !d.tenants[tenant] && d.tenantSpend[tenant] == nil {
+		d.mu.Unlock()
+		d.writeError(w, http.StatusNotFound, "no tenant %q", tenant)
+		return
+	}
+	det := TenantDetail{TenantSummary: d.tenantSummaryLocked(tenant)}
+	for i := len(d.records) - 1; i >= 0 && len(det.Recent) < maxRecentJobs; i-- {
+		if rec := d.records[i]; rec.tenant == tenant {
+			det.Recent = append(det.Recent, d.statusLocked(rec))
+		}
+	}
+	d.mu.Unlock()
+	for _, a := range d.burn.BurnRates() {
+		if a.Tenant == tenant {
+			det.Burn = append(det.Burn, a)
+		}
+	}
+	for _, a := range d.burn.Alerts() {
+		if a.Tenant == tenant {
+			det.Alerts = append(det.Alerts, a)
+		}
+	}
+	writeJSON(w, http.StatusOK, det)
+}
+
+// handleAlerts serves GET /alerts: active burn-rate alerts followed by
+// the retained resolved history.
+func (d *Daemon) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	resp := AlertsResponse{
+		Enabled: d.burn.Enabled(),
+		Firing:  d.burn.Firing(),
+		Alerts:  d.burn.Alerts(),
+	}
+	if resp.Alerts == nil {
+		resp.Alerts = []obs.Alert{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAudit serves GET /audit: the ledger's conservation invariants
+// checked to the exact microcent, cross-checked against the live metric
+// counters. The ledger snapshot and the metric reads happen under the
+// simulator lock so no epoch can slip between them.
+func (d *Daemon) handleAudit(w http.ResponseWriter, _ *http.Request) {
+	d.simMu.Lock()
+	l := d.s.Ledger
+	rerr := l.Reconcile()
+	resp := AuditResponse{
+		SimSeconds:        d.s.Now(),
+		TotalUC:           int64(l.Total()),
+		TotalUSD:          l.Total().ToDollars(),
+		UnattributedJobUC: int64(l.Unattributed()),
+		Categories:        make(map[string]int64, len(cost.Categories)),
+		Tenants:           make(map[string]int64),
+	}
+	for _, c := range cost.Categories {
+		resp.Categories[string(c)] = int64(l.Category(c))
+	}
+	for _, tn := range l.Tenants() {
+		uc := int64(l.TenantTotal(tn))
+		resp.Tenants[tn] = uc
+		resp.TenantSumUC += uc
+	}
+	resp.MetricTenantUC = int64(d.reg.Sum(obs.MCost))
+	resp.MetricCategoryUC = int64(d.reg.Sum(obs.MSimCost))
+	d.simMu.Unlock()
+	resp.OK = rerr == nil && resp.TenantSumUC == resp.TotalUC &&
+		resp.MetricTenantUC == resp.TotalUC && resp.MetricCategoryUC == resp.TotalUC
+	switch {
+	case rerr != nil:
+		resp.Error = rerr.Error()
+	case !resp.OK:
+		resp.Error = "ledger and metric totals disagree"
+	}
+	code := http.StatusOK
+	if !resp.OK {
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, resp)
 }
 
 // handleTrace serves GET /jobs/{id}/trace: the job's span assembled
@@ -373,6 +616,7 @@ func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 		d.spans.Add(cancelSpan)
 		d.sm.Spans.With(obs.OutcomeCancelled).Inc()
 		d.sm.TenantE2E.With(rec.tenant).Observe(cancelSpan.DoneSim - cancelSpan.SubmittedSim)
+		d.burn.Observe(rec.tenant, obs.SLOE2E, cancelSpan.DoneSim, cancelSpan.DoneSim-cancelSpan.SubmittedSim)
 	}
 	writeJSON(w, http.StatusOK, SubmitResponse{ID: rec.id, State: state})
 }

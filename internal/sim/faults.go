@@ -291,7 +291,7 @@ func (s *Sim) failAttempt(job, task int, freeSlot bool, reason string) {
 	var billed cost.Money
 	if burned > 0 {
 		billed = cost.CPUCost(ti.price, burned)
-		s.charge(cost.CatFault, s.W.Jobs[job].Name, billed)
+		s.charge(cost.CatFault, job, billed)
 	}
 	s.untrackPrimary(ti)
 	ti.gen++
@@ -323,7 +323,7 @@ func (s *Sim) loseStore(st cluster.StoreID) {
 		s.P.AddReplica(br.Object, br.Block, dst)
 		mb := s.P.Object(br.Object).BlockSizeMB(br.Block)
 		billed := s.C.SSPerGB(src, dst).MulFloat(mb / 1024)
-		s.charge(cost.CatFault, "", billed)
+		s.charge(cost.CatFault, -1, billed)
 		s.Faults.BlocksReplicated++
 		s.noteMove(int(br.Object), br.Block, src, dst, mb, 0, billed, "re-replicate")
 	}
@@ -339,7 +339,7 @@ func (s *Sim) loseStore(st cluster.StoreID) {
 		s.P.SetPrimary(br.Object, br.Block, dst)
 		mb := obj.BlockSizeMB(br.Block)
 		billed := s.C.SSPerGB(st, dst).MulFloat(mb / 1024)
-		s.charge(cost.CatFault, "", billed)
+		s.charge(cost.CatFault, -1, billed)
 		s.Faults.BlocksLost++
 		s.Faults.BlocksReplicated++
 		s.noteMove(int(br.Object), br.Block, st, dst, mb, 0, billed, "re-materialize")

@@ -20,11 +20,23 @@ type simMetrics struct {
 	m        *obs.SimMetrics
 	launched [4]*obs.Counter // by metrics.Locality
 	cost     map[cost.Category]*obs.Counter
-	states   [4]*obs.Gauge // by TaskState
+	tenant   map[tenantCatKey]*obs.Counter // chargeback children, cached per (tenant, category)
+	states   [4]*obs.Gauge                 // by TaskState
+}
+
+// tenantCatKey addresses one chargeback counter without allocating on
+// lookup (a composite struct key, not a joined string).
+type tenantCatKey struct {
+	tenant string
+	cat    cost.Category
 }
 
 func newSimMetrics(reg *obs.Registry) *simMetrics {
-	om := &simMetrics{m: obs.RegisterSim(reg), cost: make(map[cost.Category]*obs.Counter)}
+	om := &simMetrics{
+		m:      obs.RegisterSim(reg),
+		cost:   make(map[cost.Category]*obs.Counter),
+		tenant: make(map[tenantCatKey]*obs.Counter),
+	}
 	for loc := metrics.NodeLocal; loc <= metrics.NoInput; loc++ {
 		om.launched[loc] = om.m.Launched[loc.String()]
 	}
@@ -38,17 +50,44 @@ func newSimMetrics(reg *obs.Registry) *simMetrics {
 	return om
 }
 
+// tenantCounter resolves (caching) the chargeback counter for one
+// tenant×category pair. The vec lookup locks the family, so only the
+// first charge per pair pays it.
+func (om *simMetrics) tenantCounter(tenant string, cat cost.Category) *obs.Counter {
+	k := tenantCatKey{tenant, cat}
+	c := om.tenant[k]
+	if c == nil {
+		c = om.m.TenantCost.With(tenant, string(cat))
+		om.tenant[k] = c
+	}
+	return c
+}
+
 // Registry returns the run's live metrics registry, nil when metrics are
 // disabled — schedulers register their own families through it (e.g.
 // LiPS epoch histograms in Init).
 func (s *Sim) Registry() *obs.Registry { return s.opts.Metrics }
 
 // charge bills the ledger and mirrors the amount into the live
-// per-category cost counters, keeping the two in exact agreement.
-func (s *Sim) charge(cat cost.Category, job string, amount cost.Money) {
-	s.Ledger.Charge(cat, job, amount)
+// per-category and per-tenant cost counters, keeping all three in exact
+// agreement. It is the single chokepoint every dollar flows through:
+// job indexes a workload job (whose Name keys the per-job ledger and
+// whose User owns the chargeback), or is -1 for money no single job
+// caused — background replication, plan-driven block moves — which
+// lands on the reserved cost.UnattributedTenant.
+func (s *Sim) charge(cat cost.Category, job int, amount cost.Money) {
+	name, tenant := "", ""
+	if job >= 0 {
+		j := &s.W.Jobs[job]
+		name, tenant = j.Name, j.User
+	}
+	if tenant == "" {
+		tenant = cost.UnattributedTenant
+	}
+	s.Ledger.ChargeTenant(cat, name, tenant, amount)
 	if s.om != nil {
 		s.om.cost[cat].Add(float64(amount))
+		s.om.tenantCounter(tenant, cat).Add(float64(amount))
 	}
 }
 

@@ -20,10 +20,10 @@ func TestNoObsNoAllocs(t *testing.T) {
 	allocs := testing.AllocsPerRun(1000, func() {
 		s.noteEnqueue(0, 0, 0, 0, 0)
 		s.noteLaunch(0, 0, 1, 0, 0, metrics.NodeLocal, false)
-		s.noteDone(0, 0, 1, 0, 0, 1, 0, 1, 0, false)
+		s.noteDone(0, 0, 1, 0, 0, 1, 0, 1, 0, 0, false)
 		s.noteKill(0, 0, 0, "timeout", 0, false)
 		s.noteMove(0, 0, 0, 0, 64, 1, 0, "plan")
-		s.charge(cost.CatCPU, "j", 0)
+		s.charge(cost.CatCPU, 0, 0)
 		s.obsRefresh()
 	})
 	if allocs != 0 {

@@ -302,7 +302,7 @@ func (s *Sim) CancelJob(job int) error {
 			burned = cpuSec
 		}
 		billed := cost.CPUCost(ti.price, burned)
-		s.charge(cost.CatSpeculative, s.W.Jobs[job].Name, billed)
+		s.charge(cost.CatSpeculative, job, billed)
 		if ti.flow != nil {
 			s.net.cancel(ti.flow)
 			ti.flow = nil

@@ -173,7 +173,7 @@ func (s *Sim) timeoutEvent(job, task int, gen int32) {
 	n, store := ti.node, ti.store
 	movedMB := s.opts.TaskTimeoutSec * s.C.BandwidthStoreNode(store, n)
 	billed := s.C.MSPerGB(n, store).MulFloat(movedMB / 1024)
-	s.charge(cost.CatTransfer, s.W.Jobs[job].Name, billed)
+	s.charge(cost.CatTransfer, job, billed)
 	s.busySlotSec += s.opts.TaskTimeoutSec
 	s.untrackPrimary(ti)
 	ti.gen++
@@ -213,7 +213,6 @@ func (s *Sim) completeEvent(job, task int, gen int32, speculative bool) {
 // speculative copies, revalidates specGen (spec records are pooled).
 func (s *Sim) startSharedAttempt(job, task int, n cluster.NodeID, store cluster.StoreID, cpuSec, mb, runSec float64, speculative bool, gen int32) {
 	ti := s.task(job, task)
-	j := s.W.Jobs[job]
 	start := s.clock
 	if speculative {
 		specGen := ti.specGen
@@ -261,7 +260,7 @@ func (s *Sim) startSharedAttempt(job, task int, n cluster.NodeID, store cluster.
 			moved := s.net.cancel(ti.flow)
 			ti.flow = nil
 			billed := s.C.MSPerGB(n, store).MulFloat(moved / 1024)
-			s.charge(cost.CatTransfer, j.Name, billed)
+			s.charge(cost.CatTransfer, job, billed)
 			s.busySlotSec += s.opts.TaskTimeoutSec
 			s.untrackPrimary(ti)
 			ti.gen++
@@ -293,11 +292,12 @@ func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.Sto
 		transferEnd = sp.transferEndAt
 	}
 	billed := cost.CPUCost(price, billedCPUSec)
-	s.charge(cost.CatCPU, j.Name, billed)
+	s.charge(cost.CatCPU, job, billed)
+	var xferBilled cost.Money
 	if mb > 0 {
-		xfer := s.C.MSPerGB(n, store).MulFloat(mb / 1024)
-		s.charge(cost.CatTransfer, j.Name, xfer)
-		billed += xfer
+		xferBilled = s.C.MSPerGB(n, store).MulFloat(mb / 1024)
+		s.charge(cost.CatTransfer, job, xferBilled)
+		billed += xferBilled
 	}
 	s.NodeCPU.Add(int(n), cpuSec)
 	s.UserCPU[j.User] += cpuSec
@@ -319,7 +319,7 @@ func (s *Sim) completeAttempt(job, task int, n cluster.NodeID, store cluster.Sto
 		} else if xferSec > wallSec {
 			xferSec = wallSec
 		}
-		s.noteDone(job, task, int(ti.attempts), n, store, wallSec, xferSec, billedCPUSec, billed, speculative)
+		s.noteDone(job, task, int(ti.attempts), n, store, wallSec, xferSec, billedCPUSec, billed, xferBilled, speculative)
 	}
 
 	// Settle the twin attempt, if any.
@@ -392,7 +392,7 @@ func (s *Sim) cancelSpeculative(job, task int, cat cost.Category, freeSlot bool,
 		burned = sp.cpuSec
 	}
 	billed := cost.CPUCost(sp.price, burned)
-	s.charge(cat, s.W.Jobs[job].Name, billed)
+	s.charge(cat, job, billed)
 	s.busySlotSec += elapsed
 	s.untrackRunning(sp.runPos)
 	s.freeSpec(ti)
@@ -415,7 +415,7 @@ func (s *Sim) killAttempt(job, task int, n cluster.NodeID) {
 	// demand as a conservative estimate of the wasted burn.
 	cpuSec, _ := s.taskDemand(job, task)
 	billed := cost.CPUCost(ti.price, cpuSec/2)
-	s.charge(cost.CatSpeculative, s.W.Jobs[job].Name, billed)
+	s.charge(cost.CatSpeculative, job, billed)
 	s.untrackPrimary(ti)
 	s.noteKill(job, task, n, "speculative", billed, false)
 	s.slotFreed(n)
@@ -534,7 +534,7 @@ func (s *Sim) KillTask(job, task int) error {
 			burned = cpuSec
 		}
 		billed := cost.CPUCost(ti.price, burned)
-		s.charge(cost.CatSpeculative, s.W.Jobs[job].Name, billed)
+		s.charge(cost.CatSpeculative, job, billed)
 		if ti.flow != nil {
 			s.net.cancel(ti.flow)
 			ti.flow = nil
@@ -683,7 +683,7 @@ func (s *Sim) MoveBlock(obj int, block int, dst cluster.StoreID) float64 {
 	}
 	mb := j.BlockSizeMB(block)
 	billed := s.C.SSPerGB(src, dst).MulFloat(mb / 1024)
-	s.charge(cost.CatPlacement, "", billed)
+	s.charge(cost.CatPlacement, -1, billed)
 	doneAt := s.clock + mb/s.C.BandwidthStoreStore(src, dst)
 	s.noteMove(obj, block, src, dst, mb, doneAt-s.clock, billed, "plan")
 	key := [2]int{obj, block}

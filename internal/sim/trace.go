@@ -34,12 +34,19 @@ func (s *Sim) noteRun() {
 		types[i] = n.Type
 		zones[i] = string(n.Zone)
 	}
+	names := make([]string, len(s.W.Jobs))
+	users := make([]string, len(s.W.Jobs))
+	for i := range s.W.Jobs {
+		names[i] = s.W.Jobs[i].Name
+		users[i] = s.W.Jobs[i].User
+	}
 	s.tr.Emit(trace.Event{T: s.clock, Kind: trace.KindRun, Run: &trace.RunInfo{
 		Scheduler: s.sched.Name(),
 		Nodes:     len(s.C.Nodes), Stores: len(s.C.Stores),
 		Jobs: len(s.W.Jobs), Tasks: s.W.TotalTasks(),
 		Slots: slots, Types: types, Zones: zones,
-		Label: s.opts.TraceLabel,
+		Label:    s.opts.TraceLabel,
+		JobNames: names, JobUsers: users,
 	}})
 }
 
@@ -69,14 +76,14 @@ func (s *Sim) noteLaunch(job, task, attempt int, n cluster.NodeID, store cluster
 }
 
 func (s *Sim) noteDone(job, task, attempt int, n cluster.NodeID, store cluster.StoreID,
-	wallSec, xferSec, cpuSec float64, billed cost.Money, speculative bool) {
+	wallSec, xferSec, cpuSec float64, billed, xferBilled cost.Money, speculative bool) {
 	if !s.traceOn {
 		return
 	}
 	s.tr.Emit(trace.Event{T: s.clock, Kind: trace.KindDone, Task: &trace.TaskInfo{
 		Job: job, Task: task, Attempt: attempt, Node: int(n), Store: int(store),
 		DurSec: wallSec, XferSec: xferSec, CPUSec: cpuSec,
-		CostUC: int64(billed), Speculative: speculative,
+		CostUC: int64(billed), XferUC: int64(xferBilled), Speculative: speculative,
 	}})
 }
 
@@ -185,6 +192,19 @@ func (s *Sim) emitSample() {
 		ZoneLocal:     s.Locality.Count(metrics.ZoneLocal),
 		Remote:        s.Locality.Count(metrics.Remote),
 		NoInput:       s.Locality.Count(metrics.NoInput),
+	}
+	// Ledger.Tenants is sorted, so the chargeback lines (and the JSONL
+	// bytes) are deterministic for a given seed.
+	for _, tn := range s.Ledger.Tenants() {
+		info.Tenants = append(info.Tenants, trace.TenantCost{
+			Tenant:        tn,
+			TotalUC:       int64(s.Ledger.TenantTotal(tn)),
+			CPUUC:         int64(s.Ledger.TenantCategory(tn, cost.CatCPU)),
+			TransferUC:    int64(s.Ledger.TenantCategory(tn, cost.CatTransfer)),
+			PlacementUC:   int64(s.Ledger.TenantCategory(tn, cost.CatPlacement)),
+			SpeculativeUC: int64(s.Ledger.TenantCategory(tn, cost.CatSpeculative)),
+			FaultUC:       int64(s.Ledger.TenantCategory(tn, cost.CatFault)),
+		})
 	}
 	s.scanSample(info)
 	s.setSampleGauges(info)

@@ -65,6 +65,12 @@ type RunInfo struct {
 	// Label distinguishes runs in multi-run traces (e.g. the experiment
 	// name when lips-bench traces a whole suite).
 	Label string `json:"label,omitempty"`
+	// JobNames and JobUsers describe each workload job (index = job id):
+	// the ledger's per-job key and the owning tenant, so trace tools can
+	// roll charges up by job or tenant without the workload object.
+	// Absent in serve-mode traces, whose jobs arrive after the header.
+	JobNames []string `json:"job_names,omitempty"`
+	JobUsers []string `json:"job_users,omitempty"`
 }
 
 // TaskInfo is the payload of task lifecycle events. Node and Store are
@@ -84,6 +90,7 @@ type TaskInfo struct {
 	XferSec     float64 `json:"xfer_sec,omitempty"` // done: input transfer portion of DurSec
 	CPUSec      float64 `json:"cpu_sec,omitempty"`  // done: billed ECU-seconds
 	CostUC      int64   `json:"cost_uc,omitempty"`  // microcents billed at this event
+	XferUC      int64   `json:"xfer_uc,omitempty"`  // done: transfer portion of CostUC (the rest is CPU)
 	Reason      string  `json:"reason,omitempty"`   // kill: timeout/speculative/preempt/dequeue/node-crash/store-loss
 }
 
@@ -159,6 +166,24 @@ type SampleInfo struct {
 	ZoneLocal int `json:"zone_local"`
 	Remote    int `json:"remote"`
 	NoInput   int `json:"no_input"`
+
+	// Tenants is the cumulative chargeback ledger at the sample instant,
+	// one entry per tenant seen so far, sorted by tenant name so traces
+	// stay byte-identical across same-seed runs. Per category and in
+	// exact microcents, mirroring the category fields above: summing a
+	// column across tenants must reproduce the matching global field.
+	Tenants []TenantCost `json:"tenants,omitempty"`
+}
+
+// TenantCost is one tenant's cumulative chargeback line in a sample.
+type TenantCost struct {
+	Tenant        string `json:"tenant"`
+	TotalUC       int64  `json:"total_uc"`
+	CPUUC         int64  `json:"cpu_uc,omitempty"`
+	TransferUC    int64  `json:"transfer_uc,omitempty"`
+	PlacementUC   int64  `json:"placement_uc,omitempty"`
+	SpeculativeUC int64  `json:"speculative_uc,omitempty"`
+	FaultUC       int64  `json:"fault_uc,omitempty"`
 }
 
 // Tracer receives trace events. Implementations need not be safe for
@@ -288,6 +313,19 @@ func Validate(e Event) error {
 		}
 		if e.Sample.Running < 0 || e.Sample.Queued < 0 || e.Sample.Pending < 0 || e.Sample.Done < 0 {
 			return fmt.Errorf("trace: sample event with negative counts")
+		}
+		for i, tc := range e.Sample.Tenants {
+			if tc.Tenant == "" {
+				return fmt.Errorf("trace: sample tenant entry without a name")
+			}
+			if tc.TotalUC < 0 || tc.CPUUC < 0 || tc.TransferUC < 0 || tc.PlacementUC < 0 ||
+				tc.SpeculativeUC < 0 || tc.FaultUC < 0 {
+				return fmt.Errorf("trace: sample tenant %s with negative charges", tc.Tenant)
+			}
+			if i > 0 && e.Sample.Tenants[i-1].Tenant >= tc.Tenant {
+				return fmt.Errorf("trace: sample tenants not sorted (%s before %s)",
+					e.Sample.Tenants[i-1].Tenant, tc.Tenant)
+			}
 		}
 	default:
 		return fmt.Errorf("trace: unknown event kind %q", e.Kind)

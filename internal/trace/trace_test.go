@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -121,7 +122,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if *got[2].Task != *events[2].Task || got[2].T != events[2].T {
 		t.Errorf("done event round-trip: got %+v want %+v", *got[2].Task, *events[2].Task)
 	}
-	if *got[4].Sample != *events[4].Sample {
+	if !reflect.DeepEqual(*got[4].Sample, *events[4].Sample) {
 		t.Errorf("sample round-trip: got %+v", *got[4].Sample)
 	}
 
